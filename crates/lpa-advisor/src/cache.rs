@@ -1,0 +1,105 @@
+//! The Query Runtime Cache (Section 4.2).
+//!
+//! A query's runtime depends only on the physical states of the tables it
+//! touches, so the cache key is `(query, states of its tables)`. The cache
+//! is shared — the committee of experts and incremental retraining reuse
+//! the runtimes collected by the naive agent (Section 5).
+
+use lpa_partition::TableState;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: query index plus the physical states of the tables the query
+/// scans (in query-table order).
+pub type CacheKey = (usize, Vec<TableState>);
+
+/// Runtime cache with hit/miss counters.
+#[derive(Debug, Default)]
+pub struct RuntimeCache {
+    map: HashMap<CacheKey, f64>,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl RuntimeCache {
+    pub fn get(&mut self, key: &CacheKey) -> Option<f64> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(*v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching counters (used by inference/committee reward
+    /// probes).
+    pub fn peek(&self, key: &CacheKey) -> Option<f64> {
+        self.map.get(key).copied()
+    }
+
+    pub fn insert(&mut self, key: CacheKey, seconds: f64) {
+        self.map.insert(key, seconds);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared handle: the naive agent, the subspace experts and incremental
+/// retraining all read and write the same cache.
+pub type SharedRuntimeCache = Arc<Mutex<RuntimeCache>>;
+
+/// Fresh shared cache.
+pub fn shared_cache() -> SharedRuntimeCache {
+    Arc::new(Mutex::new(RuntimeCache::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_schema::AttrId;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = RuntimeCache::default();
+        let key = (0usize, vec![TableState::PartitionedBy(AttrId(0))]);
+        assert_eq!(c.get(&key), None);
+        c.insert(key.clone(), 1.5);
+        assert_eq!(c.get(&key), Some(1.5));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_distinguishes_states_not_edges() {
+        // Same query, different table states → different entries.
+        let mut c = RuntimeCache::default();
+        let a = (3usize, vec![TableState::Replicated]);
+        let b = (3usize, vec![TableState::PartitionedBy(AttrId(1))]);
+        c.insert(a.clone(), 1.0);
+        c.insert(b.clone(), 2.0);
+        assert_eq!(c.peek(&a), Some(1.0));
+        assert_eq!(c.peek(&b), Some(2.0));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! The partitioning problem as a DQN environment (Section 3.2).
+
+use crate::online::OnlineBackend;
+use lpa_costmodel::NetworkCostModel;
+use lpa_partition::{valid_actions, Action, Partitioning, StateEncoder};
+use lpa_rl::QEnvironment;
+use lpa_schema::Schema;
+use lpa_workload::{FrequencyVector, MixSampler, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// DQN state: the current partitioning plus the episode's workload mix
+/// (both are part of the Q-network input, Fig. 2c).
+#[derive(Clone, Debug)]
+pub struct EnvState {
+    pub partitioning: Partitioning,
+    pub freqs: FrequencyVector,
+}
+
+/// Where rewards come from.
+pub enum RewardBackend {
+    /// Offline phase: the network-centric cost model, memoized per
+    /// (query, relevant-table-states) just like the online runtime cache.
+    CostModel {
+        model: NetworkCostModel,
+        cache: HashMap<(usize, Vec<lpa_partition::TableState>), f64>,
+    },
+    /// Online phase: measured runtimes on the sampled cluster.
+    Cluster(Box<OnlineBackend>),
+}
+
+impl RewardBackend {
+    pub fn cost_model(model: NetworkCostModel) -> Self {
+        Self::CostModel {
+            model,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Access the online backend, if this is one.
+    pub fn as_online(&self) -> Option<&OnlineBackend> {
+        match self {
+            Self::Cluster(b) => Some(b),
+            Self::CostModel { .. } => None,
+        }
+    }
+
+    fn reward(
+        &mut self,
+        schema: &Schema,
+        workload: &Workload,
+        p: &Partitioning,
+        freqs: &FrequencyVector,
+    ) -> f64 {
+        match self {
+            Self::CostModel { model, cache } => {
+                let mut total = 0.0;
+                for (j, q) in workload.queries().iter().enumerate() {
+                    let f = freqs.as_slice().get(j).copied().unwrap_or(0.0);
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let key = (j, p.physical_key_of(&q.tables));
+                    let c = *cache
+                        .entry(key)
+                        .or_insert_with(|| model.query_cost(schema, q, p));
+                    total += f * c;
+                }
+                -total
+            }
+            Self::Cluster(backend) => backend.reward(workload, p, freqs),
+        }
+    }
+}
+
+/// The advisor's environment.
+pub struct AdvisorEnv {
+    pub schema: Schema,
+    pub workload: Workload,
+    pub encoder: StateEncoder,
+    sampler: MixSampler,
+    backend: RewardBackend,
+    rng: StdRng,
+    s0: Partitioning,
+    /// Engines without compound-key support (Postgres-XL) exclude actions
+    /// touching compound attributes.
+    allow_compound: bool,
+    /// Rewards are divided by this before reaching the agent so the
+    /// Q-network sees O(1) targets regardless of the benchmark's absolute
+    /// cost magnitude (cost-model costs at sample scale are milliseconds,
+    /// far below the network's initial output scale). Ranking — and thus
+    /// every argmax — is unaffected.
+    reward_scale: f64,
+}
+
+impl AdvisorEnv {
+    pub fn new(
+        schema: Schema,
+        workload: Workload,
+        backend: RewardBackend,
+        sampler: MixSampler,
+        allow_compound: bool,
+        seed: u64,
+    ) -> Self {
+        let encoder = StateEncoder::new(&schema, workload.slots());
+        let s0 = Partitioning::initial(&schema);
+        let mut env = Self {
+            encoder,
+            sampler,
+            backend,
+            rng: StdRng::seed_from_u64(seed ^ 0xE27),
+            s0,
+            allow_compound,
+            schema,
+            workload,
+            reward_scale: 1.0,
+        };
+        env.recompute_reward_scale();
+        env
+    }
+
+    /// Fix the normalization constant from the initial state's cost under
+    /// a uniform mix. For the online backend this executes the workload
+    /// once on the sampled cluster — cheap, and the runtime cache keeps
+    /// the measurements for training anyway.
+    fn recompute_reward_scale(&mut self) {
+        let uniform = self.workload.uniform_frequencies();
+        let raw = self
+            .backend
+            .reward(&self.schema, &self.workload, &self.s0, &uniform)
+            .abs();
+        self.reward_scale = if raw > 1e-12 { raw } else { 1.0 };
+    }
+
+    /// The current reward normalization constant.
+    pub fn reward_scale(&self) -> f64 {
+        self.reward_scale
+    }
+
+    /// Swap the workload-mix sampler (inference pins it to one vector).
+    pub fn set_sampler(&mut self, sampler: MixSampler) -> MixSampler {
+        std::mem::replace(&mut self.sampler, sampler)
+    }
+
+    /// Swap the reward backend (offline → online refinement). The reward
+    /// normalization is re-derived for the new backend.
+    pub fn set_backend(&mut self, backend: RewardBackend) -> RewardBackend {
+        let old = std::mem::replace(&mut self.backend, backend);
+        self.recompute_reward_scale();
+        old
+    }
+
+    pub fn backend(&self) -> &RewardBackend {
+        &self.backend
+    }
+
+    pub fn backend_mut(&mut self) -> &mut RewardBackend {
+        &mut self.backend
+    }
+
+    pub fn initial_partitioning(&self) -> &Partitioning {
+        &self.s0
+    }
+
+    pub fn allow_compound(&self) -> bool {
+        self.allow_compound
+    }
+
+    /// Normalized reward of an arbitrary partitioning under a mix —
+    /// exposed for inference (best-state selection) and the committee's
+    /// subspace assignment. Same units as the rewards the agent trains on.
+    pub fn reward_of(&mut self, p: &Partitioning, freqs: &FrequencyVector) -> f64 {
+        self.backend.reward(&self.schema, &self.workload, p, freqs) / self.reward_scale
+    }
+
+    /// Cost of a partitioning in the backend's raw units (estimated or
+    /// scaled-measured seconds) — use this when comparing against real
+    /// quantities like repartitioning time.
+    pub fn cost_of(&mut self, p: &Partitioning, freqs: &FrequencyVector) -> f64 {
+        -self.backend.reward(&self.schema, &self.workload, p, freqs)
+    }
+
+    fn action_allowed(&self, a: &Action) -> bool {
+        if self.allow_compound {
+            return true;
+        }
+        match *a {
+            Action::Partition { table, attr } => {
+                !self.schema.table(table).attributes[attr.0].is_compound()
+            }
+            Action::Replicate { .. } => true,
+            Action::ActivateEdge(e) | Action::DeactivateEdge(e) => {
+                let edge = self.schema.edge(e);
+                edge.endpoints()
+                    .iter()
+                    .all(|ep| !self.schema.attribute(*ep).is_compound())
+            }
+        }
+    }
+}
+
+impl QEnvironment for AdvisorEnv {
+    type State = EnvState;
+    type Action = Action;
+
+    fn input_dim(&self) -> usize {
+        self.encoder.input_dim()
+    }
+
+    fn reset(&mut self) -> EnvState {
+        let freqs = self.sampler.sample(&mut self.rng);
+        EnvState {
+            partitioning: self.s0.clone(),
+            freqs,
+        }
+    }
+
+    fn actions(&self, state: &EnvState) -> Vec<Action> {
+        valid_actions(&self.schema, &state.partitioning)
+            .into_iter()
+            .filter(|a| self.action_allowed(a))
+            .collect()
+    }
+
+    fn encode(&self, state: &EnvState, action: &Action, out: &mut [f32]) {
+        self.encoder
+            .encode_input(&state.partitioning, &state.freqs, action, out);
+    }
+
+    fn step(&mut self, state: &EnvState, action: &Action) -> (EnvState, f64) {
+        let next = action
+            .apply(&self.schema, &state.partitioning)
+            .expect("only valid actions are offered");
+        let reward = self
+            .backend
+            .reward(&self.schema, &self.workload, &next, &state.freqs)
+            / self.reward_scale;
+        (
+            EnvState {
+                partitioning: next,
+                freqs: state.freqs.clone(),
+            },
+            reward,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_costmodel::CostParams;
+
+    fn offline_env(allow_compound: bool) -> AdvisorEnv {
+        let schema = lpa_schema::tpcch::schema(0.001);
+        let workload = lpa_workload::tpcch::workload(&schema);
+        let sampler = MixSampler::uniform(&workload);
+        AdvisorEnv::new(
+            schema,
+            workload,
+            RewardBackend::cost_model(NetworkCostModel::new(CostParams::standard())),
+            sampler,
+            allow_compound,
+            1,
+        )
+    }
+
+    #[test]
+    fn compound_actions_filtered_for_pgxl() {
+        let env_pg = offline_env(false);
+        let env_sx = offline_env(true);
+        let s = EnvState {
+            partitioning: env_pg.initial_partitioning().clone(),
+            freqs: FrequencyVector::uniform(env_pg.workload.slots()),
+        };
+        let pg_actions = env_pg.actions(&s);
+        let sx_actions = env_sx.actions(&s);
+        assert!(sx_actions.len() > pg_actions.len());
+        let has_compound = |actions: &[Action], env: &AdvisorEnv| {
+            actions.iter().any(|a| match *a {
+                Action::Partition { table, attr } => {
+                    env.schema.table(table).attributes[attr.0].is_compound()
+                }
+                _ => false,
+            })
+        };
+        assert!(!has_compound(&pg_actions, &env_pg));
+        assert!(has_compound(&sx_actions, &env_sx));
+    }
+
+    #[test]
+    fn step_reward_matches_reward_of() {
+        let mut env = offline_env(true);
+        let s = {
+            let mut s = env.reset();
+            s.freqs = FrequencyVector::uniform(env.workload.slots());
+            s
+        };
+        let a = env.actions(&s)[0];
+        let (next, r) = env.step(&s, &a);
+        let direct = env.reward_of(&next.partitioning, &s.freqs);
+        assert!((r - direct).abs() < 1e-9);
+        assert!(r < 0.0, "rewards are negative costs");
+    }
+
+    #[test]
+    fn offline_cache_memoizes() {
+        let mut env = offline_env(true);
+        let s = env.reset();
+        let a = env.actions(&s)[0];
+        let (_, r1) = env.step(&s, &a);
+        let (_, r2) = env.step(&s, &a);
+        assert_eq!(r1, r2);
+        if let RewardBackend::CostModel { cache, .. } = env.backend() {
+            assert!(!cache.is_empty());
+        } else {
+            panic!("offline backend expected");
+        }
+    }
+
+    #[test]
+    fn reset_samples_fresh_mixes() {
+        let mut env = offline_env(true);
+        let a = env.reset();
+        let b = env.reset();
+        assert_ne!(a.freqs, b.freqs, "uniform sampler varies per episode");
+        assert_eq!(
+            a.partitioning.table_states(),
+            b.partitioning.table_states(),
+            "always resets to s0"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Decision transparency: explain *why* the advisor prefers a partitioning
+//! by comparing per-query plans under the current and suggested layouts.
+//!
+//! A DBA adopting a learned advisor needs to see which queries pay for a
+//! layout change and which benefit; this renders the cost model's view of
+//! a suggestion (the same simulation used for offline training and
+//! inference, Section 6).
+
+use lpa_costmodel::{NetworkCostModel, QueryPlan};
+use lpa_partition::Partitioning;
+use lpa_schema::Schema;
+use lpa_workload::{FrequencyVector, Workload};
+use std::fmt;
+
+/// Per-query cost comparison between two partitionings.
+#[derive(Clone, Debug)]
+pub struct QueryDelta {
+    pub name: String,
+    pub frequency: f64,
+    pub cost_before: f64,
+    pub cost_after: f64,
+    /// Whether all joins run without data movement after the change.
+    pub local_after: bool,
+    pub plan_after: QueryPlan,
+}
+
+impl QueryDelta {
+    pub fn weighted_saving(&self) -> f64 {
+        self.frequency * (self.cost_before - self.cost_after)
+    }
+}
+
+/// Full explanation of a suggested layout change.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    pub total_before: f64,
+    pub total_after: f64,
+    /// Queries ordered by weighted saving, biggest winners first.
+    pub deltas: Vec<QueryDelta>,
+}
+
+impl Explanation {
+    /// Compare `before` and `after` for a workload mix under a cost model.
+    pub fn compare(
+        schema: &Schema,
+        workload: &Workload,
+        model: &NetworkCostModel,
+        freqs: &FrequencyVector,
+        before: &Partitioning,
+        after: &Partitioning,
+    ) -> Self {
+        let mut deltas = Vec::new();
+        let mut total_before = 0.0;
+        let mut total_after = 0.0;
+        for (i, q) in workload.queries().iter().enumerate() {
+            let f = freqs.as_slice().get(i).copied().unwrap_or(0.0);
+            if f == 0.0 {
+                continue;
+            }
+            let cost_before = model.query_cost(schema, q, before);
+            let plan_after = model.plan(schema, q, after);
+            let cost_after = plan_after.total_seconds;
+            total_before += f * cost_before;
+            total_after += f * cost_after;
+            deltas.push(QueryDelta {
+                name: q.name.clone(),
+                frequency: f,
+                cost_before,
+                cost_after,
+                local_after: plan_after.fully_local(),
+                plan_after,
+            });
+        }
+        deltas.sort_by(|a, b| b.weighted_saving().total_cmp(&a.weighted_saving()));
+        Self {
+            total_before,
+            total_after,
+            deltas,
+        }
+    }
+
+    /// Relative improvement of the suggested layout (positive = better).
+    pub fn improvement(&self) -> f64 {
+        if self.total_before <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_after / self.total_before
+        }
+    }
+
+    /// Queries whose cost increases under the new layout (the "losers" a
+    /// DBA will ask about).
+    pub fn regressions(&self) -> impl Iterator<Item = &QueryDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.cost_after > d.cost_before * 1.0001)
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workload cost {:.5}s → {:.5}s ({:+.1}%)",
+            self.total_before,
+            self.total_after,
+            -self.improvement() * 100.0
+        )?;
+        for d in self.deltas.iter().take(10) {
+            writeln!(
+                f,
+                "  {:<14} f={:<5.2} {:.5}s → {:.5}s{}",
+                d.name,
+                d.frequency,
+                d.cost_before,
+                d.cost_after,
+                if d.local_after { "  [all joins local]" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_costmodel::CostParams;
+    use lpa_partition::Action;
+
+    #[test]
+    fn explanation_orders_by_weighted_saving() {
+        let schema = lpa_schema::microbench::schema(0.05);
+        let workload = lpa_workload::microbench::workload(&schema);
+        let model = NetworkCostModel::new(CostParams::standard());
+        let freqs = workload.uniform_frequencies();
+        let before = Partitioning::initial(&schema);
+        // Co-partition a with c: micro_ac becomes local.
+        let e = schema
+            .edge_between(
+                schema.attr_ref("a", "a_c_key").unwrap(),
+                schema.attr_ref("c", "c_key").unwrap(),
+            )
+            .unwrap();
+        let after = Action::ActivateEdge(e).apply(&schema, &before).unwrap();
+        let ex = Explanation::compare(&schema, &workload, &model, &freqs, &before, &after);
+        assert_eq!(ex.deltas.len(), 2);
+        assert_eq!(ex.deltas[0].name, "micro_ac", "winner first");
+        assert!(ex.deltas[0].local_after);
+        assert!(ex.improvement() > 0.0);
+        let text = ex.to_string();
+        assert!(text.contains("micro_ac"));
+        assert!(text.contains("all joins local"));
+    }
+
+    #[test]
+    fn regressions_detected() {
+        let schema = lpa_schema::microbench::schema(0.05);
+        let workload = lpa_workload::microbench::workload(&schema);
+        let model = NetworkCostModel::new(CostParams::standard());
+        let freqs = workload.uniform_frequencies();
+        let before = Partitioning::initial(&schema);
+        // Replicating `a` (the fact table) regresses everything.
+        let a = schema.table_by_name("a").unwrap();
+        let after = Action::Replicate { table: a }.apply(&schema, &before).unwrap();
+        let ex = Explanation::compare(&schema, &workload, &model, &freqs, &before, &after);
+        assert!(ex.regressions().count() > 0);
+        assert!(ex.improvement() < 0.0);
+    }
+
+    #[test]
+    fn zero_frequency_queries_excluded() {
+        let schema = lpa_schema::microbench::schema(0.05);
+        let workload = lpa_workload::microbench::workload(&schema);
+        let model = NetworkCostModel::new(CostParams::standard());
+        let freqs = FrequencyVector::from_counts(&[1.0, 0.0], 2);
+        let p = Partitioning::initial(&schema);
+        let ex = Explanation::compare(&schema, &workload, &model, &freqs, &p, &p);
+        assert_eq!(ex.deltas.len(), 1);
+        assert_eq!(ex.improvement(), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Incremental training for new queries (Section 5).
+//!
+//! When genuinely new queries join the workload, the advisor does not
+//! retrain from scratch: the new queries take over reserved frequency
+//! slots (the Q-network input already has entries for them, initially
+//! always 0), the agent retrains only on mixes that include the new
+//! queries, exploration starts warm, and the Query Runtime Cache keeps
+//! actual executions to the new queries' runtimes.
+
+use crate::advisor::Advisor;
+use lpa_workload::{MixSampler, Query, QueryId};
+
+/// Result of an incremental extension.
+#[derive(Clone, Debug)]
+pub struct IncrementalReport {
+    /// Ids assigned to the new queries.
+    pub new_ids: Vec<QueryId>,
+    /// Episodes of additional training performed.
+    pub episodes: usize,
+}
+
+/// Add new queries to the advisor's workload and retrain incrementally.
+///
+/// `episodes` is the additional training budget — typically a fraction of
+/// the original (the paper's Fig. 6 shows incremental training at a small
+/// percentage of full retraining). Returns `Err` with the un-added queries
+/// if the workload has no reserved slots left.
+pub fn add_queries(
+    advisor: &mut Advisor,
+    queries: Vec<Query>,
+    episodes: usize,
+) -> Result<IncrementalReport, Vec<Query>> {
+    if queries.len() > advisor.env.workload.reserved_slots() {
+        return Err(queries);
+    }
+    let mut new_ids = Vec::with_capacity(queries.len());
+    for q in queries {
+        let id = advisor
+            .env
+            .workload
+            .add_query(q)
+            .expect("slot availability checked above");
+        new_ids.push(id);
+    }
+
+    // Retrain only on mixes that include the new queries, warm-started.
+    let sampler = MixSampler::emphasis(&advisor.env.workload, new_ids.clone(), 4.0);
+    let prev = advisor.env.set_sampler(sampler);
+    let warm = advisor
+        .config()
+        .epsilon_after(advisor.config().episodes / 2);
+    advisor.set_epsilon(warm);
+    advisor.train_episodes(episodes, |_| {});
+    advisor.env.set_sampler(prev);
+    Ok(IncrementalReport { new_ids, episodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_costmodel::{CostParams, NetworkCostModel};
+    use lpa_rl::DqnConfig;
+    use lpa_workload::{FrequencyVector, QueryBuilder};
+
+    fn cfg() -> DqnConfig {
+        DqnConfig {
+            episodes: 15,
+            tmax: 6,
+            batch_size: 8,
+            hidden: vec![32],
+            epsilon_decay: 0.9,
+            ..DqnConfig::paper()
+        }
+        .with_seed(21)
+    }
+
+    #[test]
+    fn new_query_takes_reserved_slot_and_retrains() {
+        let schema = lpa_schema::microbench::schema(0.05);
+        let workload =
+            lpa_workload::microbench::workload(&schema).with_reserved_slots(2);
+        let sampler = MixSampler::uniform(&workload);
+        let mut advisor = Advisor::train_offline(
+            schema.clone(),
+            workload,
+            NetworkCostModel::new(CostParams::standard()),
+            sampler,
+            cfg(),
+            true,
+        );
+        let slots = advisor.env.workload.slots();
+        let new_q = QueryBuilder::new(&schema, "micro_ab2")
+            .join(("a", "a_b_key"), ("b", "b_key"))
+            .filter("b", 0.002)
+            .finish()
+            .unwrap();
+        let report = add_queries(&mut advisor, vec![new_q], 5).unwrap();
+        assert_eq!(report.new_ids, vec![QueryId(2)]);
+        // Slot count unchanged (reserved slot consumed), so the encoder and
+        // the network still fit.
+        assert_eq!(advisor.env.workload.slots(), slots);
+        assert_eq!(advisor.env.workload.queries().len(), 3);
+        // The advisor can now be queried with mixes involving the query.
+        let f = FrequencyVector::extreme(slots, QueryId(2), 0.1, 1.0);
+        let s = advisor.suggest(&f);
+        assert!(s.reward.is_finite());
+    }
+
+    #[test]
+    fn overflow_reports_remaining_queries() {
+        let schema = lpa_schema::microbench::schema(0.05);
+        let workload = lpa_workload::microbench::workload(&schema); // 0 reserved
+        let sampler = MixSampler::uniform(&workload);
+        let mut advisor = Advisor::train_offline(
+            schema.clone(),
+            workload,
+            NetworkCostModel::new(CostParams::standard()),
+            sampler,
+            cfg(),
+            true,
+        );
+        let q = QueryBuilder::new(&schema, "x").scan("a").finish().unwrap();
+        let err = add_queries(&mut advisor, vec![q], 3).unwrap_err();
+        assert_eq!(err.len(), 1, "the rejected query is returned");
+        assert_eq!(advisor.env.workload.queries().len(), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! Baselines the paper evaluates against (Section 7.1):
+//!
+//! * [`heuristics`] — the two DBA rules of thumb: co-partition facts with
+//!   the most frequently joined / the largest dimension (star schemas), or
+//!   replicate-small/partition-by-key vs greedy co-partitioning of the
+//!   largest table pairs (complex schemas);
+//! * [`optimizer_advisor`] — the classical automated design approach:
+//!   search the candidate space minimizing the *engine optimizer's* cost
+//!   estimates (unavailable on engines that hide them, like System-X);
+//! * [`neural_cost`] — the Section 7.5 alternative: a learned neural cost
+//!   model minimized by search, in exploitation- and exploration-driven
+//!   variants.
+
+pub mod heuristics;
+pub mod neural_cost;
+pub mod optimizer_advisor;
+
+pub use heuristics::{heuristic_a, heuristic_b, SchemaClass};
+pub use neural_cost::{NeuralCostAdvisor, NeuralCostVariant};
+pub use optimizer_advisor::minimum_optimizer_partitioning;

@@ -1,0 +1,54 @@
+//! Cost-model micro-benchmarks, including the join-enumeration ablation
+//! (greedy vs exhaustive — the DESIGN.md `ablation_join_enum`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lpa_costmodel::model::JoinEnumeration;
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_partition::Partitioning;
+use std::hint::black_box;
+
+fn bench_query_cost(c: &mut Criterion) {
+    let ssb = lpa_schema::ssb::schema(1.0);
+    let ssb_w = lpa_workload::ssb::workload(&ssb);
+    let ch = lpa_schema::tpcch::schema(1.0);
+    let ch_w = lpa_workload::tpcch::workload(&ch);
+    let model = NetworkCostModel::new(CostParams::standard());
+    let p_ssb = Partitioning::initial(&ssb);
+    let p_ch = Partitioning::initial(&ch);
+
+    let q41 = ssb_w.queries().iter().find(|q| q.name == "ssb_q4.1").unwrap();
+    c.bench_function("costmodel/ssb_q4.1_greedy", |b| {
+        b.iter(|| black_box(model.query_cost(&ssb, q41, &p_ssb)))
+    });
+
+    let q5 = ch_w.queries().iter().find(|q| q.name == "ch_q05").unwrap();
+    c.bench_function("costmodel/tpcch_q5_greedy", |b| {
+        b.iter(|| black_box(model.query_cost(&ch, q5, &p_ch)))
+    });
+
+    let exhaustive =
+        NetworkCostModel::new(CostParams::standard()).with_enumeration(JoinEnumeration::Exhaustive);
+    c.bench_function("costmodel/ssb_q4.1_exhaustive", |b| {
+        b.iter(|| black_box(exhaustive.query_cost(&ssb, q41, &p_ssb)))
+    });
+
+    c.bench_function("costmodel/ssb_workload_cost", |b| {
+        let freqs = ssb_w.uniform_frequencies();
+        b.iter(|| black_box(model.workload_cost(&ssb, &ssb_w, &freqs, &p_ssb)))
+    });
+}
+
+fn bench_imbalance(c: &mut Criterion) {
+    let ch = lpa_schema::tpcch::schema(1.0);
+    let d_id = ch.attr_ref("customer", "c_d_id").unwrap();
+    c.bench_function("costmodel/partition_imbalance_zipf", |b| {
+        b.iter_batched(
+            || d_id,
+            |a| black_box(lpa_costmodel::partition_imbalance(&ch, a, 4)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_query_cost, bench_imbalance);
+criterion_main!(benches);

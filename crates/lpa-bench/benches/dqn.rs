@@ -1,0 +1,60 @@
+//! End-to-end DQN step benchmarks on the real advisor environment
+//! (TPC-CH offline): action selection and one minibatch training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpa_advisor::{AdvisorEnv, RewardBackend};
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_rl::{DqnAgent, DqnConfig, QEnvironment, Transition};
+use lpa_workload::MixSampler;
+use std::hint::black_box;
+
+fn env() -> AdvisorEnv {
+    let schema = lpa_schema::tpcch::schema(0.002);
+    let workload = lpa_workload::tpcch::workload(&schema);
+    let sampler = MixSampler::uniform(&workload);
+    AdvisorEnv::new(
+        schema,
+        workload,
+        RewardBackend::cost_model(NetworkCostModel::new(CostParams::standard())),
+        sampler,
+        true,
+        3,
+    )
+}
+
+fn bench_dqn(c: &mut Criterion) {
+    let mut e = env();
+    let cfg = DqnConfig::paper().with_seed(4);
+    let mut agent: DqnAgent<AdvisorEnv> = DqnAgent::new(e.input_dim(), cfg);
+    let state = e.reset();
+
+    c.bench_function("dqn/select_action_greedy_tpcch", |b| {
+        agent.set_epsilon(0.0);
+        b.iter(|| black_box(agent.select_action(&e, &state, true)))
+    });
+
+    // Fill the buffer so train_step has a full minibatch.
+    let mut s = e.reset();
+    for _ in 0..64 {
+        let a = agent.select_action(&e, &s, true);
+        let (n, r) = e.step(&s, &a);
+        agent.remember(Transition {
+            state: s,
+            action: a,
+            reward: r,
+            next_state: n.clone(),
+        });
+        s = n;
+    }
+    c.bench_function("dqn/train_step_batch32_tpcch", |b| {
+        b.iter(|| black_box(agent.train_step(&e)))
+    });
+
+    c.bench_function("dqn/env_step_cached_reward", |b| {
+        let a = e.actions(&s)[0];
+        b.iter(|| black_box(e.step(&s, &a)))
+    });
+}
+
+criterion_group!(benches, bench_dqn);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! State/action encoding micro-benchmarks — these run once per Q-network
+//! evaluation and sit on the DQN hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpa_partition::{valid_actions, Partitioning, StateEncoder};
+use lpa_workload::FrequencyVector;
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let schema = lpa_schema::tpcch::schema(1.0);
+    let workload = lpa_workload::tpcch::workload(&schema);
+    let enc = StateEncoder::new(&schema, workload.slots());
+    let p = Partitioning::initial(&schema);
+    let f = FrequencyVector::uniform(workload.slots());
+    let mut state_buf = vec![0.0f32; enc.state_dim()];
+    let mut input_buf = vec![0.0f32; enc.input_dim()];
+    let actions = valid_actions(&schema, &p);
+
+    c.bench_function("encoding/state_tpcch", |b| {
+        b.iter(|| {
+            enc.encode_state_into(black_box(&p), black_box(&f), &mut state_buf);
+            black_box(&state_buf);
+        })
+    });
+    c.bench_function("encoding/input_tpcch", |b| {
+        b.iter(|| {
+            enc.encode_input(black_box(&p), black_box(&f), black_box(&actions[0]), &mut input_buf);
+            black_box(&input_buf);
+        })
+    });
+    c.bench_function("encoding/valid_actions_tpcch", |b| {
+        b.iter(|| black_box(valid_actions(&schema, &p).len()))
+    });
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Execution-engine micro-benchmarks: query execution, deployment and
+//! data generation on the simulated cluster.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lpa_cluster::{Cluster, ClusterConfig, Database, EngineProfile, HardwareProfile};
+use lpa_partition::{Action, Partitioning};
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let schema = lpa_schema::microbench::schema(0.02);
+    let w = lpa_workload::microbench::workload(&schema);
+    let mut cluster = Cluster::new(
+        schema.clone(),
+        ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
+    );
+    c.bench_function("executor/micro_ab_join", |b| {
+        b.iter(|| black_box(cluster.run_query(&w.queries()[0], None)))
+    });
+
+    let ch = lpa_schema::tpcch::schema(0.0005);
+    let ch_w = lpa_workload::tpcch::workload(&ch);
+    let mut ch_cluster = Cluster::new(
+        ch,
+        ClusterConfig::new(EngineProfile::pgxl(), HardwareProfile::standard()),
+    );
+    let q5 = ch_w.queries().iter().find(|q| q.name == "ch_q05").unwrap();
+    c.bench_function("executor/tpcch_q5_six_joins", |b| {
+        b.iter(|| black_box(ch_cluster.run_query(q5, None)))
+    });
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    let schema = lpa_schema::microbench::schema(0.02);
+    let p0 = Partitioning::initial(&schema);
+    let b_table = schema.table_by_name("b").unwrap();
+    let p1 = Action::Replicate { table: b_table }.apply(&schema, &p0).unwrap();
+    c.bench_function("executor/deploy_replicate_b", |b| {
+        b.iter_batched(
+            || {
+                Cluster::new(
+                    schema.clone(),
+                    ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
+                )
+            },
+            |mut cl| black_box(cl.deploy(&p1)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let schema = lpa_schema::tpcch::schema(0.001);
+    c.bench_function("executor/datagen_tpcch_sf0.001", |b| {
+        b.iter(|| black_box(Database::generate(&schema, 7)))
+    });
+}
+
+criterion_group!(benches, bench_execution, bench_deploy, bench_datagen);
+criterion_main!(benches);

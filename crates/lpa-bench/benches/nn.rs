@@ -1,0 +1,45 @@
+//! Neural-network micro-benchmarks (the paper's 128-64 Q-network shape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpa_nn::{Adam, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_batch(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+    m
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = 134; // TPC-CH input dimension
+    let net = Mlp::new(&[input, 128, 64, 1], &mut rng);
+    let batch64 = random_batch(&mut rng, 64, input);
+    c.bench_function("nn/forward_batch64_128x64", |b| {
+        b.iter(|| black_box(net.predict_batch(&batch64)))
+    });
+
+    let mut train_net = Mlp::new(&[input, 128, 64, 1], &mut rng);
+    let mut opt = Adam::new(5e-4, train_net.layers());
+    let batch32 = random_batch(&mut rng, 32, input);
+    let targets: Vec<f32> = (0..32).map(|i| (i as f32 * 0.1).sin()).collect();
+    c.bench_function("nn/train_mse_batch32", |b| {
+        b.iter(|| black_box(train_net.train_mse(&batch32, &targets, &mut opt)))
+    });
+
+    let target_net = net.clone();
+    let mut tracking = Mlp::new(&[input, 128, 64, 1], &mut rng);
+    c.bench_function("nn/soft_update_tau1e-3", |b| {
+        b.iter(|| {
+            tracking.soft_update_from(&target_net, 1e-3);
+            black_box(&tracking);
+        })
+    });
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! "Found the best partitioning" accuracy evaluation used by Fig. 5 and
+//! Fig. 7b.
+//!
+//! For each sampled workload mix, every approach proposes a partitioning;
+//! the proposals are costed with scaled sample runtimes (cache-backed), and
+//! an approach scores when its proposal is within a small tolerance of the
+//! best proposal for that mix.
+
+use lpa_advisor::OnlineBackend;
+use lpa_partition::Partitioning;
+use lpa_workload::{FrequencyVector, MixSampler, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One approach under evaluation.
+pub struct Approach<'a> {
+    pub label: &'a str,
+    pub suggest: Box<dyn FnMut(&FrequencyVector) -> Partitioning + 'a>,
+}
+
+impl<'a> Approach<'a> {
+    pub fn new(
+        label: &'a str,
+        suggest: impl FnMut(&FrequencyVector) -> Partitioning + 'a,
+    ) -> Self {
+        Self {
+            label,
+            suggest: Box::new(suggest),
+        }
+    }
+
+    /// A fixed partitioning regardless of the mix (the Fig. 5 heuristics).
+    pub fn fixed(label: &'a str, p: Partitioning) -> Self {
+        Self::new(label, move |_| p.clone())
+    }
+}
+
+/// Fraction of mixes for which each approach's proposal is (near-)optimal
+/// among the proposals.
+pub fn accuracy(
+    approaches: &mut [Approach<'_>],
+    probe: &mut OnlineBackend,
+    workload: &Workload,
+    sampler: &mut MixSampler,
+    mixes: usize,
+    seed: u64,
+) -> Vec<(String, f64)> {
+    const TOLERANCE: f64 = 1.02;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wins = vec![0usize; approaches.len()];
+    for _ in 0..mixes {
+        let f = sampler.sample(&mut rng);
+        let costs: Vec<f64> = approaches
+            .iter_mut()
+            .map(|a| {
+                let p = (a.suggest)(&f);
+                -probe.reward(workload, &p, &f)
+            })
+            .collect();
+        let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        for (w, c) in wins.iter_mut().zip(&costs) {
+            if *c <= best * TOLERANCE {
+                *w += 1;
+            }
+        }
+    }
+    approaches
+        .iter()
+        .zip(wins)
+        .map(|(a, w)| (a.label.to_string(), w as f64 / mixes as f64))
+        .collect()
+}

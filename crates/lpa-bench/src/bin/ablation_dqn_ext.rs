@@ -1,0 +1,54 @@
+//! Ablation: DQN extensions beyond the paper (Huber loss, Double DQN).
+//!
+//! The paper trains vanilla DQN with a squared loss; this harness checks
+//! whether the standard stabilizations change the advisor's outcome on the
+//! microbenchmark and TPC-CH (offline phase, suggestion reward under a
+//! uniform mix — higher is better).
+
+use lpa_bench::setup::cost_params;
+use lpa_bench::{figure, save_json, Benchmark};
+use lpa_cluster::HardwareProfile;
+use lpa_costmodel::NetworkCostModel;
+use lpa_rl::DqnConfig;
+use lpa_workload::MixSampler;
+use serde_json::json;
+
+fn run(bench: Benchmark, variant: &str, seed: u64) -> f64 {
+    let scale = bench.scale();
+    let schema = bench.schema(scale.sf);
+    let workload = bench.workload(&schema);
+    let base = DqnConfig::simulation(scale.episodes / 2, scale.tmax).with_seed(seed);
+    let cfg = match variant {
+        "vanilla" => base,
+        "huber" => base.with_huber(1.0),
+        "double" => base.with_double_dqn(),
+        "double+huber" => base.with_double_dqn().with_huber(1.0),
+        _ => unreachable!(),
+    };
+    let mut advisor = lpa_advisor::Advisor::train_offline(
+        schema.clone(),
+        workload.clone(),
+        NetworkCostModel::new(cost_params(HardwareProfile::standard())),
+        MixSampler::uniform(&workload),
+        cfg,
+        false,
+    );
+    let f = workload.uniform_frequencies();
+    advisor.suggest(&f).reward
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for bench in [Benchmark::Micro, Benchmark::Tpcch] {
+        figure(
+            "Ablation: DQN extensions",
+            &format!("{} offline suggestion reward (normalized; higher is better)", bench.name()),
+        );
+        for variant in ["vanilla", "huber", "double", "double+huber"] {
+            let r = run(bench, variant, 0xD0E);
+            println!("  {variant:<14} {r:>10.4}");
+            results.push(json!({ "benchmark": bench.name(), "variant": variant, "reward": r }));
+        }
+    }
+    save_json("ablation_dqn_ext", &json!(results));
+}

@@ -1,0 +1,43 @@
+//! Probe: why does exp5's RL pick s0 on standard HW?
+use lpa_bench::setup::cost_params;
+use lpa_bench::Benchmark;
+use lpa_cluster::HardwareProfile;
+use lpa_costmodel::NetworkCostModel;
+use lpa_partition::{Partitioning, TableState};
+use lpa_rl::DqnConfig;
+use lpa_workload::MixSampler;
+
+fn main() {
+    let bench = Benchmark::Micro;
+    let scale = bench.scale();
+    let schema = bench.schema(scale.sf);
+    let workload = bench.workload(&schema);
+    let f = workload.uniform_frequencies();
+    for hw in [HardwareProfile::standard(), HardwareProfile::slow_network()] {
+        let model = NetworkCostModel::new(cost_params(hw));
+        let a = schema.table_by_name("a").unwrap();
+        let b = schema.table_by_name("b").unwrap();
+        let a_c = schema.attr_ref("a", "a_c_key").unwrap();
+        let a_b = schema.attr_ref("a", "a_b_key").unwrap();
+        let mut st = Partitioning::initial(&schema).table_states().to_vec();
+        st[a.0] = TableState::PartitionedBy(a_c.attr);
+        let b_part = Partitioning::from_states(&schema, st.clone());
+        st[b.0] = TableState::Replicated;
+        let b_repl = Partitioning::from_states(&schema, st.clone());
+        let mut st2 = Partitioning::initial(&schema).table_states().to_vec();
+        st2[a.0] = TableState::PartitionedBy(a_b.attr);
+        let ab_part = Partitioning::from_states(&schema, st2);
+        let s0 = Partitioning::initial(&schema);
+        eprintln!("net_bw={:.2e}", hw.net_bandwidth);
+        for (l, p) in [("s0", &s0), ("a-c copart, b part", &b_part), ("a-c copart, b repl", &b_repl), ("a-b copart", &ab_part)] {
+            eprintln!("  {l:<22} cm={:.5}", model.workload_cost(&schema, &workload, &f, p));
+        }
+        let cfg = DqnConfig::simulation(scale.episodes, scale.tmax).with_seed(0xDE9);
+        let mut advisor = lpa_advisor::Advisor::train_offline(
+            schema.clone(), workload.clone(),
+            NetworkCostModel::new(cost_params(hw)),
+            MixSampler::uniform(&workload), cfg, true);
+        let s = advisor.suggest(&f);
+        eprintln!("  offline agent: reward {:.5} → {}", s.reward, s.partitioning.describe(&schema));
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared machinery for the experiment harness.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; Criterion
+//! micro-benchmarks live in `benches/`. Everything here is glue: building
+//! benchmark instances at simulator scale, training advisors with the
+//! scaled Table-1 configuration, evaluating partitionings on fresh
+//! clusters, and printing/saving results.
+
+pub mod accuracy;
+pub mod report;
+pub mod setup;
+
+pub use accuracy::{accuracy, Approach};
+pub use report::{bar, figure, save_json, Series};
+pub use setup::{Benchmark, ExperimentScale};

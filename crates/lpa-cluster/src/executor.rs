@@ -1,0 +1,507 @@
+//! Per-node hash-join execution over the generated data.
+//!
+//! The executor follows a plan's join order and exchange strategies, but
+//! everything it *charges* comes from what actually happens to the rows:
+//! build/probe/output counts per node, bytes received per node during
+//! broadcasts and shuffles, and straggler effects (a step is as slow as its
+//! most loaded node). Value skew and co-location therefore influence
+//! runtimes through the data itself — this is what the online phase of the
+//! advisor learns from and what the offline cost model only approximates.
+
+use crate::datagen::Database;
+use crate::engine::{splitmix64, EngineProfile};
+use crate::hardware::HardwareProfile;
+use lpa_costmodel::{JoinStrategy, QueryPlan};
+use lpa_partition::TableState;
+use lpa_schema::{AttrRef, Schema, TableId};
+use lpa_workload::Query;
+use std::collections::HashMap;
+
+/// Per-table physical layout on the cluster.
+#[derive(Clone, Debug)]
+pub enum Layout {
+    /// Full copy on every node.
+    Replicated,
+    /// `node[row]` assignment derived from the partition-key values.
+    Hashed { attr: lpa_schema::AttrId, node: Vec<u8> },
+}
+
+/// Compute the layout of one table under a deployment.
+pub fn layout_table(
+    db: &Database,
+    engine: &EngineProfile,
+    nodes: usize,
+    table: TableId,
+    state: TableState,
+) -> Layout {
+    match state {
+        TableState::Replicated => Layout::Replicated,
+        TableState::PartitionedBy(attr) => {
+            let col = db.column(table, attr);
+            let node = col
+                .iter()
+                .map(|&v| engine.node_of(v, nodes) as u8)
+                .collect();
+            Layout::Hashed { attr, node }
+        }
+    }
+}
+
+/// Result of executing one query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecResult {
+    /// Simulated wall-clock seconds.
+    pub seconds: f64,
+    /// Rows in the final join result (before aggregation).
+    pub output_rows: u64,
+    /// Total bytes that crossed the network.
+    pub bytes_shuffled: f64,
+}
+
+/// Intermediate result: provenance rows (one base-row id per query table
+/// slot) with a per-row node placement.
+struct Inter {
+    /// `slots[s][i]` = base-table row feeding output row `i` from query
+    /// table slot `s` (`u32::MAX` when the slot is not yet joined).
+    slots: Vec<Vec<u32>>,
+    node: Vec<u8>,
+    replicated: bool,
+    bytes_per_row: f64,
+}
+
+impl Inter {
+    fn len(&self) -> usize {
+        // Absent slots stay empty; present slots share the same length.
+        self.slots.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+/// The execution context for one query.
+pub struct Executor<'a> {
+    pub schema: &'a Schema,
+    pub db: &'a Database,
+    pub engine: &'a EngineProfile,
+    pub hw: &'a HardwareProfile,
+    pub layouts: &'a [Layout],
+}
+
+impl<'a> Executor<'a> {
+    /// Execute `query` under the deployed `partitioning`, following `plan`.
+    /// Returns the simulated runtime; if `budget` is given, execution is
+    /// aborted once the accumulated time exceeds it and `None` is returned
+    /// (the timeout optimization of Section 4.2).
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        budget: Option<f64>,
+    ) -> Option<ExecResult> {
+        let n = self.hw.nodes;
+        let mut seconds = self.engine.query_overhead;
+        let mut bytes_shuffled = 0.0;
+
+        // Charge scans of all participating tables (predicate evaluation
+        // happens during the scan, so the full table is read).
+        let scan_bw = if self.engine.disk_based {
+            self.hw.disk_scan_bandwidth
+        } else {
+            self.hw.mem_scan_bandwidth
+        };
+        for &t in &query.tables {
+            let bytes = self.schema.table(t).bytes() as f64;
+            let max_share = self.max_shard_fraction(t);
+            seconds += bytes * max_share / scan_bw;
+        }
+        if over(seconds, budget) {
+            return None;
+        }
+
+        // Single-table query: scan + aggregate.
+        if query.joins.is_empty() {
+            let t = query.tables[0];
+            let rows = self.filtered_rows(query, t).len() as f64;
+            let share = self.max_shard_fraction(t);
+            seconds += rows * share * self.hw.cpu_tuple_cost * query.cpu_factor;
+            return Some(ExecResult {
+                seconds,
+                output_rows: rows as u64,
+                bytes_shuffled,
+            });
+        }
+
+        let start = plan.start_table.expect("join query has a start table");
+        let mut inter = self.seed_inter(query, start);
+
+        for step in &plan.steps {
+            let join = &query.joins[step.join_index];
+            let right_table = step.table;
+            // Cycle-closure steps never appear (the planner consumes them
+            // silently), so each step introduces `right_table`.
+            let (step_seconds, step_bytes, next) =
+                self.join_step(query, &inter, right_table, join, step.strategy);
+            seconds += step_seconds;
+            bytes_shuffled += step_bytes;
+            inter = next;
+            if over(seconds, budget) {
+                return None;
+            }
+        }
+
+        // Final aggregation over the join result.
+        let out_rows = inter.len() as f64;
+        let agg_share = if inter.replicated {
+            1.0
+        } else {
+            self.max_node_fraction(&inter.node, n)
+        };
+        seconds += out_rows * agg_share * self.hw.cpu_tuple_cost * query.cpu_factor;
+        if over(seconds, budget) {
+            return None;
+        }
+        Some(ExecResult {
+            seconds,
+            output_rows: inter.len() as u64,
+            bytes_shuffled,
+        })
+    }
+
+    /// Fraction of a table's rows on its most loaded node.
+    fn max_shard_fraction(&self, t: TableId) -> f64 {
+        match &self.layouts[t.0] {
+            Layout::Replicated => 1.0,
+            Layout::Hashed { node, .. } => {
+                if node.is_empty() {
+                    1.0 / self.hw.nodes as f64
+                } else {
+                    self.max_node_fraction(node, self.hw.nodes)
+                }
+            }
+        }
+    }
+
+    fn max_node_fraction(&self, assignment: &[u8], nodes: usize) -> f64 {
+        if assignment.is_empty() {
+            return 1.0 / nodes as f64;
+        }
+        let mut counts = vec![0usize; nodes];
+        for &a in assignment {
+            counts[a as usize] += 1;
+        }
+        *counts.iter().max().unwrap() as f64 / assignment.len() as f64
+    }
+
+    /// Deterministic predicate filter: row ids of `t` surviving the query's
+    /// local predicates.
+    fn filtered_rows(&self, query: &Query, t: TableId) -> Vec<u32> {
+        let sel = query.table_selectivity(t);
+        let rows = self.db.table(t).rows;
+        if sel >= 1.0 {
+            return (0..rows as u32).collect();
+        }
+        let threshold = (sel * u64::MAX as f64) as u64;
+        let tag = splitmix64(hash_str(&query.name) ^ ((t.0 as u64) << 17));
+        (0..rows as u32)
+            .filter(|&r| splitmix64(tag ^ r as u64) <= threshold)
+            .collect()
+    }
+
+    fn seed_inter(&self, query: &Query, start: TableId) -> Inter {
+        let slot = slot_of(query, start);
+        let rows = self.filtered_rows(query, start);
+        let mut slots = vec![Vec::new(); query.tables.len()];
+        let (node, replicated) = match &self.layouts[start.0] {
+            Layout::Replicated => (vec![0u8; rows.len()], true),
+            Layout::Hashed { node, .. } => {
+                (rows.iter().map(|&r| node[r as usize]).collect(), false)
+            }
+        };
+        slots[slot] = rows;
+        for (s, v) in slots.iter_mut().enumerate() {
+            if s != slot {
+                *v = Vec::new();
+            }
+        }
+        Inter {
+            slots,
+            node,
+            replicated,
+            bytes_per_row: self.schema.table(start).row_bytes as f64,
+        }
+    }
+
+    /// Value of the intermediate's rows for an attribute of one of its
+    /// already-joined tables.
+    fn inter_values(&self, query: &Query, inter: &Inter, attr: AttrRef) -> Vec<u64> {
+        let slot = slot_of(query, attr.table);
+        let col = self.db.column(attr.table, attr.attr);
+        inter.slots[slot]
+            .iter()
+            .map(|&r| col[r as usize])
+            .collect()
+    }
+
+    /// Execute one join step; returns (seconds, bytes over network, result).
+    fn join_step(
+        &self,
+        query: &Query,
+        inter: &Inter,
+        right_table: TableId,
+        join: &lpa_workload::JoinPred,
+        strategy: JoinStrategy,
+    ) -> (f64, f64, Inter) {
+        let n = self.hw.nodes;
+        let right_slot = slot_of(query, right_table);
+        let right_rows = self.filtered_rows(query, right_table);
+        let right_bytes_row = self.schema.table(right_table).row_bytes as f64;
+
+        // Orient pairs as (inter side, right side).
+        let oriented: Vec<(AttrRef, AttrRef)> = join
+            .pairs
+            .iter()
+            .map(|(a, b)| if b.table == right_table { (*a, *b) } else { (*b, *a) })
+            .collect();
+        let primary = oriented[0];
+        let left_vals = self.inter_values(query, inter, primary.0);
+        let right_col = self.db.column(right_table, primary.1.attr);
+
+        // Placement of both sides for this join.
+        let right_home: Vec<u8> = match &self.layouts[right_table.0] {
+            Layout::Replicated => Vec::new(),
+            Layout::Hashed { node, .. } => {
+                right_rows.iter().map(|&r| node[r as usize]).collect()
+            }
+        };
+        let right_replicated = matches!(self.layouts[right_table.0], Layout::Replicated);
+
+        let mut net_bytes_per_node = vec![0.0f64; n];
+        let mut total_bytes = 0.0f64;
+        let mut shuffled = false;
+
+        // Decide effective placements after the exchange.
+        // `left_at[i]` / `right_at[j]`: node each row joins at; `None`
+        // means "present everywhere" (replicated / broadcast side).
+        let (left_at, right_at): (Option<Vec<u8>>, Option<Vec<u8>>) = match strategy {
+            JoinStrategy::ReplicatedSide | JoinStrategy::CoLocated => {
+                let left = if inter.replicated { None } else { Some(inter.node.clone()) };
+                let right = if right_replicated {
+                    None
+                } else {
+                    Some(right_home.clone())
+                };
+                (left, right)
+            }
+            JoinStrategy::Broadcast { table_side: true } => {
+                // Ship the right (base) side everywhere.
+                shuffled = true;
+                let bytes = right_rows.len() as f64 * right_bytes_row;
+                for node_bytes in net_bytes_per_node.iter_mut() {
+                    *node_bytes += bytes * (n as f64 - 1.0) / n as f64;
+                }
+                total_bytes += bytes * (n as f64 - 1.0);
+                let left = if inter.replicated { None } else { Some(inter.node.clone()) };
+                (left, None)
+            }
+            JoinStrategy::Broadcast { table_side: false } => {
+                shuffled = true;
+                let bytes = inter.len() as f64 * inter.bytes_per_row;
+                for node_bytes in net_bytes_per_node.iter_mut() {
+                    *node_bytes += bytes * (n as f64 - 1.0) / n as f64;
+                }
+                total_bytes += bytes * (n as f64 - 1.0);
+                let right = if right_replicated {
+                    None
+                } else {
+                    Some(right_home.clone())
+                };
+                (None, right)
+            }
+            JoinStrategy::DirectedRepartition { table_side } => {
+                shuffled = true;
+                // Re-hash one side on the join attribute of the *other*
+                // side's partitioning pair; matching rows co-locate because
+                // their pair values are equal.
+                if table_side {
+                    // Move right rows to hash(right pair value).
+                    let new: Vec<u8> = right_rows
+                        .iter()
+                        .map(|&r| self.engine.node_of(right_col[r as usize], n) as u8)
+                        .collect();
+                    for (j, &node) in new.iter().enumerate() {
+                        let home = right_home.get(j).copied().unwrap_or(node);
+                        if home != node {
+                            net_bytes_per_node[node as usize] += right_bytes_row;
+                            total_bytes += right_bytes_row;
+                        }
+                    }
+                    let left = if inter.replicated { None } else { Some(inter.node.clone()) };
+                    (left, Some(new))
+                } else {
+                    // Move intermediate rows to hash(left pair value).
+                    let new: Vec<u8> = left_vals
+                        .iter()
+                        .map(|&v| self.engine.node_of(v, n) as u8)
+                        .collect();
+                    for (i, &node) in new.iter().enumerate() {
+                        let home = if inter.replicated {
+                            node
+                        } else {
+                            inter.node[i]
+                        };
+                        if home != node {
+                            net_bytes_per_node[node as usize] += inter.bytes_per_row;
+                            total_bytes += inter.bytes_per_row;
+                        }
+                    }
+                    let right = if right_replicated {
+                        None
+                    } else {
+                        Some(right_home.clone())
+                    };
+                    (Some(new), right)
+                }
+            }
+            JoinStrategy::SymmetricRepartition => {
+                shuffled = true;
+                let new_left: Vec<u8> = left_vals
+                    .iter()
+                    .map(|&v| self.engine.node_of(v, n) as u8)
+                    .collect();
+                for (i, &node) in new_left.iter().enumerate() {
+                    let home = if inter.replicated { node } else { inter.node[i] };
+                    if home != node {
+                        net_bytes_per_node[node as usize] += inter.bytes_per_row;
+                        total_bytes += inter.bytes_per_row;
+                    }
+                }
+                let new_right: Vec<u8> = right_rows
+                    .iter()
+                    .map(|&r| self.engine.node_of(right_col[r as usize], n) as u8)
+                    .collect();
+                for (j, &node) in new_right.iter().enumerate() {
+                    let home = right_home.get(j).copied().unwrap_or(node);
+                    if home != node {
+                        net_bytes_per_node[node as usize] += right_bytes_row;
+                        total_bytes += right_bytes_row;
+                    }
+                }
+                (Some(new_left), Some(new_right))
+            }
+        };
+
+        // Per-node (or global, when both sides are everywhere) hash join on
+        // the primary pair.
+        let both_everywhere = left_at.is_none() && right_at.is_none();
+        let groups: usize = if both_everywhere { 1 } else { n };
+
+        // Build: hash the right side per group.
+        let mut build: Vec<HashMap<u64, Vec<u32>>> = (0..groups).map(|_| HashMap::new()).collect();
+        for (j, &r) in right_rows.iter().enumerate() {
+            let v = right_col[r as usize];
+            match &right_at {
+                None => {
+                    if both_everywhere {
+                        build[0].entry(v).or_default().push(r);
+                    } else {
+                        for g in build.iter_mut() {
+                            g.entry(v).or_default().push(r);
+                        }
+                    }
+                }
+                Some(at) => {
+                    build[at[j] as usize].entry(v).or_default().push(r);
+                }
+            }
+        }
+
+        // Probe with the intermediate.
+        let out_width = query.tables.len();
+        let mut out_slots: Vec<Vec<u32>> = vec![Vec::new(); out_width];
+        let mut out_node: Vec<u8> = Vec::new();
+        let mut per_node_probe = vec![0usize; groups.max(1)];
+        let mut per_node_out = vec![0usize; groups.max(1)];
+
+        let inter_len = inter.len();
+        let mut groups_buf: Vec<usize> = Vec::with_capacity(groups);
+        for i in 0..inter_len {
+            let v = left_vals[i];
+            groups_buf.clear();
+            match &left_at {
+                Some(at) => groups_buf.push(at[i] as usize),
+                None if both_everywhere => groups_buf.push(0),
+                // Replicated intermediate against a partitioned right side:
+                // the row is present on every node and probes each node's
+                // right shard.
+                None => groups_buf.extend(0..groups),
+            }
+            for &g in &groups_buf {
+                per_node_probe[g] += 1;
+                if let Some(matches) = build[g].get(&v) {
+                    for &r in matches {
+                        for (s, out) in out_slots.iter_mut().enumerate() {
+                            // Absent slots stay empty so later steps can
+                            // tell which tables the intermediate carries.
+                            if s == right_slot {
+                                out.push(r);
+                            } else if !inter.slots[s].is_empty() {
+                                out.push(inter.slots[s][i]);
+                            }
+                        }
+                        out_node.push(g as u8);
+                        per_node_out[g] += 1;
+                    }
+                }
+            }
+        }
+
+        // Time accounting: network (straggler), build+probe+output CPU
+        // (straggler), exchange overhead.
+        let mut seconds = 0.0;
+        if shuffled {
+            seconds += self.engine.shuffle_overhead;
+            let max_in = net_bytes_per_node.iter().cloned().fold(0.0, f64::max);
+            seconds += max_in / self.hw.net_bandwidth;
+        }
+        // Build counts per group.
+        let mut per_node_build = vec![0usize; groups.max(1)];
+        for (g, map) in build.iter().enumerate() {
+            per_node_build[g] = map.values().map(|v| v.len()).sum();
+        }
+        let max_work = (0..groups)
+            .map(|g| per_node_build[g] + per_node_probe[g] + per_node_out[g])
+            .max()
+            .unwrap_or(0) as f64;
+        // A single-group join (both sides everywhere) runs on one node's
+        // worth of compute but produces a replicated result.
+        seconds += max_work * self.hw.cpu_tuple_cost * query.cpu_factor;
+
+        let result_replicated = both_everywhere;
+        let next = Inter {
+            slots: out_slots,
+            node: out_node,
+            replicated: result_replicated,
+            bytes_per_row: inter.bytes_per_row + right_bytes_row,
+        };
+        (seconds, total_bytes, next)
+    }
+}
+
+fn over(seconds: f64, budget: Option<f64>) -> bool {
+    budget.map(|b| seconds > b).unwrap_or(false)
+}
+
+fn slot_of(query: &Query, t: TableId) -> usize {
+    query
+        .tables
+        .iter()
+        .position(|x| *x == t)
+        .expect("table belongs to query")
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -1,0 +1,97 @@
+//! Shard-size imbalance of a hash-partitioning key.
+//!
+//! Partitioning a table by a low-cardinality or skewed attribute produces
+//! unbalanced shards; the straggler node then dominates scan and join
+//! times. The paper relies on this effect twice: Heuristic (b)'s
+//! district-id partitioning backfires on System-X, and the compound
+//! `(warehouse, district)` key mitigates the skew "which was reflected in
+//! the simple network-centric cost model" (Section 7.2).
+
+use lpa_schema::{AttrRef, Schema, Skew};
+
+/// Estimated fraction of a table's rows landing on the most loaded node
+/// when hash-partitioning by `attr` over `nodes` nodes.
+///
+/// Perfect balance gives `1/nodes`; the result is always in
+/// `[1/nodes, 1.0]`. Two effects are modeled:
+///
+/// * **Low cardinality**: with `d` distinct values, at least
+///   `ceil(d/nodes)/d` of the value mass lands on one node (hash buckets
+///   are integral in values).
+/// * **Zipf skew**: under `Skew::Zipf(theta)` the heaviest value carries
+///   `1/(H_d(theta))` of the rows; the fullest node holds at least the
+///   heaviest value's share.
+pub fn partition_imbalance(schema: &Schema, attr: AttrRef, nodes: usize) -> f64 {
+    assert!(nodes >= 1);
+    let d = schema.attr_distinct(attr).max(1);
+    let uniform_floor = 1.0 / nodes as f64;
+    // Integral bucket effect for low-cardinality domains.
+    let bucket_share = if d < 10_000 {
+        let per_node = (d as f64 / nodes as f64).ceil();
+        (per_node / d as f64).min(1.0)
+    } else {
+        uniform_floor
+    };
+    // Skew effect: the hottest value is indivisible.
+    let hot_share = match schema.attribute(attr).skew {
+        Skew::Uniform => 1.0 / d as f64,
+        Skew::Zipf(theta) => {
+            let h: f64 = (1..=d.min(100_000)).map(|k| 1.0 / (k as f64).powf(theta)).sum();
+            1.0 / h
+        }
+    };
+    bucket_share.max(hot_share).max(uniform_floor).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_cardinality_uniform_is_balanced() {
+        let s = lpa_schema::ssb::schema(1.0);
+        let pk = s.attr_ref("lineorder", "lo_orderkey").unwrap();
+        let f = partition_imbalance(&s, pk, 4);
+        assert!((f - 0.25).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn low_cardinality_is_imbalanced() {
+        let s = lpa_schema::tpcch::schema(1.0);
+        let d_id = s.attr_ref("customer", "c_d_id").unwrap(); // 10 values, Zipf
+        let f = partition_imbalance(&s, d_id, 4);
+        // ceil(10/4)/10 = 0.3 from buckets alone, more with skew.
+        assert!(f >= 0.3, "got {f}");
+        // The compound key (1000 values) is much better balanced.
+        let wd = s.attr_ref("customer", "c_wd").unwrap();
+        let g = partition_imbalance(&s, wd, 4);
+        assert!(g < f, "compound {g} should beat district {f}");
+    }
+
+    #[test]
+    fn bounded_by_one_and_uniform_floor() {
+        let s = lpa_schema::tpcch::schema(1.0);
+        for t in 0..s.tables().len() {
+            let table = lpa_schema::TableId(t);
+            for (a, _) in s.table(table).attributes.iter().enumerate() {
+                let r = AttrRef::new(table, lpa_schema::AttrId(a));
+                for nodes in [2, 4, 6, 8] {
+                    let f = partition_imbalance(&s, r, nodes);
+                    assert!(f <= 1.0 + 1e-12);
+                    assert!(f >= 1.0 / nodes as f64 - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_nodes_never_increase_balance_beyond_domain() {
+        let s = lpa_schema::tpcch::schema(1.0);
+        let d_id = s.attr_ref("district", "d_id").unwrap();
+        let f4 = partition_imbalance(&s, d_id, 4);
+        let f100 = partition_imbalance(&s, d_id, 100);
+        // With only 10 distinct values, 100 nodes can't beat 1/10 per node.
+        assert!(f100 >= 0.1 - 1e-12);
+        assert!(f4 >= f100);
+    }
+}

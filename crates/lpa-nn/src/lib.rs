@@ -1,0 +1,19 @@
+//! Minimal feed-forward neural-network library, written from scratch for
+//! the Q-network of the DRL partitioning advisor and for the learned-cost-
+//! model baseline.
+//!
+//! Scope is deliberately small — dense layers, ReLU, a linear scalar head,
+//! MSE loss and the Adam optimizer — exactly what the paper's Keras model
+//! uses (Table 1: 128-64 hidden layers, ReLU, linear output, Adam).
+//! Everything is `f32`, row-major, allocation-conscious in the hot paths,
+//! and fully deterministic given a seed.
+
+pub mod adam;
+pub mod dense;
+pub mod matrix;
+pub mod mlp;
+
+pub use adam::Adam;
+pub use dense::Dense;
+pub use matrix::Matrix;
+pub use mlp::Mlp;

@@ -1,0 +1,165 @@
+//! Row-major `f32` matrix with the handful of operations the network
+//! needs. Dot products are written as plain slice loops so LLVM can
+//! auto-vectorize them.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty());
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols);
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+}
+
+/// `out[b] = x[b] · w[o] + bias` for every batch row and output unit:
+/// `x` is batch×in, `w` is out×in (each row one unit's weights), the result
+/// is batch×out. Writing the inner loop over the shared `in` dimension
+/// keeps both operands sequential in memory.
+pub fn matmul_wt(x: &Matrix, w: &Matrix, bias: &[f32], out: &mut Matrix) {
+    assert_eq!(x.cols(), w.cols(), "inner dimensions");
+    assert_eq!(w.rows(), bias.len());
+    assert_eq!(out.rows(), x.rows());
+    assert_eq!(out.cols(), w.rows());
+    for b in 0..x.rows() {
+        let xr = x.row(b);
+        let or = out.row_mut(b);
+        for (o, ob) in or.iter_mut().enumerate() {
+            *ob = dot(xr, w.row(o)) + bias[o];
+        }
+    }
+}
+
+/// Dot product with eight independent accumulators so LLVM can vectorize
+/// and pipeline despite floating-point non-associativity.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        let ai = &a[i * 8..i * 8 + 8];
+        let bi = &b[i * 8..i * 8 + 8];
+        for k in 0..8 {
+            acc[k] += ai[k] * bi[k];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 8..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// ReLU in place; returns a mask of active units is not needed — backward
+/// uses the activation values themselves.
+pub fn relu_inplace(m: &mut Matrix) {
+    for v in m.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        // x = [[1,2],[3,4]], w = [[1,0],[0,1],[1,1]], bias = [0.5, 0, -1]
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let bias = [0.5, 0.0, -1.0];
+        let mut out = Matrix::zeros(2, 3);
+        matmul_wt(&x, &w, &bias, &mut out);
+        assert_eq!(out.row(0), &[1.5, 2.0, 2.0]);
+        assert_eq!(out.row(1), &[3.5, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        relu_inplace(&mut m);
+        assert_eq!(m.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let x = Matrix::zeros(1, 3);
+        let w = Matrix::zeros(2, 2);
+        let mut out = Matrix::zeros(1, 2);
+        matmul_wt(&x, &w, &[0.0, 0.0], &mut out);
+    }
+}

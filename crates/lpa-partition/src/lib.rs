@@ -1,0 +1,19 @@
+//! Partitioning state, action space and DRL encodings (Section 3.2 of the
+//! paper).
+//!
+//! * [`Partitioning`] — per-table state (replicated / hash-partitioned by
+//!   one attribute) plus the activation flags of the candidate
+//!   co-partitioning edges;
+//! * [`Action`] — partition a table by an attribute, replicate a table, or
+//!   (de-)activate an edge, with the paper's conflict-freedom rule;
+//! * [`StateEncoder`] — the fixed-length binary state vector (appended
+//!   table one-hots, edge bits, query frequencies) and one-hot action
+//!   encoding fed into the Q-network.
+
+pub mod action;
+pub mod encoder;
+pub mod partitioning;
+
+pub use action::{valid_actions, Action, ActionError};
+pub use encoder::StateEncoder;
+pub use partitioning::{Partitioning, TableState};

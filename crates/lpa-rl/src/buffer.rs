@@ -1,0 +1,106 @@
+//! Experience replay (ring buffer).
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+/// One observed `(s, a, r, s')` transition.
+#[derive(Clone, Debug)]
+pub struct Transition<S, A> {
+    pub state: S,
+    pub action: A,
+    pub reward: f64,
+    pub next_state: S,
+}
+
+/// Fixed-capacity ring buffer with uniform sampling (the paper uses
+/// capacity 10 000, minibatch 32 — Table 1).
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer<S, A> {
+    capacity: usize,
+    items: Vec<Transition<S, A>>,
+    head: usize,
+}
+
+impl<S: Clone, A: Clone> ReplayBuffer<S, A> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn push(&mut self, t: Transition<S, A>) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Uniform sample without replacement (or everything, if fewer stored).
+    pub fn sample<R: Rng>(&self, rng: &mut R, batch: usize) -> Vec<&Transition<S, A>> {
+        if self.items.len() <= batch {
+            return self.items.iter().collect();
+        }
+        index_sample(rng, self.items.len(), batch)
+            .into_iter()
+            .map(|i| &self.items[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(v: i32) -> Transition<i32, i32> {
+        Transition {
+            state: v,
+            action: v,
+            reward: v as f64,
+            next_state: v + 1,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i));
+        }
+        assert_eq!(b.len(), 3);
+        let states: Vec<i32> = b.items.iter().map(|x| x.state).collect();
+        // 0 and 1 overwritten by 3 and 4.
+        assert!(states.contains(&2) && states.contains(&3) && states.contains(&4));
+    }
+
+    #[test]
+    fn sample_sizes() {
+        let mut b = ReplayBuffer::new(100);
+        for i in 0..10 {
+            b.push(t(i));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.sample(&mut rng, 4).len(), 4);
+        assert_eq!(b.sample(&mut rng, 50).len(), 10);
+        // No duplicates when sampling without replacement.
+        let s = b.sample(&mut rng, 8);
+        let mut seen: Vec<i32> = s.iter().map(|t| t.state).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,29 @@
+//! The environment abstraction Q-learning runs against.
+
+/// A Markov decision process with an enumerable per-state action set and a
+/// fixed-length featurization of `(state, action)` pairs.
+///
+/// The partitioning advisor implements this twice: offline (rewards from
+/// the network-centric cost model) and online (rewards from measured
+/// runtimes on the sampled cluster).
+pub trait QEnvironment {
+    type State: Clone;
+    type Action: Clone;
+
+    /// Length of the encoded `(state, action)` vector (the Q-network input).
+    fn input_dim(&self) -> usize;
+
+    /// Start a new episode (the paper resets to `s_0` and may sample a new
+    /// workload mix).
+    fn reset(&mut self) -> Self::State;
+
+    /// Valid actions in a state. Must be non-empty for reachable states.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Featurize `(state, action)` into `out` (length `input_dim`).
+    fn encode(&self, state: &Self::State, action: &Self::Action, out: &mut [f32]);
+
+    /// Apply the action, returning the successor state and the reward
+    /// observed in the successor.
+    fn step(&mut self, state: &Self::State, action: &Self::Action) -> (Self::State, f64);
+}

@@ -1,0 +1,20 @@
+//! Generic Deep-Q-Learning (Algorithm 1 of the paper).
+//!
+//! The crate is deliberately problem-agnostic: an [`QEnvironment`] exposes
+//! states, valid actions, a transition function with rewards, and a
+//! fixed-length encoding of `(state, action)` pairs; [`DqnAgent`] owns the
+//! Q-network, the target network (soft `τ` updates), the experience replay
+//! buffer and ε-greedy exploration with per-episode decay; [`train()`] runs
+//! the episodic training loop.
+
+pub mod agent;
+pub mod buffer;
+pub mod config;
+pub mod env;
+pub mod train;
+
+pub use agent::{AgentSnapshot, DqnAgent};
+pub use buffer::{ReplayBuffer, Transition};
+pub use config::{DqnConfig, QLoss};
+pub use env::QEnvironment;
+pub use train::{rollout, train, EpisodeStats, Trajectory};

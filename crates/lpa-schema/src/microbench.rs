@@ -1,0 +1,71 @@
+//! The three-table microbenchmark of Experiment 5 (Section 7.6).
+//!
+//! Fact table `a` joins either dimension `b` or dimension `c`; relation
+//! sizes are inspired by TPC-H's `lineitem`, `partsupp` and `orders`
+//! tables. `c` is significantly larger than `b`, so `a` and `c` must be
+//! co-partitioned; whether `b` should be *partitioned* or *replicated*
+//! depends on the network bandwidth relative to scan speed — the effect the
+//! experiment demonstrates.
+
+use crate::attribute::{Attribute, Domain};
+use crate::schema::{Schema, SchemaBuilder};
+use crate::table::Table;
+
+/// Table ids in declaration order.
+pub mod tables {
+    use crate::TableId;
+    pub const A: TableId = TableId(0);
+    pub const B: TableId = TableId(1);
+    pub const C: TableId = TableId(2);
+}
+
+/// Build the microbenchmark schema at `sf` times the base row counts.
+pub fn schema(sf: f64) -> Schema {
+    use tables::*;
+    let mut b = SchemaBuilder::new("microbench");
+
+    b.table(Table::new(
+        "a",
+        vec![
+            Attribute::new("a_key", Domain::PrimaryKey),
+            Attribute::new("a_b_key", Domain::ForeignKey(B)),
+            Attribute::new("a_c_key", Domain::ForeignKey(C)),
+        ],
+        6_000_000,
+        112,
+    ));
+    b.table(Table::new(
+        "b",
+        vec![Attribute::new("b_key", Domain::PrimaryKey)],
+        800_000,
+        144,
+    ));
+    b.table(Table::new(
+        "c",
+        vec![Attribute::new("c_key", Domain::PrimaryKey)],
+        1_500_000,
+        121,
+    ));
+
+    b.edge(("a", "a_b_key"), ("b", "b_key"));
+    b.edge(("a", "a_c_key"), ("c", "c_key"));
+
+    b.build().expect("microbench schema is valid").scaled(sf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_significantly_larger_than_b() {
+        let s = schema(1.0);
+        assert!(s.table(tables::C).bytes() > s.table(tables::B).bytes());
+        assert!(s.table(tables::A).bytes() > s.table(tables::C).bytes());
+    }
+
+    #[test]
+    fn two_edges() {
+        assert_eq!(schema(1.0).edges().len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Star Schema Benchmark catalog (O'Neil et al.), 1 fact + 4 dimension
+//! tables, as used in Experiment 1 of the paper.
+//!
+//! Row counts are the standard SF=1 sizes; pass a scale factor to
+//! [`schema`] to grow or shrink the instance (the simulator typically runs
+//! at sample scale, mirroring the paper's online phase).
+
+use crate::attribute::{Attribute, Domain};
+use crate::schema::{Schema, SchemaBuilder};
+use crate::table::Table;
+use crate::TableId;
+
+/// Table ids in declaration order.
+pub mod tables {
+    use crate::TableId;
+    pub const LINEORDER: TableId = TableId(0);
+    pub const CUSTOMER: TableId = TableId(1);
+    pub const SUPPLIER: TableId = TableId(2);
+    pub const PART: TableId = TableId(3);
+    pub const DATE: TableId = TableId(4);
+}
+
+/// Build the SSB schema at `sf` times the SF=1 row counts.
+pub fn schema(sf: f64) -> Schema {
+    let mut b = SchemaBuilder::new("ssb");
+
+    b.table(Table::new(
+        "lineorder",
+        vec![
+            Attribute::new("lo_orderkey", Domain::PrimaryKey),
+            Attribute::new("lo_custkey", Domain::ForeignKey(tables::CUSTOMER)),
+            Attribute::new("lo_partkey", Domain::ForeignKey(tables::PART)),
+            Attribute::new("lo_suppkey", Domain::ForeignKey(tables::SUPPLIER)),
+            Attribute::new("lo_orderdate", Domain::ForeignKey(tables::DATE)),
+        ],
+        6_000_000,
+        100,
+    ));
+    b.table(Table::new(
+        "customer",
+        vec![
+            Attribute::new("c_custkey", Domain::PrimaryKey),
+            Attribute::new("c_city", Domain::Fixed(250)),
+            Attribute::new("c_nation", Domain::Fixed(25)),
+        ],
+        30_000,
+        120,
+    ));
+    b.table(Table::new(
+        "supplier",
+        vec![
+            Attribute::new("s_suppkey", Domain::PrimaryKey),
+            Attribute::new("s_city", Domain::Fixed(250)),
+            Attribute::new("s_nation", Domain::Fixed(25)),
+        ],
+        2_000,
+        110,
+    ));
+    b.table(Table::new(
+        "part",
+        vec![
+            Attribute::new("p_partkey", Domain::PrimaryKey),
+            Attribute::new("p_brand", Domain::Fixed(1_000)),
+            Attribute::new("p_category", Domain::Fixed(25)),
+        ],
+        200_000,
+        130,
+    ));
+    b.table(Table::new(
+        "date",
+        vec![
+            Attribute::new("d_datekey", Domain::PrimaryKey),
+            Attribute::new("d_year", Domain::Fixed(7)),
+        ],
+        2_556,
+        90,
+    ));
+
+    b.edge(("lineorder", "lo_custkey"), ("customer", "c_custkey"));
+    b.edge(("lineorder", "lo_partkey"), ("part", "p_partkey"));
+    b.edge(("lineorder", "lo_suppkey"), ("supplier", "s_suppkey"));
+    b.edge(("lineorder", "lo_orderdate"), ("date", "d_datekey"));
+
+    b.build().expect("SSB schema is valid").scaled(sf)
+}
+
+/// The fact table id (largest table; heuristics anchor on it).
+pub fn fact_table() -> TableId {
+    tables::LINEORDER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_edges() {
+        let s = schema(1.0);
+        assert_eq!(s.table(tables::LINEORDER).rows, 6_000_000);
+        assert_eq!(s.edges().len(), 4);
+        // lineorder is the largest table by a wide margin.
+        let lo = s.table(tables::LINEORDER).bytes();
+        for t in 1..5 {
+            assert!(lo > 10 * s.table(TableId(t)).bytes());
+        }
+    }
+
+    #[test]
+    fn fk_domains_follow_scale() {
+        let s = schema(0.01);
+        let lo_cust = s.attr_ref("lineorder", "lo_custkey").unwrap();
+        assert_eq!(s.attr_distinct(lo_cust), s.table(tables::CUSTOMER).rows);
+    }
+}

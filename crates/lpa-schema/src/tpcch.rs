@@ -1,0 +1,290 @@
+//! TPC-CH catalog: the TPC-C schema (9 tables) plus the TPC-H additions
+//! `nation`, `region` and `supplier` (12 tables), queried with analytical
+//! TPC-H-style queries.
+//!
+//! Two paper-specific modeling points:
+//!
+//! * Tables may **not** be partitioned by `warehouse-id` alone — the paper
+//!   forbids the trivial all-by-warehouse co-partitioning (Section 7.1), so
+//!   the `*_w_id` columns are marked non-partitionable.
+//! * District columns are low-cardinality (10 distinct values) and skewed
+//!   (hot districts), which makes district-id partitioning produce skewed
+//!   shards — the effect behind the Heuristic (b) inversion on System-X in
+//!   Section 7.2. Compound `(warehouse-id, district-id)` keys are provided
+//!   as virtual attributes so System-X-style engines can mitigate the skew
+//!   exactly as the paper describes.
+//!
+//! Unit scale corresponds to 100 warehouses (the paper runs SF=100).
+
+use crate::attribute::{Attribute, Domain, Skew};
+use crate::ids::AttrId;
+use crate::schema::{Schema, SchemaBuilder};
+use crate::table::Table;
+
+/// Table ids in declaration order.
+pub mod tables {
+    use crate::TableId;
+    pub const WAREHOUSE: TableId = TableId(0);
+    pub const DISTRICT: TableId = TableId(1);
+    pub const CUSTOMER: TableId = TableId(2);
+    pub const HISTORY: TableId = TableId(3);
+    pub const NEWORDER: TableId = TableId(4);
+    pub const ORDER: TableId = TableId(5);
+    pub const ORDERLINE: TableId = TableId(6);
+    pub const ITEM: TableId = TableId(7);
+    pub const STOCK: TableId = TableId(8);
+    pub const NATION: TableId = TableId(9);
+    pub const REGION: TableId = TableId(10);
+    pub const SUPPLIER: TableId = TableId(11);
+}
+
+/// Skew used for district columns (hot districts).
+const DISTRICT_SKEW: Skew = Skew::Zipf(0.6);
+
+fn district_attr(name: &str) -> Attribute {
+    Attribute::new(name, Domain::Fixed(10)).with_skew(DISTRICT_SKEW)
+}
+
+fn warehouse_attr(name: &str) -> Attribute {
+    // 100 warehouses at unit scale; not partitionable alone (paper rule).
+    Attribute::new(name, Domain::Fixed(100)).not_partitionable()
+}
+
+/// Compound (warehouse-id, district-id): 1000 distinct values, mild skew.
+fn wd_compound(name: &str, w_idx: usize, d_idx: usize) -> Attribute {
+    Attribute::new(name, Domain::Fixed(1_000))
+        .compound_of(vec![AttrId(w_idx), AttrId(d_idx)])
+}
+
+/// Attribute whose value is copied from the referenced parent row.
+fn inherited(name: &str, via_idx: usize, parent_idx: usize) -> Attribute {
+    Attribute::new(
+        name,
+        Domain::Inherited {
+            via: AttrId(via_idx),
+            parent_attr: AttrId(parent_idx),
+        },
+    )
+}
+
+/// Build the TPC-CH schema at `sf` times the 100-warehouse row counts.
+pub fn schema(sf: f64) -> Schema {
+    use tables::*;
+    let mut b = SchemaBuilder::new("tpcch");
+
+    b.table(Table::new(
+        "warehouse",
+        vec![Attribute::new("w_id", Domain::PrimaryKey)],
+        100,
+        90,
+    ));
+    b.table(Table::new(
+        "district",
+        vec![
+            // (w_id, d_id) composite key flattened into a dense PK.
+            Attribute::new("d_key", Domain::PrimaryKey),
+            warehouse_attr("d_w_id"),
+            district_attr("d_id"),
+            wd_compound("d_wd", 1, 2),
+        ],
+        1_000,
+        95,
+    ));
+    b.table(Table::new(
+        "customer",
+        vec![
+            Attribute::new("c_key", Domain::PrimaryKey),
+            warehouse_attr("c_w_id"),
+            district_attr("c_d_id"),
+            wd_compound("c_wd", 1, 2),
+            Attribute::new("c_n_key", Domain::ForeignKey(NATION)),
+        ],
+        3_000_000,
+        655,
+    ));
+    // Denormalized composite-key columns (`*_w_id`, `*_d_id`) inherit their
+    // values through the row's foreign key, exactly like TPC-C's composite
+    // keys: an order's district IS its customer's district. This is what
+    // makes co-partitioning by district turn key joins into local joins.
+    // The order-processing tables carry composite natural keys in TPC-C;
+    // a surrogate row id stands in as the "primary key" a DBA would
+    // hash-partition by default (it is deliberately useless for joins, so
+    // co-partitioning has to be chosen, not inherited by accident).
+    b.table(Table::new(
+        "history",
+        vec![
+            Attribute::new("h_key", Domain::PrimaryKey),
+            Attribute::new("h_c_key", Domain::ForeignKey(CUSTOMER)),
+            inherited("h_w_id", 1, 1).not_partitionable(),
+            inherited("h_d_id", 1, 2),
+        ],
+        3_000_000,
+        46,
+    ));
+    b.table(Table::new(
+        "neworder",
+        vec![
+            Attribute::new("no_key", Domain::PrimaryKey),
+            Attribute::new("no_o_key", Domain::ForeignKey(ORDER)),
+            inherited("no_w_id", 1, 2).not_partitionable(),
+            inherited("no_d_id", 1, 3),
+            wd_compound("no_wd", 2, 3),
+        ],
+        900_000,
+        8,
+    ));
+    b.table(Table::new(
+        "order",
+        vec![
+            Attribute::new("o_key", Domain::PrimaryKey),
+            Attribute::new("o_c_key", Domain::ForeignKey(CUSTOMER)),
+            inherited("o_w_id", 1, 1).not_partitionable(),
+            inherited("o_d_id", 1, 2),
+            wd_compound("o_wd", 2, 3),
+        ],
+        3_000_000,
+        24,
+    ));
+    b.table(Table::new(
+        "orderline",
+        vec![
+            Attribute::new("ol_key", Domain::PrimaryKey),
+            Attribute::new("ol_o_key", Domain::ForeignKey(ORDER)),
+            Attribute::new("ol_i_id", Domain::ForeignKey(ITEM)),
+            inherited("ol_w_id", 1, 2).not_partitionable(),
+            inherited("ol_d_id", 1, 3),
+            wd_compound("ol_wd", 3, 4),
+        ],
+        30_000_000,
+        54,
+    ));
+    b.table(Table::new(
+        "item",
+        vec![
+            Attribute::new("i_id", Domain::PrimaryKey),
+            Attribute::new("i_im_id", Domain::Fixed(10_000)),
+        ],
+        100_000,
+        82,
+    ));
+    b.table(Table::new(
+        "stock",
+        vec![
+            Attribute::new("s_key", Domain::PrimaryKey),
+            Attribute::new("s_i_id", Domain::ForeignKey(ITEM)),
+            warehouse_attr("s_w_id"),
+            // TPC-C stock carries per-district info (s_dist_01..10); we model
+            // the district association as a column so the compound
+            // (warehouse, district) mitigation of Section 7.2 is expressible.
+            district_attr("s_dist"),
+            wd_compound("s_wd", 2, 3),
+            Attribute::new("s_su_key", Domain::ForeignKey(SUPPLIER)),
+        ],
+        10_000_000,
+        306,
+    ));
+    b.table(Table::new(
+        "nation",
+        vec![
+            Attribute::new("n_key", Domain::PrimaryKey),
+            Attribute::new("n_r_key", Domain::ForeignKey(REGION)),
+        ],
+        62,
+        110,
+    ));
+    b.table(Table::new(
+        "region",
+        vec![Attribute::new("r_key", Domain::PrimaryKey)],
+        5,
+        100,
+    ));
+    b.table(Table::new(
+        "supplier",
+        vec![
+            Attribute::new("su_key", Domain::PrimaryKey),
+            Attribute::new("su_n_key", Domain::ForeignKey(NATION)),
+        ],
+        10_000,
+        140,
+    ));
+
+    // Key join paths (TPC-CH analytical queries).
+    b.edge(("order", "o_c_key"), ("customer", "c_key"));
+    b.edge(("orderline", "ol_o_key"), ("order", "o_key"));
+    b.edge(("neworder", "no_o_key"), ("order", "o_key"));
+    b.edge(("orderline", "ol_i_id"), ("item", "i_id"));
+    b.edge(("stock", "s_i_id"), ("item", "i_id"));
+    b.edge(("orderline", "ol_i_id"), ("stock", "s_i_id"));
+    b.edge(("history", "h_c_key"), ("customer", "c_key"));
+    b.edge(("customer", "c_n_key"), ("nation", "n_key"));
+    b.edge(("supplier", "su_n_key"), ("nation", "n_key"));
+    b.edge(("nation", "n_r_key"), ("region", "r_key"));
+    b.edge(("stock", "s_su_key"), ("supplier", "su_key"));
+
+    // District-level co-partitioning paths (the offline-phase winner on
+    // Postgres-XL co-partitions customer/order/neworder/orderline by d_id).
+    b.edge(("district", "d_id"), ("customer", "c_d_id"));
+    b.edge(("customer", "c_d_id"), ("order", "o_d_id"));
+    b.edge(("order", "o_d_id"), ("orderline", "ol_d_id"));
+    b.edge(("order", "o_d_id"), ("neworder", "no_d_id"));
+
+    // Compound (w,d) co-partitioning paths (System-X skew mitigation).
+    b.edge(("district", "d_wd"), ("customer", "c_wd"));
+    b.edge(("customer", "c_wd"), ("order", "o_wd"));
+    b.edge(("order", "o_wd"), ("orderline", "ol_wd"));
+    b.edge(("order", "o_wd"), ("neworder", "no_wd"));
+    b.edge(("stock", "s_wd"), ("orderline", "ol_wd"));
+
+    b.build().expect("TPC-CH schema is valid").scaled(sf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttrKind;
+
+    #[test]
+    fn warehouse_ids_not_partitionable() {
+        let s = schema(1.0);
+        for (t, a) in [
+            ("district", "d_w_id"),
+            ("customer", "c_w_id"),
+            ("order", "o_w_id"),
+            ("orderline", "ol_w_id"),
+            ("stock", "s_w_id"),
+        ] {
+            let r = s.attr_ref(t, a).unwrap();
+            assert!(!s.attribute(r).partitionable, "{t}.{a} must be blocked");
+        }
+    }
+
+    #[test]
+    fn compound_keys_present() {
+        let s = schema(1.0);
+        let r = s.attr_ref("stock", "s_wd").unwrap();
+        assert!(matches!(s.attribute(r).kind, AttrKind::Compound(_)));
+        assert_eq!(s.attr_distinct(r), 1_000);
+    }
+
+    #[test]
+    fn orderline_has_most_rows_and_stock_most_bytes() {
+        let s = schema(1.0);
+        let ol = s.table(tables::ORDERLINE);
+        assert!(s.tables().iter().all(|t| ol.rows >= t.rows));
+        let stock = s.table(tables::STOCK);
+        assert!(s.tables().iter().all(|t| stock.bytes() >= t.bytes()));
+    }
+
+    #[test]
+    fn district_columns_are_skewed_low_cardinality() {
+        let s = schema(1.0);
+        let r = s.attr_ref("customer", "c_d_id").unwrap();
+        assert_eq!(s.attr_distinct(r), 10);
+        assert!(matches!(s.attribute(r).skew, Skew::Zipf(_)));
+    }
+
+    #[test]
+    fn edge_count_stable() {
+        assert_eq!(schema(1.0).edges().len(), 20);
+    }
+}

@@ -1,0 +1,29 @@
+//! The partitioning advisor **as a service** — the production loop of the
+//! paper's Figure 1, plus its stated future work.
+//!
+//! Once an advisor is trained, a cloud provider runs it continuously
+//! against each customer database:
+//!
+//! 1. [`monitor::WorkloadMonitor`] ingests the SQL text the customer's
+//!    applications submit, maps each statement onto the advisor's
+//!    representative query set (structural signature + selectivity
+//!    bucketization, Section 3.2), counts frequencies per decision window,
+//!    and quarantines genuinely new queries;
+//! 2. [`forecast::FrequencyForecaster`] smooths and extrapolates the
+//!    observed frequency vectors (the paper's future work: "combine our
+//!    approach with systems that predict future workloads to pro-actively
+//!    re-partition");
+//! 3. [`service::PartitioningService`] asks the advisor for a partitioning
+//!    for the (forecast) mix and deploys it **only when the predicted
+//!    benefit amortizes the repartitioning cost** (the paper's future
+//!    work: "decide whether the costs for repartitioning pay off in the
+//!    long run"), and triggers incremental training when enough new
+//!    queries accumulate (Section 5).
+
+pub mod forecast;
+pub mod monitor;
+pub mod service;
+
+pub use forecast::FrequencyForecaster;
+pub use monitor::{Observation, WorkloadMonitor};
+pub use service::{PartitioningService, ServiceConfig, ServiceEvent, WindowReport};

@@ -1,0 +1,299 @@
+//! The repartitioning controller: observe → forecast → suggest → deploy
+//! when the benefit amortizes the cost.
+
+use crate::forecast::FrequencyForecaster;
+use crate::monitor::{Observation, WorkloadMonitor};
+use lpa_advisor::{incremental, Advisor};
+use lpa_cluster::Cluster;
+use lpa_partition::Partitioning;
+use lpa_workload::FrequencyVector;
+
+/// Controller knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Expected full-workload executions per decision window — converts a
+    /// per-run benefit into a per-window benefit.
+    pub runs_per_window: f64,
+    /// Deploy only if `benefit × runs_per_window × amortization_windows ≥
+    /// repartitioning cost` (the paper's "does repartitioning pay off in
+    /// the long run").
+    pub amortization_windows: f64,
+    /// Forecast horizon in windows (0 = react to the smoothed present).
+    pub forecast_horizon: f64,
+    /// Trigger incremental training once this many distinct new queries
+    /// accumulated.
+    pub incremental_threshold: usize,
+    /// Episodes for each incremental training round.
+    pub incremental_episodes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            runs_per_window: 20.0,
+            amortization_windows: 4.0,
+            forecast_horizon: 1.0,
+            incremental_threshold: 2,
+            incremental_episodes: 20,
+        }
+    }
+}
+
+/// What happened during a window decision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceEvent {
+    Repartitioned {
+        benefit_per_run: f64,
+        repartition_cost: f64,
+    },
+    KeptCurrent {
+        benefit_per_run: f64,
+        repartition_cost: f64,
+    },
+    NoTraffic,
+    IncrementallyTrained {
+        added: usize,
+        skipped: usize,
+    },
+}
+
+/// Summary returned by [`PartitioningService::end_window`].
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    pub events: Vec<ServiceEvent>,
+    pub deployed: Partitioning,
+    pub mix_used: Option<FrequencyVector>,
+}
+
+/// The advisor wired into a production database.
+pub struct PartitioningService {
+    advisor: Advisor,
+    cluster: Cluster,
+    monitor: WorkloadMonitor,
+    forecaster: FrequencyForecaster,
+    cfg: ServiceConfig,
+}
+
+impl PartitioningService {
+    /// Wrap a trained advisor around a production cluster. The monitor
+    /// indexes the advisor's representative workload.
+    pub fn new(advisor: Advisor, cluster: Cluster, cfg: ServiceConfig) -> Self {
+        let monitor = WorkloadMonitor::new(advisor.env.schema.clone(), &advisor.env.workload);
+        let forecaster = FrequencyForecaster::new(advisor.env.workload.slots());
+        Self {
+            advisor,
+            cluster,
+            monitor,
+            forecaster,
+            cfg,
+        }
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    pub fn advisor(&self) -> &Advisor {
+        &self.advisor
+    }
+
+    pub fn monitor(&self) -> &WorkloadMonitor {
+        &self.monitor
+    }
+
+    /// Ingest one observed SQL statement.
+    pub fn observe_sql(&mut self, sql: &str) -> Observation {
+        self.monitor.observe(sql)
+    }
+
+    /// Close the current window: update the forecast, re-evaluate the
+    /// partitioning, repartition if it pays off, absorb new queries.
+    pub fn end_window(&mut self) -> WindowReport {
+        let mut events = Vec::new();
+        let observed = self.monitor.frequencies();
+
+        // Absorb new queries first so suggestions can account for them.
+        let pending = self.monitor.pending_queries();
+        if pending.len() >= self.cfg.incremental_threshold {
+            let slots_free = self.advisor.env.workload.reserved_slots();
+            let take = pending.len().min(slots_free);
+            let queries: Vec<_> = pending.iter().take(take).map(|(q, _)| q.clone()).collect();
+            if take > 0 {
+                let report =
+                    incremental::add_queries(&mut self.advisor, queries, self.cfg.incremental_episodes)
+                        .expect("slot count checked");
+                for id in &report.new_ids {
+                    let q = self.advisor.env.workload.query(*id).clone();
+                    self.monitor.register(*id, &q);
+                }
+                events.push(ServiceEvent::IncrementallyTrained {
+                    added: take,
+                    skipped: pending.len() - take,
+                });
+            }
+            self.monitor.clear_pending();
+        }
+
+        let mix_used = match &observed {
+            Some(f) => {
+                self.forecaster.update(f);
+                self.forecaster
+                    .forecast(self.cfg.forecast_horizon)
+                    .or_else(|| Some(f.clone()))
+            }
+            None => self.forecaster.forecast(self.cfg.forecast_horizon),
+        };
+
+        let Some(mix) = mix_used.clone() else {
+            events.push(ServiceEvent::NoTraffic);
+            self.monitor.reset_window();
+            return WindowReport {
+                events,
+                deployed: self.cluster.deployed().clone(),
+                mix_used: None,
+            };
+        };
+
+        // Ask the advisor and weigh benefit against repartitioning cost.
+        let suggestion = self.advisor.suggest(&mix);
+        let current = self.cluster.deployed().clone();
+        let current_cost = self.advisor.cost_of(&current, &mix);
+        let suggested_cost = self.advisor.cost_of(&suggestion.partitioning, &mix);
+        let benefit_per_run = (current_cost - suggested_cost).max(0.0);
+        let repartition_cost = self
+            .cluster
+            .repartition_cost(&current, &suggestion.partitioning);
+        let payoff = benefit_per_run * self.cfg.runs_per_window * self.cfg.amortization_windows;
+        if payoff > repartition_cost && benefit_per_run > 0.0 {
+            self.cluster.deploy(&suggestion.partitioning);
+            events.push(ServiceEvent::Repartitioned {
+                benefit_per_run,
+                repartition_cost,
+            });
+        } else {
+            events.push(ServiceEvent::KeptCurrent {
+                benefit_per_run,
+                repartition_cost,
+            });
+        }
+
+        self.monitor.reset_window();
+        WindowReport {
+            events,
+            deployed: self.cluster.deployed().clone(),
+            mix_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_cluster::{ClusterConfig, EngineProfile, HardwareProfile};
+    use lpa_costmodel::{CostParams, NetworkCostModel};
+    use lpa_rl::DqnConfig;
+    use lpa_workload::MixSampler;
+
+    fn service(reserved: usize) -> PartitioningService {
+        let schema = lpa_schema::ssb::schema(0.005);
+        let workload = lpa_workload::ssb::workload(&schema).with_reserved_slots(reserved);
+        let cfg = DqnConfig {
+            batch_size: 16,
+            hidden: vec![48, 24],
+            ..DqnConfig::simulation(120, 12)
+        }
+        .with_seed(31);
+        let advisor = Advisor::train_offline(
+            schema.clone(),
+            workload,
+            NetworkCostModel::new(CostParams::standard()),
+            MixSampler::uniform(&lpa_workload::ssb::workload(&schema)),
+            cfg,
+            true,
+        );
+        let cluster = Cluster::new(
+            schema,
+            ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
+        );
+        PartitioningService::new(advisor, cluster, ServiceConfig::default())
+    }
+
+    const Q1_SQL: &str = "SELECT sum(lo_revenue) FROM lineorder l, date d \
+        WHERE l.lo_orderdate = d.d_datekey AND d.d_year = 1993 \
+        AND l.lo_orderkey < 500";
+
+    #[test]
+    fn quiet_window_reports_no_traffic() {
+        let mut s = service(0);
+        let r = s.end_window();
+        assert_eq!(r.events, vec![ServiceEvent::NoTraffic]);
+        assert!(r.mix_used.is_none());
+    }
+
+    #[test]
+    fn busy_window_considers_repartitioning() {
+        let mut s = service(0);
+        for _ in 0..10 {
+            assert!(matches!(s.observe_sql(Q1_SQL), Observation::Known(_)));
+        }
+        let r = s.end_window();
+        assert!(matches!(
+            r.events[0],
+            ServiceEvent::Repartitioned { .. } | ServiceEvent::KeptCurrent { .. }
+        ));
+        assert!(r.mix_used.is_some());
+        // A second identical window keeps the (now suitable) layout.
+        for _ in 0..10 {
+            s.observe_sql(Q1_SQL);
+        }
+        let r2 = s.end_window();
+        if let ServiceEvent::KeptCurrent { benefit_per_run, .. } = r2.events[0] {
+            assert!(benefit_per_run >= 0.0);
+        }
+    }
+
+    #[test]
+    fn new_queries_trigger_incremental_training() {
+        let mut s = service(2);
+        let new_sql = "SELECT count(*) FROM customer c, supplier s WHERE c.c_city = s.s_city";
+        let new_sql2 =
+            "SELECT count(*) FROM part p, lineorder l WHERE l.lo_partkey = p.p_partkey \
+             AND p.p_brand BETWEEN 10 AND 12 AND l.lo_orderkey IN (1, 2, 3)";
+        for _ in 0..3 {
+            s.observe_sql(new_sql);
+            s.observe_sql(new_sql2);
+        }
+        s.observe_sql(Q1_SQL);
+        let queries_before = s.advisor().env.workload.queries().len();
+        let r = s.end_window();
+        assert!(
+            r.events
+                .iter()
+                .any(|e| matches!(e, ServiceEvent::IncrementallyTrained { added: 2, .. })),
+            "events: {:?}",
+            r.events
+        );
+        assert_eq!(s.advisor().env.workload.queries().len(), queries_before + 2);
+        // The freshly registered queries are now Known.
+        assert!(matches!(s.observe_sql(new_sql), Observation::Known(_)));
+    }
+
+    #[test]
+    fn repartition_gate_respects_amortization() {
+        let mut s = service(0);
+        // Make repartitioning astronomically unattractive.
+        s.cfg.amortization_windows = 1e-9;
+        s.cfg.runs_per_window = 1e-9;
+        let deployed_before = s.cluster().deployed().clone();
+        for _ in 0..5 {
+            s.observe_sql(Q1_SQL);
+        }
+        let r = s.end_window();
+        assert!(matches!(r.events[0], ServiceEvent::KeptCurrent { .. }));
+        assert_eq!(
+            r.deployed.physical_key(),
+            deployed_before.physical_key(),
+            "nothing deployed under a hostile amortization budget"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A SQL token. Keywords are case-insensitive and normalized to upper
+/// case; identifiers keep their original (lowercased) spelling.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Keyword (SELECT, FROM, WHERE, …), upper-cased.
+    Keyword(String),
+    /// Identifier (table, column, alias), lower-cased.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (single quotes).
+    String(String),
+    /// Punctuation / operators.
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "ON",
+    "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "AS", "IN", "EXISTS", "NOT", "BETWEEN", "LIKE",
+    "ASC", "DESC", "DISTINCT", "UNION", "ALL", "NULL", "IS", "CASE", "WHEN", "THEN", "ELSE",
+    "END",
+];
+
+/// Lexing failure with byte position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Neq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::Neq);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token::String(sql[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e')
+                {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let n = text.parse::<f64>().map_err(|_| LexError {
+                    position: start,
+                    message: format!("bad number `{text}`"),
+                })?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_ascii_lowercase()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let t = tokenize("SELECT a.x, b.y FROM a, b WHERE a.k = b.k").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert!(t.contains(&Token::Comma));
+        assert!(t.contains(&Token::Eq));
+        assert!(t.contains(&Token::Ident("a".into())));
+    }
+
+    #[test]
+    fn case_insensitive_keywords_preserved_idents() {
+        let t = tokenize("select X from T_Name").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("x".into()));
+        assert_eq!(t[3], Token::Ident("t_name".into()));
+    }
+
+    #[test]
+    fn numbers_strings_operators() {
+        let t = tokenize("WHERE a >= 10.5 AND b <> 'x y' AND c <= 3").unwrap();
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Neq));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Number(10.5)));
+        assert!(t.contains(&Token::String("x y".into())));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT x -- comment here\nFROM t").unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let e = tokenize("WHERE a = 'oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("SELECT §").is_err());
+    }
+}

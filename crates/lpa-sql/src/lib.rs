@@ -1,0 +1,69 @@
+//! SQL frontend for the learned partitioning advisor.
+//!
+//! The advisor is driven by the *observed workload* — the SQL text a
+//! customer's applications actually submit (Fig. 1 of the paper). This
+//! crate turns that text into the advisor's internal representation:
+//!
+//! * [`lexer`] / [`parser`] — a recursive-descent parser for the analytical
+//!   `SELECT` subset (joins in `FROM`/`ON` or `WHERE`, conjunctive filter
+//!   predicates, `IN (subquery)` / `EXISTS` nesting, `GROUP BY` /
+//!   `ORDER BY` / `LIMIT` tails);
+//! * [`mod@resolve`] — name resolution against a [`lpa_schema::Schema`]
+//!   plus heuristic selectivity estimation, producing a
+//!   [`lpa_workload::Query`] join graph. Nested subqueries are
+//!   *flattened* into the outer join graph — the paper deliberately avoids
+//!   encoding query structure into the network (Section 3.2), so all the
+//!   advisor needs from a nested query is which tables it touches and how
+//!   they join.
+//!
+//! ```
+//! use lpa_sql::parse_query;
+//! let schema = lpa_schema::ssb::schema(0.01);
+//! let q = parse_query(
+//!     &schema,
+//!     "SELECT sum(lo_revenue) FROM lineorder l, date d \
+//!      WHERE l.lo_orderdate = d.d_datekey AND d.d_year = 1993",
+//! )
+//! .unwrap();
+//! assert_eq!(q.joins.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod resolve;
+
+pub use ast::{ColumnRef, Predicate, SelectStmt, TableRef, Value};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_select, ParseError};
+pub use resolve::{resolve, ResolveError};
+
+use lpa_schema::Schema;
+use lpa_workload::Query;
+
+/// One-stop helper: parse SQL text and resolve it against a schema.
+pub fn parse_query(schema: &Schema, sql: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(sql).map_err(SqlError::Lex)?;
+    let stmt = parse_select(&tokens).map_err(SqlError::Parse)?;
+    resolve(schema, &stmt, sql).map_err(SqlError::Resolve)
+}
+
+/// Any error on the SQL → query path.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SqlError {
+    Lex(LexError),
+    Parse(ParseError),
+    Resolve(ResolveError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lex(e) => write!(f, "lex error: {e}"),
+            Self::Parse(e) => write!(f, "parse error: {e}"),
+            Self::Resolve(e) => write!(f, "resolve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,54 @@
+//! Robustness: the SQL pipeline must never panic, whatever the input.
+
+use lpa_sql::{parse_query, parse_select, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(input in "[a-zA-Z0-9_ ,.()=<>'*]{0,160}") {
+        if let Ok(tokens) = tokenize(&input) {
+            let _ = parse_select(&tokens);
+        }
+    }
+
+    #[test]
+    fn resolver_never_panics_on_sqlish_text(
+        table in "(lineorder|customer|part|supplier|date|nope)",
+        col_a in "(lo_orderkey|lo_custkey|c_custkey|p_partkey|bogus)",
+        col_b in "(c_custkey|d_datekey|s_suppkey|bogus)",
+        lit in 0u32..10_000,
+    ) {
+        let schema = lpa_schema::ssb::schema(0.001);
+        let sql = format!(
+            "SELECT count(*) FROM {table} t, customer c WHERE t.{col_a} = c.{col_b} AND c.c_nation = {lit}"
+        );
+        let _ = parse_query(&schema, &sql);
+    }
+}
+
+#[test]
+fn deeply_nested_subqueries_do_not_blow_up() {
+    let schema = lpa_schema::tpcch::schema(0.0005);
+    let sql = "SELECT count(*) FROM item i WHERE i.i_id IN \
+        (SELECT ol.ol_i_id FROM orderline ol WHERE ol.ol_o_key IN \
+            (SELECT o.o_key FROM \"order\" o WHERE o.o_d_id = 1))";
+    // Double-quoted identifiers are not supported; the bare keywordless
+    // variant is.
+    let _ = lpa_sql::parse_query(&schema, sql);
+    let ok = lpa_sql::parse_query(
+        &schema,
+        "SELECT count(*) FROM item i WHERE i.i_id IN \
+         (SELECT ol.ol_i_id FROM orderline ol WHERE ol.ol_o_key IN \
+             (SELECT no.no_o_key FROM neworder no WHERE no.no_d_id = 1))",
+    )
+    .unwrap();
+    assert_eq!(ok.tables.len(), 3, "both nesting levels flattened");
+    assert_eq!(ok.joins.len(), 2);
+}

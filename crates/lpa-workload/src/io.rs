@@ -1,0 +1,119 @@
+//! JSON persistence for workloads (and, via `lpa-schema`'s serde support,
+//! schemas): a provider stores each customer's representative query set
+//! next to the trained policy.
+
+use crate::workload::Workload;
+use lpa_schema::Schema;
+use std::io::{Read, Write};
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Format(String),
+    /// The workload references tables/attributes missing from the schema
+    /// it was loaded against.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Format(e) => write!(f, "format error: {e}"),
+            Self::SchemaMismatch(e) => write!(f, "schema mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Write a workload as JSON.
+pub fn save_workload<W: Write>(workload: &Workload, mut writer: W) -> Result<(), IoError> {
+    let json =
+        serde_json_string(workload).map_err(IoError::Format)?;
+    writer.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Read a workload from JSON and validate every query against `schema`.
+pub fn load_workload<R: Read>(schema: &Schema, mut reader: R) -> Result<Workload, IoError> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    let workload: Workload = serde_json_parse(&buf).map_err(IoError::Format)?;
+    for q in workload.queries() {
+        q.validate(schema)
+            .map_err(|e| IoError::SchemaMismatch(e.to_string()))?;
+    }
+    Ok(workload)
+}
+
+// Tiny serde_json shims so this crate does not need the serde_json
+// dependency at the API level — we embed via serde's Serialize and a
+// hand-rolled writer would be overkill; use serde_json through the
+// workspace dependency instead.
+fn serde_json_string<T: serde::Serialize>(v: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(v).map_err(|e| e.to_string())
+}
+
+fn serde_json_parse<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, String> {
+    serde_json::from_str(s).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_round_trip() {
+        let schema = lpa_schema::ssb::schema(0.001);
+        let w = crate::ssb::workload(&schema).with_reserved_slots(3);
+        let mut buf = Vec::new();
+        save_workload(&w, &mut buf).unwrap();
+        let back = load_workload(&schema, buf.as_slice()).unwrap();
+        assert_eq!(back.queries().len(), w.queries().len());
+        assert_eq!(back.reserved_slots(), 3);
+        assert_eq!(back.queries()[5].name, w.queries()[5].name);
+        assert_eq!(back.queries()[5].joins, w.queries()[5].joins);
+    }
+
+    #[test]
+    fn load_against_wrong_schema_fails() {
+        let ssb = lpa_schema::ssb::schema(0.001);
+        let w = crate::ssb::workload(&ssb);
+        let mut buf = Vec::new();
+        save_workload(&w, &mut buf).unwrap();
+        let micro = lpa_schema::microbench::schema(0.001);
+        let err = load_workload(&micro, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::SchemaMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn garbage_input_rejected() {
+        let schema = lpa_schema::ssb::schema(0.001);
+        assert!(matches!(
+            load_workload(&schema, "not json".as_bytes()),
+            Err(IoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn schema_itself_round_trips() {
+        // Schemas carry serde derives; verify the full TPC-CH catalog
+        // survives, including compound and inherited attributes.
+        let s = lpa_schema::tpcch::schema(0.01);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.tables().len(), s.tables().len());
+        assert_eq!(back.edges(), s.edges());
+        let wd = back.attr_ref("customer", "c_wd").unwrap();
+        assert!(back.attribute(wd).is_compound());
+    }
+}

@@ -1,0 +1,170 @@
+//! The 13 Star Schema Benchmark queries (4 query flights), expressed as
+//! join graphs with the standard SSB filter selectivities.
+
+use crate::query::{Query, QueryBuilder};
+use crate::workload::Workload;
+use lpa_schema::Schema;
+
+fn q<'a>(schema: &'a Schema, name: &str) -> QueryBuilder<'a> {
+    QueryBuilder::new(schema, name)
+}
+
+/// Build the SSB workload against an SSB schema.
+pub fn workload(schema: &Schema) -> Workload {
+    let lo_date = (("lineorder", "lo_orderdate"), ("date", "d_datekey"));
+    let lo_part = (("lineorder", "lo_partkey"), ("part", "p_partkey"));
+    let lo_supp = (("lineorder", "lo_suppkey"), ("supplier", "s_suppkey"));
+    let lo_cust = (("lineorder", "lo_custkey"), ("customer", "c_custkey"));
+
+    let queries: Vec<Query> = vec![
+        // Flight 1: lineorder ⋈ date with quantity/discount filters.
+        q(schema, "ssb_q1.1")
+            .join(lo_date.0, lo_date.1)
+            .filter("date", 1.0 / 7.0)
+            .filter("lineorder", 0.47 * 3.0 / 11.0)
+            .finish(),
+        q(schema, "ssb_q1.2")
+            .join(lo_date.0, lo_date.1)
+            .filter("date", 1.0 / 84.0)
+            .filter("lineorder", 0.2 * 3.0 / 11.0)
+            .finish(),
+        q(schema, "ssb_q1.3")
+            .join(lo_date.0, lo_date.1)
+            .filter("date", 1.0 / 364.0)
+            .filter("lineorder", 0.1 * 3.0 / 11.0)
+            .finish(),
+        // Flight 2: lineorder ⋈ date ⋈ part ⋈ supplier, narrowing part.
+        q(schema, "ssb_q2.1")
+            .join(lo_date.0, lo_date.1)
+            .join(lo_part.0, lo_part.1)
+            .join(lo_supp.0, lo_supp.1)
+            .filter("part", 1.0 / 25.0)
+            .filter("supplier", 1.0 / 5.0)
+            .cpu(1.2)
+            .finish(),
+        q(schema, "ssb_q2.2")
+            .join(lo_date.0, lo_date.1)
+            .join(lo_part.0, lo_part.1)
+            .join(lo_supp.0, lo_supp.1)
+            .filter("part", 1.0 / 125.0)
+            .filter("supplier", 1.0 / 5.0)
+            .cpu(1.2)
+            .finish(),
+        q(schema, "ssb_q2.3")
+            .join(lo_date.0, lo_date.1)
+            .join(lo_part.0, lo_part.1)
+            .join(lo_supp.0, lo_supp.1)
+            .filter("part", 1.0 / 1000.0)
+            .filter("supplier", 1.0 / 5.0)
+            .cpu(1.2)
+            .finish(),
+        // Flight 3: lineorder ⋈ customer ⋈ supplier ⋈ date, region/city.
+        q(schema, "ssb_q3.1")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 5.0)
+            .filter("supplier", 1.0 / 5.0)
+            .filter("date", 6.0 / 7.0)
+            .cpu(1.4)
+            .finish(),
+        q(schema, "ssb_q3.2")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 25.0)
+            .filter("supplier", 1.0 / 25.0)
+            .filter("date", 6.0 / 7.0)
+            .cpu(1.4)
+            .finish(),
+        q(schema, "ssb_q3.3")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 125.0)
+            .filter("supplier", 1.0 / 125.0)
+            .filter("date", 6.0 / 7.0)
+            .cpu(1.4)
+            .finish(),
+        q(schema, "ssb_q3.4")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 125.0)
+            .filter("supplier", 1.0 / 125.0)
+            .filter("date", 1.0 / 84.0)
+            .cpu(1.4)
+            .finish(),
+        // Flight 4: the full four-dimension join.
+        q(schema, "ssb_q4.1")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_part.0, lo_part.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 5.0)
+            .filter("supplier", 1.0 / 5.0)
+            .filter("part", 2.0 / 5.0)
+            .cpu(1.6)
+            .finish(),
+        q(schema, "ssb_q4.2")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_part.0, lo_part.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 5.0)
+            .filter("supplier", 1.0 / 5.0)
+            .filter("part", 2.0 / 5.0)
+            .filter("date", 2.0 / 7.0)
+            .cpu(1.6)
+            .finish(),
+        q(schema, "ssb_q4.3")
+            .join(lo_cust.0, lo_cust.1)
+            .join(lo_supp.0, lo_supp.1)
+            .join(lo_part.0, lo_part.1)
+            .join(lo_date.0, lo_date.1)
+            .filter("customer", 1.0 / 5.0)
+            .filter("supplier", 1.0 / 25.0)
+            .filter("part", 1.0 / 25.0)
+            .filter("date", 2.0 / 7.0)
+            .cpu(1.6)
+            .finish(),
+    ]
+    .into_iter()
+    .map(|r| r.expect("SSB query builds"))
+    .collect();
+
+    Workload::new(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_queries_all_join_the_fact_table() {
+        let s = lpa_schema::ssb::schema(0.01);
+        let w = workload(&s);
+        assert_eq!(w.queries().len(), 13);
+        let lo = lpa_schema::ssb::fact_table();
+        for q in w.queries() {
+            assert!(q.uses_table(lo), "{} must scan lineorder", q.name);
+            assert!(!q.joins.is_empty());
+        }
+    }
+
+    #[test]
+    fn date_is_most_frequently_joined_dimension() {
+        // Heuristic (a) co-partitions the fact table with the most
+        // frequently joined dimension — for SSB that is `date`.
+        let s = lpa_schema::ssb::schema(0.01);
+        let w = workload(&s);
+        let count = |name: &str| {
+            let t = s.table_by_name(name).unwrap();
+            w.queries().iter().filter(|q| q.uses_table(t)).count()
+        };
+        let date = count("date");
+        for dim in ["customer", "supplier", "part"] {
+            assert!(date >= count(dim), "date >= {dim}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The 22 analytical TPC-CH queries (TPC-H queries adapted to the TPC-C
+//! schema), expressed as join graphs.
+//!
+//! Joins between the order-processing tables carry *composite-key
+//! alternatives*: e.g. `order ⋈ customer` on `o_c_key = c_key` is also
+//! local when both sides are partitioned by their district columns or by
+//! the compound `(warehouse, district)` key, because those columns are
+//! denormalized through the foreign key. This is exactly the structure the
+//! paper's agents exploit on TPC-CH (Section 7.2/7.3).
+
+use crate::query::{Query, QueryBuilder};
+use crate::workload::Workload;
+use lpa_schema::Schema;
+
+type Pair<'a> = ((&'a str, &'a str), (&'a str, &'a str));
+
+/// order ⋈ customer with district / compound alternatives.
+const ORD_CUST: [Pair<'static>; 3] = [
+    (("order", "o_c_key"), ("customer", "c_key")),
+    (("order", "o_d_id"), ("customer", "c_d_id")),
+    (("order", "o_wd"), ("customer", "c_wd")),
+];
+/// orderline ⋈ order with district / compound alternatives.
+const OL_ORD: [Pair<'static>; 3] = [
+    (("orderline", "ol_o_key"), ("order", "o_key")),
+    (("orderline", "ol_d_id"), ("order", "o_d_id")),
+    (("orderline", "ol_wd"), ("order", "o_wd")),
+];
+/// neworder ⋈ order with district / compound alternatives.
+const NO_ORD: [Pair<'static>; 3] = [
+    (("neworder", "no_o_key"), ("order", "o_key")),
+    (("neworder", "no_d_id"), ("order", "o_d_id")),
+    (("neworder", "no_wd"), ("order", "o_wd")),
+];
+const OL_ITEM: Pair<'static> = (("orderline", "ol_i_id"), ("item", "i_id"));
+const STOCK_ITEM: Pair<'static> = (("stock", "s_i_id"), ("item", "i_id"));
+const OL_STOCK: Pair<'static> = (("orderline", "ol_i_id"), ("stock", "s_i_id"));
+/// history ⋈ customer with the district alternative — exported for users
+/// extending the workload (e.g. the incremental-training experiments add
+/// history-based queries).
+pub const HIST_CUST: [Pair<'static>; 2] = [
+    (("history", "h_c_key"), ("customer", "c_key")),
+    (("history", "h_d_id"), ("customer", "c_d_id")),
+];
+const CUST_NAT: Pair<'static> = (("customer", "c_n_key"), ("nation", "n_key"));
+const SUPP_NAT: Pair<'static> = (("supplier", "su_n_key"), ("nation", "n_key"));
+const NAT_REG: Pair<'static> = (("nation", "n_r_key"), ("region", "r_key"));
+const STOCK_SUPP: Pair<'static> = (("stock", "s_su_key"), ("supplier", "su_key"));
+
+fn q<'a>(schema: &'a Schema, name: &str) -> QueryBuilder<'a> {
+    QueryBuilder::new(schema, name)
+}
+
+/// Build the TPC-CH analytical workload against a TPC-CH schema.
+pub fn workload(schema: &Schema) -> Workload {
+    let queries: Vec<Result<Query, _>> = vec![
+        // Q1: pricing summary over orderline.
+        q(schema, "ch_q01").scan("orderline").filter("orderline", 0.95).cpu(2.0).finish(),
+        // Q2: minimum-cost supplier.
+        q(schema, "ch_q02")
+            .join(STOCK_ITEM.0, STOCK_ITEM.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .join(NAT_REG.0, NAT_REG.1)
+            .filter("item", 0.04)
+            .filter("region", 0.2)
+            .finish(),
+        // Q3: shipping priority (unshipped orders).
+        q(schema, "ch_q03")
+            .join_multi(&ORD_CUST)
+            .join_multi(&NO_ORD)
+            .join_multi(&OL_ORD)
+            .filter("customer", 0.1)
+            .filter("order", 0.5)
+            .finish(),
+        // Q4: order priority checking.
+        q(schema, "ch_q04").join_multi(&OL_ORD).filter("order", 0.03).finish(),
+        // Q5: local supplier volume.
+        q(schema, "ch_q05")
+            .join_multi(&ORD_CUST)
+            .join_multi(&OL_ORD)
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .join(NAT_REG.0, NAT_REG.1)
+            .filter("order", 0.03)
+            .filter("region", 0.2)
+            .cpu(1.4)
+            .finish(),
+        // Q6: forecast revenue change.
+        q(schema, "ch_q06").scan("orderline").filter("orderline", 0.01).finish(),
+        // Q7: volume shipping between two nations.
+        q(schema, "ch_q07")
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join_multi(&OL_ORD)
+            .join_multi(&ORD_CUST)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .filter("nation", 0.03)
+            .filter("customer", 0.1)
+            .cpu(1.3)
+            .finish(),
+        // Q8: national market share.
+        q(schema, "ch_q08")
+            .join(OL_ITEM.0, OL_ITEM.1)
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join_multi(&OL_ORD)
+            .join_multi(&ORD_CUST)
+            .join(CUST_NAT.0, CUST_NAT.1)
+            .join(NAT_REG.0, NAT_REG.1)
+            .filter("item", 0.001)
+            .filter("region", 0.2)
+            .cpu(1.3)
+            .finish(),
+        // Q9: product-type profit measure.
+        q(schema, "ch_q09")
+            .join(OL_ITEM.0, OL_ITEM.1)
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join_multi(&OL_ORD)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .filter("item", 0.05)
+            .cpu(1.5)
+            .finish(),
+        // Q10: returned-item reporting.
+        q(schema, "ch_q10")
+            .join_multi(&ORD_CUST)
+            .join_multi(&OL_ORD)
+            .join(CUST_NAT.0, CUST_NAT.1)
+            .filter("order", 0.03)
+            .cpu(1.2)
+            .finish(),
+        // Q11: important stock identification.
+        q(schema, "ch_q11")
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .filter("nation", 0.04)
+            .cpu(1.2)
+            .finish(),
+        // Q12: shipping mode / order priority.
+        q(schema, "ch_q12").join_multi(&OL_ORD).filter("orderline", 0.05).finish(),
+        // Q13: customer order-count distribution.
+        q(schema, "ch_q13").join_multi(&ORD_CUST).cpu(1.6).finish(),
+        // Q14: promotion effect.
+        q(schema, "ch_q14").join(OL_ITEM.0, OL_ITEM.1).filter("orderline", 0.01).finish(),
+        // Q15: top supplier (revenue view over orderline ⋈ stock ⋈ supplier).
+        q(schema, "ch_q15")
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .filter("orderline", 0.03)
+            .finish(),
+        // Q16: parts/supplier relationship.
+        q(schema, "ch_q16")
+            .join(STOCK_ITEM.0, STOCK_ITEM.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .filter("item", 0.1)
+            .cpu(1.3)
+            .finish(),
+        // Q17: small-quantity-order revenue.
+        q(schema, "ch_q17").join(OL_ITEM.0, OL_ITEM.1).filter("item", 0.001).finish(),
+        // Q18: large-volume customers.
+        q(schema, "ch_q18")
+            .join_multi(&ORD_CUST)
+            .join_multi(&OL_ORD)
+            .filter("order", 0.005)
+            .cpu(1.5)
+            .finish(),
+        // Q19: discounted revenue.
+        q(schema, "ch_q19").join(OL_ITEM.0, OL_ITEM.1).filter("item", 0.01).finish(),
+        // Q20: potential part promotion.
+        q(schema, "ch_q20")
+            .join(STOCK_ITEM.0, STOCK_ITEM.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .filter("item", 0.01)
+            .filter("nation", 0.04)
+            .filter("orderline", 0.05)
+            .finish(),
+        // Q21: suppliers who kept orders waiting.
+        q(schema, "ch_q21")
+            .join_multi(&OL_ORD)
+            .join(OL_STOCK.0, OL_STOCK.1)
+            .join(STOCK_SUPP.0, STOCK_SUPP.1)
+            .join(SUPP_NAT.0, SUPP_NAT.1)
+            .filter("nation", 0.04)
+            .filter("order", 0.3)
+            .cpu(1.4)
+            .finish(),
+        // Q22: global sales opportunity.
+        q(schema, "ch_q22").join_multi(&ORD_CUST).filter("customer", 0.2).finish(),
+    ];
+
+    Workload::new(
+        queries
+            .into_iter()
+            .map(|r| r.expect("TPC-CH query builds"))
+            .collect(),
+    )
+}
+
+/// Queries that join `stock` and `item` — over-represented in the Fig. 5
+/// workload cluster B.
+pub fn stock_item_queries(schema: &Schema, workload: &Workload) -> Vec<crate::QueryId> {
+    let stock = schema.table_by_name("stock").unwrap();
+    let item = schema.table_by_name("item").unwrap();
+    workload
+        .query_ids()
+        .filter(|id| {
+            let q = workload.query(*id);
+            q.uses_table(stock) && q.uses_table(item)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_queries() {
+        let s = lpa_schema::tpcch::schema(0.001);
+        assert_eq!(workload(&s).queries().len(), 22);
+    }
+
+    #[test]
+    fn composite_alternatives_present_on_order_joins() {
+        let s = lpa_schema::tpcch::schema(0.001);
+        let w = workload(&s);
+        let q13 = w.queries().iter().find(|q| q.name == "ch_q13").unwrap();
+        assert_eq!(q13.joins.len(), 1);
+        assert_eq!(q13.joins[0].pairs.len(), 3, "key, district and compound pair");
+    }
+
+    #[test]
+    fn stock_item_cluster_nonempty() {
+        let s = lpa_schema::tpcch::schema(0.001);
+        let w = workload(&s);
+        let hot = stock_item_queries(&s, &w);
+        // Q2, Q16, Q20 join stock and item directly.
+        assert!(hot.len() >= 3, "found {}", hot.len());
+    }
+}

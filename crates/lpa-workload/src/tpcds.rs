@@ -1,0 +1,244 @@
+//! The TPC-DS workload: 20 join-graph archetypes × 3 selectivity buckets
+//! = 60 queries (the number of TPC-DS queries the paper could execute on
+//! Postgres-XL).
+//!
+//! The paper handles parameterized query re-runs by bucketizing
+//! selectivities (Section 3.2); we build the workload the same way — each
+//! archetype is instantiated once per selectivity bucket so that different
+//! parameter values of the "same" TPC-DS query map onto distinct frequency
+//! entries.
+
+use crate::buckets::SelectivityBuckets;
+use crate::query::{Query, QueryBuilder};
+use crate::workload::Workload;
+use lpa_schema::Schema;
+
+fn q<'a>(schema: &'a Schema, name: &str) -> QueryBuilder<'a> {
+    QueryBuilder::new(schema, name)
+}
+
+/// Archetype join graphs; the second element names the table whose filter
+/// is swept over the selectivity buckets.
+fn archetypes(schema: &Schema) -> Vec<(Query, &'static str)> {
+    let mk = |r: Result<Query, crate::QueryError>| r.expect("TPC-DS archetype builds");
+    vec![
+        (
+            mk(q(schema, "ds_ss_date")
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .finish()),
+            "date_dim",
+        ),
+        (
+            mk(q(schema, "ds_ss_item")
+                .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
+                .cpu(1.2)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_ss_item_date")
+                .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.08)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_ss_cust_addr")
+                .join(("store_sales", "ss_customer_sk"), ("customer", "c_customer_sk"))
+                .join(("customer", "c_current_addr_sk"), ("customer_address", "ca_address_sk"))
+                .finish()),
+            "customer_address",
+        ),
+        (
+            mk(q(schema, "ds_ss_sr_item")
+                .join_multi(&[
+                    (("store_sales", "ss_ticket_number"), ("store_returns", "sr_ticket_number")),
+                    (("store_sales", "ss_item_sk"), ("store_returns", "sr_item_sk")),
+                ])
+                .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.25)
+                .cpu(1.3)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_cs_date")
+                .join(("catalog_sales", "cs_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .finish()),
+            "date_dim",
+        ),
+        (
+            mk(q(schema, "ds_cs_item")
+                .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
+                .cpu(1.2)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_cs_cr_item")
+                .join_multi(&[
+                    (("catalog_sales", "cs_order_number"), ("catalog_returns", "cr_order_number")),
+                    (("catalog_sales", "cs_item_sk"), ("catalog_returns", "cr_item_sk")),
+                ])
+                .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
+                .join(("catalog_sales", "cs_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.25)
+                .cpu(1.3)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_ws_date")
+                .join(("web_sales", "ws_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .finish()),
+            "date_dim",
+        ),
+        (
+            mk(q(schema, "ds_ws_item")
+                .join(("web_sales", "ws_item_sk"), ("item", "i_item_sk"))
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_ws_wr_item")
+                .join_multi(&[
+                    (("web_sales", "ws_order_number"), ("web_returns", "wr_order_number")),
+                    (("web_sales", "ws_item_sk"), ("web_returns", "wr_item_sk")),
+                ])
+                .join(("web_sales", "ws_item_sk"), ("item", "i_item_sk"))
+                .join(("web_sales", "ws_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.25)
+                .cpu(1.3)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_inv_item_date")
+                .join(("inventory", "inv_item_sk"), ("item", "i_item_sk"))
+                .join(("inventory", "inv_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.02)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_inv_wh_item")
+                .join(("inventory", "inv_warehouse_sk"), ("warehouse", "w_warehouse_sk"))
+                .join(("inventory", "inv_item_sk"), ("item", "i_item_sk"))
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_cross_ss_cs")
+                .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
+                .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.3)
+                .cpu(1.5)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_cross_all_channels")
+                .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
+                .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
+                .join(("web_sales", "ws_item_sk"), ("item", "i_item_sk"))
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.3)
+                .cpu(1.8)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_cust_demo")
+                .join(("store_sales", "ss_customer_sk"), ("customer", "c_customer_sk"))
+                .join(("customer", "c_current_cdemo_sk"), ("customer_demographics", "cd_demo_sk"))
+                .join(("customer", "c_current_hdemo_sk"), ("household_demographics", "hd_demo_sk"))
+                .join(("household_demographics", "hd_income_band_sk"), ("income_band", "ib_income_band_sk"))
+                .cpu(1.4)
+                .finish()),
+            "customer_demographics",
+        ),
+        (
+            mk(q(schema, "ds_promo_item")
+                .join(("store_sales", "ss_promo_sk"), ("promotion", "p_promo_sk"))
+                .join(("promotion", "p_item_sk"), ("item", "i_item_sk"))
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.25)
+                .finish()),
+            "item",
+        ),
+        (
+            mk(q(schema, "ds_cs_inv_wh")
+                .join(("catalog_sales", "cs_item_sk"), ("inventory", "inv_item_sk"))
+                .join(("inventory", "inv_warehouse_sk"), ("warehouse", "w_warehouse_sk"))
+                .join(("inventory", "inv_date_sk"), ("date_dim", "d_date_sk"))
+                .filter("date_dim", 0.25)
+                .cpu(1.4)
+                .finish()),
+            "catalog_sales",
+        ),
+        (
+            mk(q(schema, "ds_store_traffic")
+                .join(("store_sales", "ss_store_sk"), ("store", "s_store_sk"))
+                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .finish()),
+            "date_dim",
+        ),
+        (
+            mk(q(schema, "ds_returns_cust")
+                .join(("store_returns", "sr_customer_sk"), ("customer", "c_customer_sk"))
+                .join(("customer", "c_current_addr_sk"), ("customer_address", "ca_address_sk"))
+                .finish()),
+            "customer_address",
+        ),
+    ]
+}
+
+/// Build the TPC-DS workload (60 queries) against a TPC-DS schema.
+pub fn workload(schema: &Schema) -> Workload {
+    let buckets = SelectivityBuckets::default_three();
+    let mut queries = Vec::with_capacity(60);
+    for (template, filter_table) in archetypes(schema) {
+        queries.extend(buckets.instantiate(schema, &template, filter_table));
+    }
+    Workload::new(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_queries_from_twenty_archetypes() {
+        let s = lpa_schema::tpcds::schema(0.001);
+        let w = workload(&s);
+        assert_eq!(w.queries().len(), 60);
+        assert_eq!(archetypes(&s).len(), 20);
+    }
+
+    #[test]
+    fn bucket_variants_differ_only_in_selectivity() {
+        let s = lpa_schema::tpcds::schema(0.001);
+        let w = workload(&s);
+        let v0 = &w.queries()[0];
+        let v1 = &w.queries()[1];
+        assert_eq!(v0.tables, v1.tables);
+        assert_eq!(v0.joins, v1.joins);
+        assert_ne!(v0.selectivity, v1.selectivity);
+    }
+
+    #[test]
+    fn fact_fact_joins_carry_item_alternative() {
+        let s = lpa_schema::tpcds::schema(0.001);
+        let w = workload(&s);
+        let ss_sr = w
+            .queries()
+            .iter()
+            .find(|q| q.name.starts_with("ds_ss_sr_item"))
+            .unwrap();
+        let fact_join = &ss_sr.joins[0];
+        assert_eq!(fact_join.pairs.len(), 2, "ticket + item pair");
+    }
+}

@@ -1,0 +1,133 @@
+//! Correctness invariants of the distributed executor: a query's *result*
+//! must not depend on how the data is partitioned — only its cost may.
+
+use lpa::prelude::*;
+use lpa::cluster::QueryOutcome;
+use lpa::partition::valid_actions;
+use proptest::prelude::*;
+
+fn outcome_rows(o: QueryOutcome) -> u64 {
+    match o {
+        QueryOutcome::Completed { output_rows, .. } => output_rows,
+        QueryOutcome::TimedOut { .. } => panic!("unexpected timeout"),
+    }
+}
+
+/// Walk to a random partitioning by applying `choices` valid actions.
+fn random_partitioning(
+    schema: &lpa::schema::Schema,
+    choices: &[usize],
+) -> Partitioning {
+    let mut p = Partitioning::initial(schema);
+    for &c in choices {
+        let actions = valid_actions(schema, &p);
+        p = actions[c % actions.len()].apply(schema, &p).unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn join_results_are_placement_independent(
+        choices in prop::collection::vec(0usize..500, 0..10),
+        engine_sx in any::<bool>(),
+    ) {
+        let schema = lpa::schema::microbench::schema(0.002);
+        let workload = lpa::workload::microbench::workload(&schema);
+        let engine = if engine_sx {
+            EngineProfile::system_x()
+        } else {
+            EngineProfile::pgxl()
+        };
+        let mut cluster = Cluster::new(
+            schema.clone(),
+            ClusterConfig::new(engine, HardwareProfile::standard()),
+        );
+        // Reference result under the initial layout.
+        let reference: Vec<u64> = workload
+            .queries()
+            .iter()
+            .map(|q| outcome_rows(cluster.run_query(q, None)))
+            .collect();
+        // Any reachable layout must produce identical results.
+        let p = random_partitioning(&schema, &choices);
+        cluster.deploy(&p);
+        for (q, want) in workload.queries().iter().zip(&reference) {
+            let got = outcome_rows(cluster.run_query(q, None));
+            prop_assert_eq!(got, *want, "layout {}", p.describe(&schema));
+        }
+    }
+}
+
+#[test]
+fn tpcch_results_placement_independent_across_key_layouts() {
+    // The district-chain layout relies on inherited columns; its results
+    // must match the PK layout exactly (locality, not semantics, changes).
+    let schema = lpa::schema::tpcch::schema(0.001);
+    let workload = lpa::workload::tpcch::workload(&schema);
+    let mut cluster = Cluster::new(
+        schema.clone(),
+        ClusterConfig::new(EngineProfile::pgxl(), HardwareProfile::standard()),
+    );
+    let q13 = workload.queries().iter().find(|q| q.name == "ch_q13").unwrap();
+    let q18 = workload.queries().iter().find(|q| q.name == "ch_q18").unwrap();
+    let base: Vec<u64> = [q13, q18]
+        .iter()
+        .map(|q| match cluster.run_query(q, None) {
+            QueryOutcome::Completed { output_rows, .. } => output_rows,
+            _ => panic!(),
+        })
+        .collect();
+    // District co-partitioning via the edge.
+    let e = schema
+        .edge_between(
+            schema.attr_ref("customer", "c_d_id").unwrap(),
+            schema.attr_ref("order", "o_d_id").unwrap(),
+        )
+        .unwrap();
+    let co = Action::ActivateEdge(e)
+        .apply(&schema, &Partitioning::initial(&schema))
+        .unwrap();
+    cluster.deploy(&co);
+    let co_rows: Vec<u64> = [q13, q18]
+        .iter()
+        .map(|q| match cluster.run_query(q, None) {
+            QueryOutcome::Completed { output_rows, .. } => output_rows,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(base, co_rows);
+    assert!(base[0] > 0, "q13 joins must produce rows");
+}
+
+#[test]
+fn skewed_partitioning_is_measurably_slower_on_system_x() {
+    // The Section 7.2 System-X effect: partitioning by the skewed
+    // low-cardinality district column costs more than the balanced
+    // compound key — measured, not modeled.
+    let schema = lpa::schema::tpcch::schema(0.002);
+    let workload = lpa::workload::tpcch::workload(&schema);
+    let q13 = workload.queries().iter().find(|q| q.name == "ch_q13").unwrap();
+    let mut cluster = Cluster::new(
+        schema.clone(),
+        ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
+    );
+    let by = |cluster: &mut Cluster, cust_attr: &str, ord_attr: &str| {
+        let c = schema.attr_ref("customer", cust_attr).unwrap();
+        let o = schema.attr_ref("order", ord_attr).unwrap();
+        let mut states = Partitioning::initial(&schema).table_states().to_vec();
+        states[c.table.0] = TableState::PartitionedBy(c.attr);
+        states[o.table.0] = TableState::PartitionedBy(o.attr);
+        let p = Partitioning::from_states(&schema, states);
+        cluster.deploy(&p);
+        cluster.run_query(q13, None).completed().unwrap()
+    };
+    let district = by(&mut cluster, "c_d_id", "o_d_id");
+    let compound = by(&mut cluster, "c_wd", "o_wd");
+    assert!(
+        compound < district,
+        "compound {compound} must beat skewed district {district}"
+    );
+}
