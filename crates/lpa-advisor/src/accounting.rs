@@ -50,7 +50,7 @@ impl CostAccounting {
     }
 
     /// + Timeouts (everything except the offline bootstrap, which is
-    /// measured by running a second, bootstrapped training).
+    ///   measured by running a second, bootstrapped training).
     pub fn row_timeouts(&self) -> f64 {
         self.actual_query_seconds + self.lazy_repartition_seconds
     }

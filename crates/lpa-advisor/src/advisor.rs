@@ -20,6 +20,7 @@ pub struct Suggestion {
 
 /// The learned partitioning advisor: one DQN agent over an
 /// [`AdvisorEnv`].
+#[derive(Debug)]
 pub struct Advisor {
     pub env: AdvisorEnv,
     agent: DqnAgent<AdvisorEnv>,
@@ -172,8 +173,8 @@ mod tests {
     /// discover that `a` and `c` have to be co-partitioned.
     #[test]
     fn offline_agent_learns_microbench_copartitioning() {
-        let schema = lpa_schema::microbench::schema(1.0);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(1.0).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let sampler = MixSampler::uniform(&workload);
         let cfg = DqnConfig {
             episodes: 80,
@@ -223,8 +224,8 @@ mod tests {
     fn suggestion_step_zero_when_s0_is_best() {
         // With an untrained agent the rollout may wander, but if we ask for
         // the reward of s0 it must be included in the comparison.
-        let schema = lpa_schema::microbench::schema(0.01);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.01).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let sampler = MixSampler::uniform(&workload);
         let env = AdvisorEnv::new(
             schema,

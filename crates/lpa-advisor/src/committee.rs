@@ -22,6 +22,7 @@ pub const F_LOW: f64 = 0.1;
 pub const F_HIGH: f64 = 1.0;
 
 /// A committee of subspace experts built on top of a naive advisor.
+#[derive(Debug)]
 pub struct Committee {
     pub references: Vec<Partitioning>,
     pub experts: Vec<Advisor>,
@@ -183,8 +184,8 @@ mod tests {
     }
 
     fn offline_naive() -> Advisor {
-        let schema = lpa_schema::microbench::schema(1.0);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(1.0).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let sampler = MixSampler::uniform(&workload);
         Advisor::train_offline(
             schema,
@@ -223,8 +224,8 @@ mod tests {
     #[test]
     fn committee_trains_and_suggests() {
         let mut naive = offline_naive();
-        let schema = lpa_schema::microbench::schema(1.0);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(1.0).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let cfg = quick_cfg();
         let mk_schema = schema.clone();
         let mk_workload = workload.clone();

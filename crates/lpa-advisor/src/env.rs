@@ -8,7 +8,7 @@ use lpa_schema::Schema;
 use lpa_workload::{FrequencyVector, MixSampler, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// DQN state: the current partitioning plus the episode's workload mix
 /// (both are part of the Q-network input, Fig. 2c).
@@ -19,12 +19,15 @@ pub struct EnvState {
 }
 
 /// Where rewards come from.
+#[derive(Debug)]
 pub enum RewardBackend {
     /// Offline phase: the network-centric cost model, memoized per
     /// (query, relevant-table-states) just like the online runtime cache.
     CostModel {
         model: NetworkCostModel,
-        cache: HashMap<(usize, Vec<lpa_partition::TableState>), f64>,
+        // BTreeMap keeps any future iteration over the cache deterministic
+        // (lint rule L002); lookups stay cheap at episode scale.
+        cache: BTreeMap<(usize, Vec<lpa_partition::TableState>), f64>,
     },
     /// Online phase: measured runtimes on the sampled cluster.
     Cluster(Box<OnlineBackend>),
@@ -34,7 +37,7 @@ impl RewardBackend {
     pub fn cost_model(model: NetworkCostModel) -> Self {
         Self::CostModel {
             model,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -75,6 +78,7 @@ impl RewardBackend {
 }
 
 /// The advisor's environment.
+#[derive(Debug)]
 pub struct AdvisorEnv {
     pub schema: Schema,
     pub workload: Workload,
@@ -229,9 +233,11 @@ impl QEnvironment for AdvisorEnv {
     }
 
     fn step(&mut self, state: &EnvState, action: &Action) -> (EnvState, f64) {
+        // Only valid actions are offered; a rejected action degrades to a
+        // no-op step so a planner bug cannot abort a training episode.
         let next = action
             .apply(&self.schema, &state.partitioning)
-            .expect("only valid actions are offered");
+            .unwrap_or_else(|_| state.partitioning.clone());
         let reward = self
             .backend
             .reward(&self.schema, &self.workload, &next, &state.freqs)
@@ -252,8 +258,8 @@ mod tests {
     use lpa_costmodel::CostParams;
 
     fn offline_env(allow_compound: bool) -> AdvisorEnv {
-        let schema = lpa_schema::tpcch::schema(0.001);
-        let workload = lpa_workload::tpcch::workload(&schema);
+        let schema = lpa_schema::tpcch::schema(0.001).expect("schema builds");
+        let workload = lpa_workload::tpcch::workload(&schema).expect("workload builds");
         let sampler = MixSampler::uniform(&workload);
         AdvisorEnv::new(
             schema,

@@ -114,7 +114,11 @@ impl fmt::Display for Explanation {
                 d.frequency,
                 d.cost_before,
                 d.cost_after,
-                if d.local_after { "  [all joins local]" } else { "" }
+                if d.local_after {
+                    "  [all joins local]"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())
@@ -129,8 +133,8 @@ mod tests {
 
     #[test]
     fn explanation_orders_by_weighted_saving() {
-        let schema = lpa_schema::microbench::schema(0.05);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.05).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let model = NetworkCostModel::new(CostParams::standard());
         let freqs = workload.uniform_frequencies();
         let before = Partitioning::initial(&schema);
@@ -154,14 +158,16 @@ mod tests {
 
     #[test]
     fn regressions_detected() {
-        let schema = lpa_schema::microbench::schema(0.05);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.05).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let model = NetworkCostModel::new(CostParams::standard());
         let freqs = workload.uniform_frequencies();
         let before = Partitioning::initial(&schema);
         // Replicating `a` (the fact table) regresses everything.
         let a = schema.table_by_name("a").unwrap();
-        let after = Action::Replicate { table: a }.apply(&schema, &before).unwrap();
+        let after = Action::Replicate { table: a }
+            .apply(&schema, &before)
+            .unwrap();
         let ex = Explanation::compare(&schema, &workload, &model, &freqs, &before, &after);
         assert!(ex.regressions().count() > 0);
         assert!(ex.improvement() < 0.0);
@@ -169,8 +175,8 @@ mod tests {
 
     #[test]
     fn zero_frequency_queries_excluded() {
-        let schema = lpa_schema::microbench::schema(0.05);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.05).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let model = NetworkCostModel::new(CostParams::standard());
         let freqs = FrequencyVector::from_counts(&[1.0, 0.0], 2);
         let p = Partitioning::initial(&schema);

@@ -34,13 +34,17 @@ pub fn add_queries(
         return Err(queries);
     }
     let mut new_ids = Vec::with_capacity(queries.len());
+    let mut rejected = Vec::new();
     for q in queries {
-        let id = advisor
-            .env
-            .workload
-            .add_query(q)
-            .expect("slot availability checked above");
-        new_ids.push(id);
+        // Slot availability is checked above; collect rather than panic if
+        // the workload refuses a query anyway.
+        match advisor.env.workload.add_query(q) {
+            Ok(id) => new_ids.push(id),
+            Err(q) => rejected.push(q),
+        }
+    }
+    if !rejected.is_empty() {
+        return Err(rejected);
     }
 
     // Retrain only on mixes that include the new queries, warm-started.
@@ -76,9 +80,10 @@ mod tests {
 
     #[test]
     fn new_query_takes_reserved_slot_and_retrains() {
-        let schema = lpa_schema::microbench::schema(0.05);
-        let workload =
-            lpa_workload::microbench::workload(&schema).with_reserved_slots(2);
+        let schema = lpa_schema::microbench::schema(0.05).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema)
+            .expect("workload builds")
+            .with_reserved_slots(2);
         let sampler = MixSampler::uniform(&workload);
         let mut advisor = Advisor::train_offline(
             schema.clone(),
@@ -108,8 +113,8 @@ mod tests {
 
     #[test]
     fn overflow_reports_remaining_queries() {
-        let schema = lpa_schema::microbench::schema(0.05);
-        let workload = lpa_workload::microbench::workload(&schema); // 0 reserved
+        let schema = lpa_schema::microbench::schema(0.05).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds"); // 0 reserved
         let sampler = MixSampler::uniform(&workload);
         let mut advisor = Advisor::train_offline(
             schema.clone(),

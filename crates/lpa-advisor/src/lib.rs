@@ -15,6 +15,10 @@
 //! * [`accounting::CostAccounting`] is the simulated-time ledger behind
 //!   the Table 2 training-time ablation.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod accounting;
 pub mod advisor;
 pub mod cache;

@@ -38,6 +38,7 @@ impl Default for OnlineOptimizations {
 }
 
 /// Rewards from actual execution on the sampled cluster.
+#[derive(Debug)]
 pub struct OnlineBackend {
     cluster: SharedCluster,
     cache: SharedRuntimeCache,
@@ -202,8 +203,8 @@ mod tests {
     use lpa_cluster::{ClusterConfig, EngineProfile, HardwareProfile};
 
     fn setup() -> (SharedCluster, Workload) {
-        let schema = lpa_schema::microbench::schema(0.002);
-        let w = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.002).expect("schema builds");
+        let w = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let c = Cluster::new(
             schema,
             ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
@@ -289,8 +290,8 @@ mod tests {
 
     #[test]
     fn scale_factors_reflect_sample_ratio() {
-        let schema = lpa_schema::microbench::schema(0.004);
-        let w = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.004).expect("schema builds");
+        let w = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let mut full = Cluster::new(
             schema.clone(),
             ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),

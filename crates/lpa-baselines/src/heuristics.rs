@@ -62,28 +62,25 @@ fn connecting_pair(schema: &Schema, fact: TableId, dim: TableId) -> Option<(Attr
     schema
         .edges_of(fact)
         .find(|(_, e)| e.touches(dim))
-        .map(|(_, e)| {
-            let f = e.endpoint_on(fact).unwrap();
-            let d = e.endpoint_on(dim).unwrap();
-            (f, d)
-        })
+        .and_then(|(_, e)| Some((e.endpoint_on(fact)?, e.endpoint_on(dim)?)))
 }
 
 fn star_heuristic(
     schema: &Schema,
     workload: &Workload,
-    pick_dim: impl Fn(&Schema, &Workload, &[TableId]) -> TableId,
+    pick_dim: impl Fn(&Schema, &Workload, &[TableId]) -> Option<TableId>,
 ) -> Partitioning {
     let mut facts = fact_tables(schema);
     // Degenerate case (every table is fact-sized): only the single largest
     // table counts as the fact side.
     if facts.len() == schema.tables().len() {
-        let largest = facts
+        if let Some(largest) = facts
             .iter()
             .copied()
             .max_by_key(|t| schema.table(*t).bytes())
-            .expect("non-empty schema");
-        facts = vec![largest];
+        {
+            facts = vec![largest];
+        }
     }
     let dims: Vec<TableId> = (0..schema.tables().len())
         .map(TableId)
@@ -93,23 +90,23 @@ fn star_heuristic(
     let mut states: Vec<TableState> = Partitioning::initial(schema).table_states().to_vec();
     // Replicate every dimension except the anchor.
     for &d in &dims {
-        states[d.0] = if d == anchor {
-            let attr = schema
-                .table(d)
-                .partitionable_attrs()
-                .next()
-                .expect("validated schema");
-        TableState::PartitionedBy(attr)
+        states[d.0] = if Some(d) == anchor {
+            match schema.table(d).partitionable_attrs().next() {
+                Some(attr) => TableState::PartitionedBy(attr),
+                None => TableState::Replicated,
+            }
         } else {
             TableState::Replicated
         };
     }
     // Co-partition each fact with the anchor when a join path exists.
-    for &f in &facts {
-        if let Some((fa, da)) = connecting_pair(schema, f, anchor) {
-            if schema.attribute(fa).partitionable && schema.attribute(da).partitionable {
-                states[f.0] = TableState::PartitionedBy(fa.attr);
-                states[anchor.0] = TableState::PartitionedBy(da.attr);
+    if let Some(anchor) = anchor {
+        for &f in &facts {
+            if let Some((fa, da)) = connecting_pair(schema, f, anchor) {
+                if schema.attribute(fa).partitionable && schema.attribute(da).partitionable {
+                    states[f.0] = TableState::PartitionedBy(fa.attr);
+                    states[anchor.0] = TableState::PartitionedBy(da.attr);
+                }
             }
         }
     }
@@ -124,12 +121,14 @@ fn complex_heuristic_a(schema: &Schema) -> Partitioning {
         if t.bytes() <= threshold {
             states.push(TableState::Replicated);
         } else {
-            let attr = schema
-                .table(TableId(i))
-                .partitionable_attrs()
-                .next()
-                .expect("validated schema");
-            states.push(TableState::PartitionedBy(attr));
+            // Validated schemas always have a partitionable attribute per
+            // table; replication is the graceful fallback if not.
+            states.push(
+                match schema.table(TableId(i)).partitionable_attrs().next() {
+                    Some(attr) => TableState::PartitionedBy(attr),
+                    None => TableState::Replicated,
+                },
+            );
         }
     }
     Partitioning::from_states(schema, states)
@@ -173,13 +172,10 @@ fn complex_heuristic_b(schema: &Schema) -> Partitioning {
                 if schema.tables()[i].bytes() <= threshold {
                     TableState::Replicated
                 } else {
-                    TableState::PartitionedBy(
-                        schema
-                            .table(TableId(i))
-                            .partitionable_attrs()
-                            .next()
-                            .expect("validated schema"),
-                    )
+                    match schema.table(TableId(i)).partitionable_attrs().next() {
+                        Some(attr) => TableState::PartitionedBy(attr),
+                        None => TableState::Replicated,
+                    }
                 }
             })
         })
@@ -198,10 +194,7 @@ fn replicate_threshold(schema: &Schema) -> u64 {
 pub fn heuristic_a(schema: &Schema, workload: &Workload, class: SchemaClass) -> Partitioning {
     match class {
         SchemaClass::Star => star_heuristic(schema, workload, |s, w, dims| {
-            *dims
-                .iter()
-                .max_by_key(|d| join_count(s, w, **d))
-                .expect("star schema has dimensions")
+            dims.iter().copied().max_by_key(|d| join_count(s, w, *d))
         }),
         SchemaClass::Complex => complex_heuristic_a(schema),
     }
@@ -212,10 +205,7 @@ pub fn heuristic_a(schema: &Schema, workload: &Workload, class: SchemaClass) -> 
 pub fn heuristic_b(schema: &Schema, workload: &Workload, class: SchemaClass) -> Partitioning {
     match class {
         SchemaClass::Star => star_heuristic(schema, workload, |s, _, dims| {
-            *dims
-                .iter()
-                .max_by_key(|d| s.table(**d).bytes())
-                .expect("star schema has dimensions")
+            dims.iter().copied().max_by_key(|d| s.table(*d).bytes())
         }),
         SchemaClass::Complex => complex_heuristic_b(schema),
     }
@@ -227,17 +217,20 @@ mod tests {
 
     #[test]
     fn schema_class_detection() {
-        assert_eq!(SchemaClass::detect(&lpa_schema::ssb::schema(1.0)), SchemaClass::Star);
         assert_eq!(
-            SchemaClass::detect(&lpa_schema::tpcch::schema(1.0)),
+            SchemaClass::detect(&lpa_schema::ssb::schema(1.0).expect("schema builds")),
+            SchemaClass::Star
+        );
+        assert_eq!(
+            SchemaClass::detect(&lpa_schema::tpcch::schema(1.0).expect("schema builds")),
             SchemaClass::Complex
         );
     }
 
     #[test]
     fn ssb_heuristic_a_anchors_on_date_b_on_customer() {
-        let s = lpa_schema::ssb::schema(1.0);
-        let w = lpa_workload::ssb::workload(&s);
+        let s = lpa_schema::ssb::schema(1.0).expect("schema builds");
+        let w = lpa_workload::ssb::workload(&s).expect("workload builds");
         let a = heuristic_a(&s, &w, SchemaClass::Star);
         let b = heuristic_b(&s, &w, SchemaClass::Star);
         let lo = s.table_by_name("lineorder").unwrap();
@@ -253,16 +246,26 @@ mod tests {
             .map(TableId)
             .max_by_key(|t| s.table(*t).bytes())
             .unwrap();
-        assert!(matches!(b.table_state(largest), TableState::PartitionedBy(_)));
+        assert!(matches!(
+            b.table_state(largest),
+            TableState::PartitionedBy(_)
+        ));
         assert!(!b.is_replicated(lo));
     }
 
     #[test]
     fn tpcch_heuristic_a_replicates_small_tables() {
-        let s = lpa_schema::tpcch::schema(1.0);
-        let w = lpa_workload::tpcch::workload(&s);
+        let s = lpa_schema::tpcch::schema(1.0).expect("schema builds");
+        let w = lpa_workload::tpcch::workload(&s).expect("workload builds");
         let p = heuristic_a(&s, &w, SchemaClass::Complex);
-        for name in ["nation", "region", "warehouse", "district", "item", "supplier"] {
+        for name in [
+            "nation",
+            "region",
+            "warehouse",
+            "district",
+            "item",
+            "supplier",
+        ] {
             let t = s.table_by_name(name).unwrap();
             assert!(p.is_replicated(t), "{name} should be replicated");
         }
@@ -275,8 +278,8 @@ mod tests {
 
     #[test]
     fn tpcch_heuristic_b_co_partitions_large_pairs() {
-        let s = lpa_schema::tpcch::schema(1.0);
-        let w = lpa_workload::tpcch::workload(&s);
+        let s = lpa_schema::tpcch::schema(1.0).expect("schema builds");
+        let w = lpa_workload::tpcch::workload(&s).expect("workload builds");
         let p = heuristic_b(&s, &w, SchemaClass::Complex);
         // stock ⋈ orderline is the largest pair; both partitioned on the
         // shared item key (or a compatible co-partitioning).
@@ -289,8 +292,8 @@ mod tests {
 
     #[test]
     fn heuristics_differ() {
-        let s = lpa_schema::ssb::schema(1.0);
-        let w = lpa_workload::ssb::workload(&s);
+        let s = lpa_schema::ssb::schema(1.0).expect("schema builds");
+        let w = lpa_workload::ssb::workload(&s).expect("workload builds");
         let a = heuristic_a(&s, &w, SchemaClass::Star);
         let b = heuristic_b(&s, &w, SchemaClass::Star);
         assert_ne!(a.physical_key(), b.physical_key());

@@ -11,6 +11,10 @@
 //!   model minimized by search, in exploitation- and exploration-driven
 //!   variants.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod heuristics;
 pub mod neural_cost;
 pub mod optimizer_advisor;

@@ -32,6 +32,7 @@ pub enum NeuralCostVariant {
 
 /// A neural cost model `f(partitioning, workload mix) → cost` plus the
 /// search machinery that turns it into a partitioning advisor.
+#[derive(Debug)]
 pub struct NeuralCostAdvisor {
     schema: Schema,
     workload: Workload,
@@ -145,9 +146,9 @@ impl NeuralCostAdvisor {
         for _ in 0..rounds {
             let mut best: Option<(f64, Partitioning)> = None;
             for a in valid_actions(&self.schema, &current) {
-                let cand = a
-                    .apply(&self.schema, &current)
-                    .expect("valid actions apply");
+                let Ok(cand) = a.apply(&self.schema, &current) else {
+                    continue;
+                };
                 let c = self.predicted_cost(&cand, freqs);
                 if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
                     best = Some((c, cand));
@@ -194,8 +195,10 @@ impl NeuralCostAdvisor {
                 order.swap(i, j);
             }
             for chunk in order.chunks(BATCH) {
-                let rows: Vec<&[f32]> =
-                    chunk.iter().map(|&i| self.dataset[i].0.as_slice()).collect();
+                let rows: Vec<&[f32]> = chunk
+                    .iter()
+                    .map(|&i| self.dataset[i].0.as_slice())
+                    .collect();
                 let x = Matrix::from_rows(&rows);
                 let y: Vec<f32> = chunk.iter().map(|&i| self.dataset[i].1).collect();
                 self.net.train_mse(&x, &y, &mut self.opt);
@@ -210,8 +213,8 @@ mod tests {
     use lpa_costmodel::CostParams;
 
     fn setup(variant: NeuralCostVariant) -> NeuralCostAdvisor {
-        let schema = lpa_schema::microbench::schema(1.0);
-        let workload = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(1.0).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let model = NetworkCostModel::new(CostParams::standard());
         NeuralCostAdvisor::bootstrap_offline(schema, workload, &model, 600, 30, variant, 17)
     }
@@ -219,7 +222,7 @@ mod tests {
     #[test]
     fn bootstrap_learns_cost_ordering() {
         let advisor = setup(NeuralCostVariant::Exploit);
-        let schema = lpa_schema::microbench::schema(1.0);
+        let schema = lpa_schema::microbench::schema(1.0).expect("schema builds");
         let model = NetworkCostModel::new(CostParams::standard());
         let f = FrequencyVector::uniform(2);
         // The model should prefer a/c co-partitioning over replicating a.

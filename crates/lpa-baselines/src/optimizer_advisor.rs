@@ -59,15 +59,17 @@ pub fn minimum_optimizer_partitioning(
                         .endpoints()
                         .iter()
                         .any(|ep| schema.attribute(*ep).is_compound()),
-                    _ => false,
+                    lpa_partition::Action::Replicate { .. } => false,
                 };
                 if compound {
                     continue;
                 }
             }
-            let candidate = action
-                .apply(schema, &current)
-                .expect("valid_actions only yields applicable actions");
+            // valid_actions only yields applicable actions; skip rather
+            // than trust that invariant with a panic.
+            let Ok(candidate) = action.apply(schema, &current) else {
+                continue;
+            };
             let cost = estimated_cost(cluster, workload, freqs, &candidate)?;
             if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                 best = Some((cost, candidate));
@@ -91,8 +93,8 @@ mod tests {
 
     #[test]
     fn unavailable_on_system_x() {
-        let schema = lpa_schema::microbench::schema(0.002);
-        let w = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.002).expect("schema builds");
+        let w = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let cluster = Cluster::new(
             schema,
             ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
@@ -103,8 +105,8 @@ mod tests {
 
     #[test]
     fn improves_over_initial_on_pgxl() {
-        let schema = lpa_schema::microbench::schema(0.002);
-        let w = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.002).expect("schema builds");
+        let w = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let cluster = Cluster::new(
             schema.clone(),
             ClusterConfig::new(EngineProfile::pgxl(), HardwareProfile::standard()),
@@ -123,8 +125,8 @@ mod tests {
     fn respects_compound_key_capability() {
         // On PgXL-like engines the returned partitioning never uses a
         // compound key.
-        let schema = lpa_schema::tpcch::schema(0.0008);
-        let w = lpa_workload::tpcch::workload(&schema);
+        let schema = lpa_schema::tpcch::schema(0.0008).expect("schema builds");
+        let w = lpa_workload::tpcch::workload(&schema).expect("workload builds");
         let cluster = Cluster::new(
             schema.clone(),
             ClusterConfig::new(EngineProfile::pgxl(), HardwareProfile::standard()),

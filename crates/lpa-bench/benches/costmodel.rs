@@ -1,6 +1,8 @@
 //! Cost-model micro-benchmarks, including the join-enumeration ablation
 //! (greedy vs exhaustive — the DESIGN.md `ablation_join_enum`).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lpa_costmodel::model::JoinEnumeration;
 use lpa_costmodel::{CostParams, NetworkCostModel};
@@ -8,15 +10,19 @@ use lpa_partition::Partitioning;
 use std::hint::black_box;
 
 fn bench_query_cost(c: &mut Criterion) {
-    let ssb = lpa_schema::ssb::schema(1.0);
-    let ssb_w = lpa_workload::ssb::workload(&ssb);
-    let ch = lpa_schema::tpcch::schema(1.0);
-    let ch_w = lpa_workload::tpcch::workload(&ch);
+    let ssb = lpa_schema::ssb::schema(1.0).expect("schema builds");
+    let ssb_w = lpa_workload::ssb::workload(&ssb).expect("workload builds");
+    let ch = lpa_schema::tpcch::schema(1.0).expect("schema builds");
+    let ch_w = lpa_workload::tpcch::workload(&ch).expect("workload builds");
     let model = NetworkCostModel::new(CostParams::standard());
     let p_ssb = Partitioning::initial(&ssb);
     let p_ch = Partitioning::initial(&ch);
 
-    let q41 = ssb_w.queries().iter().find(|q| q.name == "ssb_q4.1").unwrap();
+    let q41 = ssb_w
+        .queries()
+        .iter()
+        .find(|q| q.name == "ssb_q4.1")
+        .unwrap();
     c.bench_function("costmodel/ssb_q4.1_greedy", |b| {
         b.iter(|| black_box(model.query_cost(&ssb, q41, &p_ssb)))
     });
@@ -39,7 +45,7 @@ fn bench_query_cost(c: &mut Criterion) {
 }
 
 fn bench_imbalance(c: &mut Criterion) {
-    let ch = lpa_schema::tpcch::schema(1.0);
+    let ch = lpa_schema::tpcch::schema(1.0).expect("schema builds");
     let d_id = ch.attr_ref("customer", "c_d_id").unwrap();
     c.bench_function("costmodel/partition_imbalance_zipf", |b| {
         b.iter_batched(

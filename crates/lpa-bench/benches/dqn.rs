@@ -1,6 +1,8 @@
 //! End-to-end DQN step benchmarks on the real advisor environment
 //! (TPC-CH offline): action selection and one minibatch training step.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use lpa_advisor::{AdvisorEnv, RewardBackend};
 use lpa_costmodel::{CostParams, NetworkCostModel};
@@ -9,8 +11,8 @@ use lpa_workload::MixSampler;
 use std::hint::black_box;
 
 fn env() -> AdvisorEnv {
-    let schema = lpa_schema::tpcch::schema(0.002);
-    let workload = lpa_workload::tpcch::workload(&schema);
+    let schema = lpa_schema::tpcch::schema(0.002).expect("schema builds");
+    let workload = lpa_workload::tpcch::workload(&schema).expect("workload builds");
     let sampler = MixSampler::uniform(&workload);
     AdvisorEnv::new(
         schema,

@@ -1,14 +1,16 @@
 //! State/action encoding micro-benchmarks — these run once per Q-network
 //! evaluation and sit on the DQN hot path.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use lpa_partition::{valid_actions, Partitioning, StateEncoder};
 use lpa_workload::FrequencyVector;
 use std::hint::black_box;
 
 fn bench_encoding(c: &mut Criterion) {
-    let schema = lpa_schema::tpcch::schema(1.0);
-    let workload = lpa_workload::tpcch::workload(&schema);
+    let schema = lpa_schema::tpcch::schema(1.0).expect("schema builds");
+    let workload = lpa_workload::tpcch::workload(&schema).expect("workload builds");
     let enc = StateEncoder::new(&schema, workload.slots());
     let p = Partitioning::initial(&schema);
     let f = FrequencyVector::uniform(workload.slots());
@@ -24,7 +26,12 @@ fn bench_encoding(c: &mut Criterion) {
     });
     c.bench_function("encoding/input_tpcch", |b| {
         b.iter(|| {
-            enc.encode_input(black_box(&p), black_box(&f), black_box(&actions[0]), &mut input_buf);
+            enc.encode_input(
+                black_box(&p),
+                black_box(&f),
+                black_box(&actions[0]),
+                &mut input_buf,
+            );
             black_box(&input_buf);
         })
     });

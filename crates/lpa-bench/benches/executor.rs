@@ -1,14 +1,16 @@
 //! Execution-engine micro-benchmarks: query execution, deployment and
 //! data generation on the simulated cluster.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lpa_cluster::{Cluster, ClusterConfig, Database, EngineProfile, HardwareProfile};
 use lpa_partition::{Action, Partitioning};
 use std::hint::black_box;
 
 fn bench_execution(c: &mut Criterion) {
-    let schema = lpa_schema::microbench::schema(0.02);
-    let w = lpa_workload::microbench::workload(&schema);
+    let schema = lpa_schema::microbench::schema(0.02).expect("schema builds");
+    let w = lpa_workload::microbench::workload(&schema).expect("workload builds");
     let mut cluster = Cluster::new(
         schema.clone(),
         ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
@@ -17,8 +19,8 @@ fn bench_execution(c: &mut Criterion) {
         b.iter(|| black_box(cluster.run_query(&w.queries()[0], None)))
     });
 
-    let ch = lpa_schema::tpcch::schema(0.0005);
-    let ch_w = lpa_workload::tpcch::workload(&ch);
+    let ch = lpa_schema::tpcch::schema(0.0005).expect("schema builds");
+    let ch_w = lpa_workload::tpcch::workload(&ch).expect("workload builds");
     let mut ch_cluster = Cluster::new(
         ch,
         ClusterConfig::new(EngineProfile::pgxl(), HardwareProfile::standard()),
@@ -30,10 +32,12 @@ fn bench_execution(c: &mut Criterion) {
 }
 
 fn bench_deploy(c: &mut Criterion) {
-    let schema = lpa_schema::microbench::schema(0.02);
+    let schema = lpa_schema::microbench::schema(0.02).expect("schema builds");
     let p0 = Partitioning::initial(&schema);
     let b_table = schema.table_by_name("b").unwrap();
-    let p1 = Action::Replicate { table: b_table }.apply(&schema, &p0).unwrap();
+    let p1 = Action::Replicate { table: b_table }
+        .apply(&schema, &p0)
+        .unwrap();
     c.bench_function("executor/deploy_replicate_b", |b| {
         b.iter_batched(
             || {
@@ -49,7 +53,7 @@ fn bench_deploy(c: &mut Criterion) {
 }
 
 fn bench_datagen(c: &mut Criterion) {
-    let schema = lpa_schema::tpcch::schema(0.001);
+    let schema = lpa_schema::tpcch::schema(0.001).expect("schema builds");
     c.bench_function("executor/datagen_tpcch_sf0.001", |b| {
         b.iter(|| black_box(Database::generate(&schema, 7)))
     });

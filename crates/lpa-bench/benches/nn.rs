@@ -1,5 +1,7 @@
 //! Neural-network micro-benchmarks (the paper's 128-64 Q-network shape).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use lpa_nn::{Adam, Matrix, Mlp};
 use rand::rngs::StdRng;

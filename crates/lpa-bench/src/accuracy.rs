@@ -18,11 +18,16 @@ pub struct Approach<'a> {
     pub suggest: Box<dyn FnMut(&FrequencyVector) -> Partitioning + 'a>,
 }
 
+impl std::fmt::Debug for Approach<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Approach")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Approach<'a> {
-    pub fn new(
-        label: &'a str,
-        suggest: impl FnMut(&FrequencyVector) -> Partitioning + 'a,
-    ) -> Self {
+    pub fn new(label: &'a str, suggest: impl FnMut(&FrequencyVector) -> Partitioning + 'a) -> Self {
         Self {
             label,
             suggest: Box::new(suggest),

@@ -5,6 +5,8 @@
 //! microbenchmark and TPC-CH (offline phase, suggestion reward under a
 //! uniform mix — higher is better).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_bench::setup::cost_params;
 use lpa_bench::{figure, save_json, Benchmark};
 use lpa_cluster::HardwareProfile;
@@ -15,8 +17,8 @@ use serde_json::json;
 
 fn run(bench: Benchmark, variant: &str, seed: u64) -> f64 {
     let scale = bench.scale();
-    let schema = bench.schema(scale.sf);
-    let workload = bench.workload(&schema);
+    let schema = bench.schema(scale.sf).expect("schema builds");
+    let workload = bench.workload(&schema).expect("workload builds");
     let base = DqnConfig::simulation(scale.episodes / 2, scale.tmax).with_seed(seed);
     let cfg = match variant {
         "vanilla" => base,
@@ -42,7 +44,10 @@ fn main() {
     for bench in [Benchmark::Micro, Benchmark::Tpcch] {
         figure(
             "Ablation: DQN extensions",
-            &format!("{} offline suggestion reward (normalized; higher is better)", bench.name()),
+            &format!(
+                "{} offline suggestion reward (normalized; higher is better)",
+                bench.name()
+            ),
         );
         for variant in ["vanilla", "huber", "double", "double+huber"] {
             let r = run(bench, variant, 0xD0E);

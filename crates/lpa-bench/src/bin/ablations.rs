@@ -7,6 +7,8 @@
 //! 3. **Greedy vs exhaustive join enumeration** in the cost model (quality
 //!    of the estimates; the wall-clock side lives in the Criterion bench).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::Advisor;
 use lpa_bench::setup::cost_params;
 use lpa_bench::{figure, save_json, Benchmark};
@@ -23,14 +25,14 @@ use serde_json::json;
 fn train(with_edges: bool, seed: u64) -> (Advisor, f64) {
     let bench = Benchmark::Tpcch;
     let scale = bench.scale();
-    let mut schema = bench.schema(scale.sf);
+    let mut schema = bench.schema(scale.sf).expect("schema builds");
     if !with_edges {
         // Rebuild the schema without candidate edges: the agent can still
         // reach every co-partitioning, but only via two coordinated
         // single-table actions.
         schema = strip_edges(&schema);
     }
-    let workload = bench.workload(&schema);
+    let workload = bench.workload(&schema).expect("workload builds");
     let cfg = DqnConfig {
         episodes: scale.episodes / 2,
         ..bench.dqn_config(seed)
@@ -57,7 +59,10 @@ fn strip_edges(schema: &lpa_schema::Schema) -> lpa_schema::Schema {
 }
 
 fn main() {
-    figure("Ablation 1", "Edge actions on vs off (TPC-CH offline, suggestion reward)");
+    figure(
+        "Ablation 1",
+        "Edge actions on vs off (TPC-CH offline, suggestion reward)",
+    );
     let (_, r_with) = train(true, 0xAB1);
     let (_, r_without) = train(false, 0xAB1);
     println!("  with edge actions     reward {r_with:.5}");
@@ -67,11 +72,14 @@ fn main() {
         (1.0 - r_with / r_without) * 100.0
     );
 
-    figure("Ablation 2", "Best-state vs last-state inference (Section 6)");
+    figure(
+        "Ablation 2",
+        "Best-state vs last-state inference (Section 6)",
+    );
     let bench = Benchmark::Tpcch;
     let scale = bench.scale();
-    let schema = bench.schema(scale.sf);
-    let workload = bench.workload(&schema);
+    let schema = bench.schema(scale.sf).expect("schema builds");
+    let workload = bench.workload(&schema).expect("workload builds");
     let cfg = DqnConfig {
         episodes: scale.episodes / 2,
         ..bench.dqn_config(0xAB2)
@@ -114,7 +122,10 @@ fn main() {
     println!("  best state strictly better than last state: {best_wins}/{mixes} mixes");
     println!("  mean reward gap (best vs last): {mean_gap:+.2}%");
 
-    figure("Ablation 3", "Greedy vs exhaustive join enumeration (plan quality)");
+    figure(
+        "Ablation 3",
+        "Greedy vs exhaustive join enumeration (plan quality)",
+    );
     let greedy = NetworkCostModel::new(cost_params(HardwareProfile::standard()));
     let exhaustive = NetworkCostModel::new(cost_params(HardwareProfile::standard()))
         .with_enumeration(JoinEnumeration::Exhaustive);
@@ -136,9 +147,9 @@ fn main() {
     save_json(
         "ablations",
         &json!({
-            "edge_actions": { "with": r_with, "without": r_without },
-            "inference": { "best_wins": best_wins, "mixes": mixes, "mean_gap_pct": mean_gap },
-            "join_enum": { "greedy_over_exhaustive": total_g / total_e, "worst_ratio": worst_ratio },
+            "edge_actions": json!({ "with": r_with, "without": r_without }),
+            "inference": json!({ "best_wins": best_wins, "mixes": mixes, "mean_gap_pct": mean_gap }),
+            "join_enum": json!({ "greedy_over_exhaustive": total_g / total_e, "worst_ratio": worst_ratio }),
         }),
     );
 }

@@ -7,6 +7,8 @@
 //! minimum-optimizer baseline (Postgres-XL only — System-X hides optimizer
 //! estimates) and the offline RL agent.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_baselines::{heuristic_a, heuristic_b, minimum_optimizer_partitioning};
 use lpa_bench::setup::{cluster, eval_partitioning, offline_advisor};
 use lpa_bench::{bar, figure, save_json, Benchmark};
@@ -19,9 +21,9 @@ fn main() {
     for bench in [Benchmark::Ssb, Benchmark::Tpcds, Benchmark::Tpcch] {
         for kind in [EngineKind::PgXlLike, EngineKind::SystemXLike] {
             let scale = bench.scale();
-            let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+            let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
             let schema = full.schema().clone();
-            let workload = bench.workload(&schema);
+            let workload = bench.workload(&schema).expect("workload builds");
             let freqs = workload.uniform_frequencies();
             let engine_name = full.engine().name().to_string();
 
@@ -46,12 +48,18 @@ fn main() {
                 println!("  {:<38} {:>14}", "Minimum Optimizer", "not available");
             }
 
-            eprintln!("[training offline RL agent for {} / {engine_name}…]", bench.name());
-            let mut advisor = offline_advisor(bench, kind, hw, 0xA11CE);
+            eprintln!(
+                "[training offline RL agent for {} / {engine_name}…]",
+                bench.name()
+            );
+            let mut advisor = offline_advisor(bench, kind, hw, 0xA11CE).expect("advisor trains");
             let suggestion = advisor.suggest(&freqs);
             let t_rl = eval_partitioning(&mut full, &workload, &freqs, &suggestion.partitioning);
             bar("RL (offline)", t_rl, "s");
-            println!("  RL partitioning: {}", suggestion.partitioning.describe(&schema));
+            println!(
+                "  RL partitioning: {}",
+                suggestion.partitioning.describe(&schema)
+            );
 
             all.push(json!({
                 "benchmark": bench.name(),

@@ -6,6 +6,8 @@
 //! the heuristics, the minimum-optimizer baseline and the purely
 //! offline-trained agent.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::OnlineOptimizations;
 use lpa_baselines::{heuristic_a, heuristic_b, minimum_optimizer_partitioning};
 use lpa_bench::setup::{cluster, eval_partitioning, offline_advisor, refine_online};
@@ -18,9 +20,9 @@ fn main() {
     let kind = EngineKind::PgXlLike;
     let hw = HardwareProfile::standard();
     let scale = bench.scale();
-    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
     let schema = full.schema().clone();
-    let workload = bench.workload(&schema);
+    let workload = bench.workload(&schema).expect("workload builds");
     let freqs = workload.uniform_frequencies();
 
     figure("Fig. 4a", "TPC-CH on Postgres-XL — workload runtime (s)");
@@ -37,13 +39,18 @@ fn main() {
     bar("Minimum Optimizer", t_opt, "s");
 
     eprintln!("[offline training…]");
-    let mut advisor = offline_advisor(bench, kind, hw, 0xA11CE);
+    let mut advisor = offline_advisor(bench, kind, hw, 0xA11CE).expect("advisor trains");
     let p_off = advisor.suggest(&freqs).partitioning;
     let t_off = eval_partitioning(&mut full, &workload, &freqs, &p_off);
     bar("RL offline", t_off, "s");
 
     eprintln!("[online refinement on the sampled cluster…]");
-    refine_online(&mut advisor, &mut full, bench, OnlineOptimizations::default());
+    refine_online(
+        &mut advisor,
+        &mut full,
+        bench,
+        OnlineOptimizations::default(),
+    );
     let p_on = advisor.suggest(&freqs).partitioning;
     let t_on = eval_partitioning(&mut full, &workload, &freqs, &p_on);
     bar("RL online", t_on, "s");

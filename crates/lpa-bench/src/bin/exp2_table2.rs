@@ -6,6 +6,8 @@
 //! (fewer episodes, warm ε) yields the final +Offline Phase row — exactly
 //! the paper's measurement methodology (Section 7.3).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::{shared_cache, shared_cluster, Advisor, OnlineBackend, OnlineOptimizations};
 use lpa_bench::setup::{cluster, cost_params, offline_advisor, refine_online};
 use lpa_bench::{figure, save_json, Benchmark};
@@ -23,9 +25,9 @@ fn main() {
     // --- Run 1: online training from scratch (random init, full budget),
     // fully instrumented.
     eprintln!("[run 1: online training from scratch…]");
-    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
     let schema = full.schema().clone();
-    let workload = bench.workload(&schema);
+    let workload = bench.workload(&schema).expect("workload builds");
     let mut sample = full.sampled(scale.sample_fraction);
     let p0 = lpa_partition::Partitioning::initial(&schema);
     let scale_factors =
@@ -55,14 +57,17 @@ fn main() {
 
     // --- Run 2: offline-bootstrapped agent, reduced online budget.
     eprintln!("[run 2: offline bootstrap + short online refinement…]");
-    let mut full2 = cluster(bench, kind, hw, scale.sf, 0xF16);
-    let mut boot = offline_advisor(bench, kind, hw, 0xA11CE);
+    let mut full2 = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
+    let mut boot = offline_advisor(bench, kind, hw, 0xA11CE).expect("advisor trains");
     // Sanity: the offline phase used the cost model, not the cluster.
     let _ = NetworkCostModel::new(cost_params(hw));
     refine_online(&mut boot, &mut full2, bench, OnlineOptimizations::default());
     let boot_acc = boot.online_accounting().expect("cluster backend");
 
-    figure("Table 2", "Training-time reduction of optimizations (simulated hours)");
+    figure(
+        "Table 2",
+        "Training-time reduction of optimizations (simulated hours)",
+    );
     let rows = [
         ("None", acc.row_none()),
         ("+ Runtime Cache", acc.row_cache()),
@@ -71,7 +76,10 @@ fn main() {
         ("+ Offline Phase", boot_acc.total()),
     ];
     let mut prev: Option<f64> = None;
-    println!("  {:<24} {:>14} {:>9}", "Optimizations", "Training Time", "Speedup");
+    println!(
+        "  {:<24} {:>14} {:>9}",
+        "Optimizations", "Training Time", "Speedup"
+    );
     for (label, secs) in rows {
         let hours = secs / 3600.0;
         match prev {

@@ -6,6 +6,8 @@
 //! engine's plans flip once statistics change; the RL partitioning stays
 //! best.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::OnlineOptimizations;
 use lpa_baselines::{heuristic_a, heuristic_b, minimum_optimizer_partitioning};
 use lpa_bench::setup::{cluster, eval_partitioning, offline_advisor, refine_online};
@@ -18,9 +20,9 @@ fn main() {
     let kind = EngineKind::PgXlLike;
     let hw = HardwareProfile::standard();
     let scale = bench.scale();
-    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
     let schema = full.schema().clone();
-    let workload = bench.workload(&schema);
+    let workload = bench.workload(&schema).expect("workload builds");
     let freqs = workload.uniform_frequencies();
 
     let ha = heuristic_a(&schema, &workload, bench.class());
@@ -29,11 +31,19 @@ fn main() {
         .expect("PgXL exposes estimates");
 
     eprintln!("[training RL advisor (offline + online)…]");
-    let mut advisor = offline_advisor(bench, kind, hw, 0xA11CE);
-    refine_online(&mut advisor, &mut full, bench, OnlineOptimizations::default());
+    let mut advisor = offline_advisor(bench, kind, hw, 0xA11CE).expect("advisor trains");
+    refine_online(
+        &mut advisor,
+        &mut full,
+        bench,
+        OnlineOptimizations::default(),
+    );
     let p_rl = advisor.suggest(&freqs).partitioning;
 
-    figure("Fig. 4b", "TPC-CH with bulk updates — workload runtime (s), no retraining");
+    figure(
+        "Fig. 4b",
+        "TPC-CH with bulk updates — workload runtime (s), no retraining",
+    );
     let mut series = vec![
         Series::new("Heuristic (a)"),
         Series::new("Heuristic (b)"),
@@ -55,7 +65,10 @@ fn main() {
         }
         let label = format!("+{:.0}%", pct * 100.0);
         for (s, p) in series.iter_mut().zip([&ha, &hb, &p_opt, &p_rl]) {
-            s.push(label.clone(), eval_partitioning(&mut full, &workload, &freqs, p));
+            s.push(
+                label.clone(),
+                eval_partitioning(&mut full, &workload, &freqs, p),
+            );
         }
     }
     for s in &series {

@@ -6,6 +6,8 @@
 //! A (uniform frequencies) and B (queries joining `stock` and `item`
 //! over-represented).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::{AdvisorEnv, Committee, OnlineBackend, OnlineOptimizations, RewardBackend};
 use lpa_bench::setup::{cluster, offline_advisor, refine_online};
 use lpa_bench::{accuracy, figure, save_json, Approach, Benchmark};
@@ -20,19 +22,24 @@ fn main() {
     let kind = EngineKind::PgXlLike;
     let hw = HardwareProfile::standard();
     let scale = bench.scale();
-    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
     let schema = full.schema().clone();
-    let workload = bench.workload(&schema);
+    let workload = bench.workload(&schema).expect("workload builds");
     let freqs = workload.uniform_frequencies();
 
     eprintln!("[training naive advisor (offline + online)…]");
-    let mut naive = offline_advisor(bench, kind, hw, 0xA11CE);
+    let mut naive = offline_advisor(bench, kind, hw, 0xA11CE).expect("advisor trains");
     refine_online(&mut naive, &mut full, bench, OnlineOptimizations::default());
 
     // Shared handles so the experts and the probes reuse the runtime cache.
     let (shared_cluster, shared_cache, scale_factors, opts) = {
         let b = naive.env.backend().as_online().expect("online backend");
-        (b.cluster(), b.cache(), b.scale_factors().to_vec(), b.optimizations())
+        (
+            b.cluster(),
+            b.cache(),
+            b.scale_factors().to_vec(),
+            b.optimizations(),
+        )
     };
 
     eprintln!("[training committee of subspace experts…]");
@@ -84,7 +91,10 @@ fn main() {
     let hot = lpa_workload::tpcch::stock_item_queries(&schema, &workload);
     let mixes = 30;
     let mut results = Vec::new();
-    figure("Fig. 5", "Best partitioning found per workload cluster (accuracy, higher is better)");
+    figure(
+        "Fig. 5",
+        "Best partitioning found per workload cluster (accuracy, higher is better)",
+    );
     for (cluster_name, mut sampler) in [
         ("Workload A (uniform)", MixSampler::uniform(&workload)),
         (
@@ -103,7 +113,7 @@ fn main() {
             }),
             Approach::new("RL Subspace Experts", |f| {
                 let mut guard = naive_cell.borrow_mut();
-                committee_ref.suggest(&mut **guard, f).partitioning
+                committee_ref.suggest(&mut guard, f).partitioning
             }),
             Approach::fixed("Heuristic (a) [online optimum]", h_a.clone()),
             Approach::fixed("Heuristic (b) [stock-item]", h_b.clone()),

@@ -6,6 +6,8 @@
 //! the additional simulated training time relative to training an advisor
 //! from scratch on the full workload.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::{
     incremental, shared_cache, shared_cluster, Advisor, OnlineBackend, OnlineOptimizations,
 };
@@ -48,8 +50,7 @@ fn train_for(
     let mut sample = full.sampled(scale.sample_fraction);
     let uniform = workload.uniform_frequencies();
     let p_off = advisor.suggest(&uniform).partitioning;
-    let s =
-        OnlineBackend::compute_scale_factors(full, &mut sample, &workload, &p_off);
+    let s = OnlineBackend::compute_scale_factors(full, &mut sample, &workload, &p_off);
     let backend = OnlineBackend::new(
         shared_cluster(sample),
         shared_cache(),
@@ -66,12 +67,18 @@ fn main() {
     let kind = EngineKind::PgXlLike;
     let hw = HardwareProfile::standard();
     let scale = bench.scale();
-    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
     let schema = full.schema().clone();
-    let full_workload = bench.workload(&schema);
+    let full_workload = bench.workload(&schema).expect("workload builds");
 
     eprintln!("[training reference advisor from scratch on the full workload…]");
-    let (_, t_scratch) = train_for(bench, &mut full, full_workload.clone(), scale.episodes / 3, 0x5C);
+    let (_, t_scratch) = train_for(
+        bench,
+        &mut full,
+        full_workload.clone(),
+        scale.episodes / 3,
+        0x5C,
+    );
     eprintln!("[scratch training: {:.1} simulated h]", t_scratch / 3600.0);
 
     figure(

@@ -7,6 +7,8 @@
 //! optimizations shared; the paper shows the RL agent still wins because
 //! it visits about 3x as many distinct partitionings.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::{OnlineBackend, OnlineOptimizations};
 use lpa_baselines::{NeuralCostAdvisor, NeuralCostVariant};
 use lpa_bench::setup::{cluster, cost_params, eval_partitioning, offline_advisor, refine_online};
@@ -21,13 +23,13 @@ fn main() {
     let kind = EngineKind::PgXlLike;
     let hw = HardwareProfile::standard();
     let scale = bench.scale();
-    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+    let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
     let schema = full.schema().clone();
-    let workload = bench.workload(&schema);
+    let workload = bench.workload(&schema).expect("workload builds");
     let freqs = workload.uniform_frequencies();
 
     eprintln!("[RL offline…]");
-    let mut rl = offline_advisor(bench, kind, hw, 0xA11CE);
+    let mut rl = offline_advisor(bench, kind, hw, 0xA11CE).expect("advisor trains");
     let p_rl_off = rl.suggest(&freqs).partitioning;
     let t_rl_off = eval_partitioning(&mut full, &workload, &freqs, &p_rl_off);
 
@@ -80,7 +82,10 @@ fn main() {
         variants.push((label, advisor, t, distinct));
     }
 
-    figure("Fig. 7a", "TPC-CH workload runtime (s): RL vs learned cost models");
+    figure(
+        "Fig. 7a",
+        "TPC-CH workload runtime (s): RL vs learned cost models",
+    );
     bar("RL (offline)", t_rl_off, "s");
     bar("RL online", t_rl_on, "s");
     for (label, _, t, distinct) in &variants {
@@ -101,7 +106,10 @@ fn main() {
     let (lbl_explore, explore, ..) = iter.next().unwrap();
     for (name, mut sampler) in [
         ("Workload A", MixSampler::uniform(&workload)),
-        ("Workload B", MixSampler::emphasis(&workload, hot.clone(), 6.0)),
+        (
+            "Workload B",
+            MixSampler::emphasis(&workload, hot.clone(), 6.0),
+        ),
     ] {
         let rl_ref = &mut rl;
         let mut approaches = vec![
@@ -109,7 +117,14 @@ fn main() {
             Approach::new(lbl_exploit, |f| exploit.suggest(f)),
             Approach::new(lbl_explore, |f| explore.suggest(f)),
         ];
-        let acc = accuracy(&mut approaches, &mut probe, &workload, &mut sampler, 24, 0x7B);
+        let acc = accuracy(
+            &mut approaches,
+            &mut probe,
+            &workload,
+            &mut sampler,
+            24,
+            0x7B,
+        );
         println!("  -- {name}");
         for (label, a) in &acc {
             println!("    {label:<36} {:>6.1}%", a * 100.0);
@@ -120,14 +135,14 @@ fn main() {
     save_json(
         "exp4_learned_cost",
         &json!({
-            "fig7a": {
+            "fig7a": json!({
                 "rl_offline_s": t_rl_off,
                 "rl_online_s": t_rl_on,
                 "exploit_s": t_exploit,
                 "explore_s": t_explore,
                 "exploit_distinct": d_exploit,
                 "explore_distinct": d_explore,
-            },
+            }),
             "fig7b": fig7b,
         }),
     );

@@ -8,6 +8,8 @@
 //! freshly retrained RL agent picks the right side of the crossover on
 //! every deployment.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_advisor::OnlineOptimizations;
 use lpa_bench::setup::{cluster, eval_partitioning, refine_online};
 use lpa_bench::{figure, save_json, Benchmark};
@@ -24,9 +26,21 @@ fn main() {
     let scale = bench.scale();
 
     let deployments = [
-        ("Fig. 8a", "standard HW, 10 Gbps", HardwareProfile::standard()),
-        ("Fig. 8a", "standard HW, 0.6 Gbps", HardwareProfile::slow_network()),
-        ("Fig. 8b", "slower compute, 10 Gbps", HardwareProfile::slow_compute()),
+        (
+            "Fig. 8a",
+            "standard HW, 10 Gbps",
+            HardwareProfile::standard(),
+        ),
+        (
+            "Fig. 8a",
+            "standard HW, 0.6 Gbps",
+            HardwareProfile::slow_network(),
+        ),
+        (
+            "Fig. 8b",
+            "slower compute, 10 Gbps",
+            HardwareProfile::slow_compute(),
+        ),
         (
             "Fig. 8b",
             "slower compute, 0.6 Gbps",
@@ -36,9 +50,9 @@ fn main() {
 
     let mut results = Vec::new();
     for (fig, label, hw) in deployments {
-        let mut full = cluster(bench, kind, hw, scale.sf, 0xF16);
+        let mut full = cluster(bench, kind, hw, scale.sf, 0xF16).expect("cluster builds");
         let schema = full.schema().clone();
-        let workload = bench.workload(&schema);
+        let workload = bench.workload(&schema).expect("workload builds");
         let freqs = workload.uniform_frequencies();
 
         // Fixed variants: a co-partitioned with c; b partitioned vs
@@ -70,15 +84,38 @@ fn main() {
             cfg,
             true,
         );
-        refine_online(&mut advisor, &mut full, bench, OnlineOptimizations::default());
+        refine_online(
+            &mut advisor,
+            &mut full,
+            bench,
+            OnlineOptimizations::default(),
+        );
         let p_rl = advisor.suggest(&freqs).partitioning;
         let t_rl = eval_partitioning(&mut full, &workload, &freqs, &p_rl);
 
         let slowest = t_repl.max(t_part).max(t_rl);
-        figure(fig, &format!("{label} — speedup over slowest (higher is better)"));
-        println!("  {:<26} {:>8.2}x  ({:.3} s)", "B replicated", slowest / t_repl, t_repl);
-        println!("  {:<26} {:>8.2}x  ({:.3} s)", "B partitioned", slowest / t_part, t_part);
-        println!("  {:<26} {:>8.2}x  ({:.3} s)", "RL online", slowest / t_rl, t_rl);
+        figure(
+            fig,
+            &format!("{label} — speedup over slowest (higher is better)"),
+        );
+        println!(
+            "  {:<26} {:>8.2}x  ({:.3} s)",
+            "B replicated",
+            slowest / t_repl,
+            t_repl
+        );
+        println!(
+            "  {:<26} {:>8.2}x  ({:.3} s)",
+            "B partitioned",
+            slowest / t_part,
+            t_part
+        );
+        println!(
+            "  {:<26} {:>8.2}x  ({:.3} s)",
+            "RL online",
+            slowest / t_rl,
+            t_rl
+        );
         println!("  RL chose: {}", p_rl.describe(&schema));
 
         results.push(json!({

@@ -4,6 +4,8 @@
 //! values, plus the scaled simulation configurations the harness actually
 //! runs with (same relative settings, fewer episodes/steps).
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_bench::{figure, Benchmark};
 use lpa_rl::DqnConfig;
 
@@ -14,7 +16,10 @@ fn print_cfg(label: &str, c: &DqnConfig) {
     println!("    Optimizer                      {:>10}", "Adam");
     println!("    Experience Replay Buffer Size  {:>10}", c.buffer_size);
     println!("    Batch Size for Experience Rep. {:>10}", c.batch_size);
-    println!("    Epsilon Decay                  {:>10.4}", c.epsilon_decay);
+    println!(
+        "    Epsilon Decay                  {:>10.4}",
+        c.epsilon_decay
+    );
     println!("    tmax (Max Stepsize)            {:>10}", c.tmax);
     println!("    Episodes                       {:>10}", c.episodes);
     println!(
@@ -31,10 +36,18 @@ fn print_cfg(label: &str, c: &DqnConfig) {
 fn main() {
     figure("Table 1", "Hyperparameters used for DRL training");
     print_cfg("paper (SSB: 600 episodes)", &DqnConfig::paper());
-    print_cfg("paper (TPC-DS / TPC-CH: 1200 episodes)", &DqnConfig::paper_large());
+    print_cfg(
+        "paper (TPC-DS / TPC-CH: 1200 episodes)",
+        &DqnConfig::paper_large(),
+    );
     println!();
     println!("  Scaled simulation configurations used by this harness:");
-    for b in [Benchmark::Ssb, Benchmark::Tpcds, Benchmark::Tpcch, Benchmark::Micro] {
+    for b in [
+        Benchmark::Ssb,
+        Benchmark::Tpcds,
+        Benchmark::Tpcch,
+        Benchmark::Micro,
+    ] {
         print_cfg(b.name(), &b.dqn_config(0));
     }
 }

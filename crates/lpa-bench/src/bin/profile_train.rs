@@ -1,4 +1,7 @@
 //! Probe: why does exp5's RL pick s0 on standard HW?
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa_bench::setup::cost_params;
 use lpa_bench::Benchmark;
 use lpa_cluster::HardwareProfile;
@@ -10,8 +13,8 @@ use lpa_workload::MixSampler;
 fn main() {
     let bench = Benchmark::Micro;
     let scale = bench.scale();
-    let schema = bench.schema(scale.sf);
-    let workload = bench.workload(&schema);
+    let schema = bench.schema(scale.sf).expect("schema builds");
+    let workload = bench.workload(&schema).expect("workload builds");
     let f = workload.uniform_frequencies();
     for hw in [HardwareProfile::standard(), HardwareProfile::slow_network()] {
         let model = NetworkCostModel::new(cost_params(hw));
@@ -29,15 +32,31 @@ fn main() {
         let ab_part = Partitioning::from_states(&schema, st2);
         let s0 = Partitioning::initial(&schema);
         eprintln!("net_bw={:.2e}", hw.net_bandwidth);
-        for (l, p) in [("s0", &s0), ("a-c copart, b part", &b_part), ("a-c copart, b repl", &b_repl), ("a-b copart", &ab_part)] {
-            eprintln!("  {l:<22} cm={:.5}", model.workload_cost(&schema, &workload, &f, p));
+        for (l, p) in [
+            ("s0", &s0),
+            ("a-c copart, b part", &b_part),
+            ("a-c copart, b repl", &b_repl),
+            ("a-b copart", &ab_part),
+        ] {
+            eprintln!(
+                "  {l:<22} cm={:.5}",
+                model.workload_cost(&schema, &workload, &f, p)
+            );
         }
         let cfg = DqnConfig::simulation(scale.episodes, scale.tmax).with_seed(0xDE9);
         let mut advisor = lpa_advisor::Advisor::train_offline(
-            schema.clone(), workload.clone(),
+            schema.clone(),
+            workload.clone(),
             NetworkCostModel::new(cost_params(hw)),
-            MixSampler::uniform(&workload), cfg, true);
+            MixSampler::uniform(&workload),
+            cfg,
+            true,
+        );
         let s = advisor.suggest(&f);
-        eprintln!("  offline agent: reward {:.5} → {}", s.reward, s.partitioning.describe(&schema));
+        eprintln!(
+            "  offline agent: reward {:.5} → {}",
+            s.reward,
+            s.partitioning.describe(&schema)
+        );
     }
 }

@@ -6,6 +6,10 @@
 //! scaled Table-1 configuration, evaluating partitionings on fresh
 //! clusters, and printing/saving results.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod accuracy;
 pub mod report;
 pub mod setup;

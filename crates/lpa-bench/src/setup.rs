@@ -1,9 +1,7 @@
 //! Benchmark instances, cluster construction and advisor training at
 //! simulator scale.
 
-use lpa_advisor::{
-    shared_cluster, Advisor, OnlineBackend, OnlineOptimizations, SharedCluster,
-};
+use lpa_advisor::{shared_cluster, Advisor, OnlineBackend, OnlineOptimizations, SharedCluster};
 use lpa_baselines::SchemaClass;
 use lpa_cluster::{Cluster, ClusterConfig, EngineKind, EngineProfile, HardwareProfile};
 use lpa_costmodel::{CostParams, NetworkCostModel};
@@ -45,7 +43,7 @@ impl Benchmark {
         }
     }
 
-    pub fn schema(&self, sf: f64) -> Schema {
+    pub fn schema(&self, sf: f64) -> Result<Schema, lpa_schema::SchemaError> {
         match self {
             Self::Ssb => lpa_schema::ssb::schema(sf),
             Self::Tpcds => lpa_schema::tpcds::schema(sf),
@@ -54,7 +52,7 @@ impl Benchmark {
         }
     }
 
-    pub fn workload(&self, schema: &Schema) -> Workload {
+    pub fn workload(&self, schema: &Schema) -> Result<Workload, lpa_workload::QueryError> {
         match self {
             Self::Ssb => lpa_workload::ssb::workload(schema),
             Self::Tpcds => lpa_workload::tpcds::workload(schema),
@@ -127,6 +125,36 @@ pub fn engine(kind: EngineKind) -> EngineProfile {
     }
 }
 
+/// Benchmark setup failure: a static schema or workload failed to build.
+#[derive(Debug)]
+pub enum SetupError {
+    Schema(lpa_schema::SchemaError),
+    Workload(lpa_workload::QueryError),
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Schema(e) => write!(f, "schema: {e}"),
+            Self::Workload(e) => write!(f, "workload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+impl From<lpa_schema::SchemaError> for SetupError {
+    fn from(e: lpa_schema::SchemaError) -> Self {
+        Self::Schema(e)
+    }
+}
+
+impl From<lpa_workload::QueryError> for SetupError {
+    fn from(e: lpa_workload::QueryError) -> Self {
+        Self::Workload(e)
+    }
+}
+
 /// A fresh cluster for a benchmark on the given engine/hardware.
 pub fn cluster(
     bench: Benchmark,
@@ -134,11 +162,11 @@ pub fn cluster(
     hw: HardwareProfile,
     sf: f64,
     seed: u64,
-) -> Cluster {
-    Cluster::new(
-        bench.schema(sf),
+) -> Result<Cluster, SetupError> {
+    Ok(Cluster::new(
+        bench.schema(sf)?,
         ClusterConfig::new(engine(kind), hw).with_seed(seed),
-    )
+    ))
 }
 
 /// Cost-model parameters matching a hardware profile (the advisor's simple
@@ -159,20 +187,20 @@ pub fn offline_advisor(
     kind: EngineKind,
     hw: HardwareProfile,
     seed: u64,
-) -> Advisor {
+) -> Result<Advisor, SetupError> {
     let scale = bench.scale();
-    let schema = bench.schema(scale.sf);
-    let workload = bench.workload(&schema);
+    let schema = bench.schema(scale.sf)?;
+    let workload = bench.workload(&schema)?;
     let sampler = MixSampler::uniform(&workload);
     let cfg = bench.dqn_config(seed);
-    Advisor::train_offline(
+    Ok(Advisor::train_offline(
         schema,
         workload,
         NetworkCostModel::new(cost_params(hw)),
         sampler,
         cfg,
         engine(kind).supports_compound_keys,
-    )
+    ))
 }
 
 /// Build the sampled cluster + online backend for an offline advisor and
@@ -220,13 +248,22 @@ mod tests {
 
     #[test]
     fn scales_exist_for_all_benchmarks() {
-        for b in [Benchmark::Ssb, Benchmark::Tpcds, Benchmark::Tpcch, Benchmark::Micro] {
+        for b in [
+            Benchmark::Ssb,
+            Benchmark::Tpcds,
+            Benchmark::Tpcch,
+            Benchmark::Micro,
+        ] {
             let s = b.scale();
             assert!(s.sf > 0.0 && s.sample_fraction < 1.0);
-            let schema = b.schema(s.sf);
-            let w = b.workload(&schema);
+            let schema = b.schema(s.sf).expect("schema builds");
+            let w = b.workload(&schema).expect("workload builds");
             assert!(!w.queries().is_empty());
-            assert!(s.tmax >= schema.tables().len(), "{}: t_max >= |T|", b.name());
+            assert!(
+                s.tmax >= schema.tables().len(),
+                "{}: t_max >= |T|",
+                b.name()
+            );
         }
     }
 
@@ -238,9 +275,10 @@ mod tests {
             HardwareProfile::standard(),
             0.002,
             1,
-        );
+        )
+        .expect("cluster builds");
         let schema = c.schema().clone();
-        let w = Benchmark::Micro.workload(&schema);
+        let w = Benchmark::Micro.workload(&schema).expect("workload builds");
         let f = w.uniform_frequencies();
         let p = Partitioning::initial(&schema);
         let a = eval_partitioning(&mut c, &w, &f, &p);

@@ -37,9 +37,14 @@ impl ClusterConfig {
 /// Result of one query execution.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum QueryOutcome {
-    Completed { seconds: f64, output_rows: u64 },
+    Completed {
+        seconds: f64,
+        output_rows: u64,
+    },
     /// Aborted by the caller-supplied timeout; `limit` seconds were spent.
-    TimedOut { limit: f64 },
+    TimedOut {
+        limit: f64,
+    },
 }
 
 impl QueryOutcome {
@@ -61,6 +66,7 @@ impl QueryOutcome {
 
 /// A simulated distributed database cluster holding generated data sharded
 /// by the currently deployed partitioning.
+#[derive(Debug)]
 pub struct Cluster {
     base_schema: Schema,
     schema: Schema,
@@ -234,7 +240,9 @@ impl Cluster {
                 }
             }
             None => {
-                let limit = timeout.expect("only timeouts abort execution");
+                // Execution only aborts when a timeout was set; a missing
+                // limit degrades to an instant timeout rather than a panic.
+                let limit = timeout.unwrap_or(0.0);
                 self.clock_seconds += limit;
                 QueryOutcome::TimedOut { limit }
             }
@@ -307,8 +315,8 @@ mod tests {
     use lpa_partition::Action;
 
     fn micro_cluster() -> (Cluster, Workload) {
-        let schema = lpa_schema::microbench::schema(0.003);
-        let w = lpa_workload::microbench::workload(&schema);
+        let schema = lpa_schema::microbench::schema(0.003).expect("schema builds");
+        let w = lpa_workload::microbench::workload(&schema).expect("workload builds");
         let c = Cluster::new(
             schema,
             ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
@@ -337,8 +345,7 @@ mod tests {
             QueryOutcome::Completed { output_rows, .. } => {
                 let expected = a_rows * 0.03;
                 assert!(
-                    (output_rows as f64) > expected * 0.5
-                        && (output_rows as f64) < expected * 1.8,
+                    (output_rows as f64) > expected * 0.5 && (output_rows as f64) < expected * 1.8,
                     "got {output_rows}, expected ≈{expected}"
                 );
             }
@@ -434,8 +441,8 @@ mod tests {
         // End-to-end check of the inheritance machinery: co-partitioning
         // order and customer by district makes the key join local (zero
         // shuffled bytes for that join) even though the join is on c_key.
-        let schema = lpa_schema::tpcch::schema(0.0015);
-        let w = lpa_workload::tpcch::workload(&schema);
+        let schema = lpa_schema::tpcch::schema(0.0015).expect("schema builds");
+        let w = lpa_workload::tpcch::workload(&schema).expect("workload builds");
         let q13 = w.queries().iter().find(|q| q.name == "ch_q13").unwrap();
         let mut c = Cluster::new(
             schema.clone(),

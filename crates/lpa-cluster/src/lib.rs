@@ -30,6 +30,10 @@
 //! data volumes, experiments are deterministic and the training-time ledger
 //! of Table 2 can be reproduced exactly.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cluster;
 pub mod datagen;
 pub mod engine;

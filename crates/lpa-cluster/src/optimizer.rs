@@ -121,16 +121,16 @@ mod tests {
     use super::*;
 
     fn setup() -> (Schema, lpa_workload::Workload, OptimizerEstimator) {
-        let s = lpa_schema::ssb::schema(0.01);
-        let w = lpa_workload::ssb::workload(&s);
+        let s = lpa_schema::ssb::schema(0.01).expect("schema builds");
+        let w = lpa_workload::ssb::workload(&s).expect("workload builds");
         let o = OptimizerEstimator::new(EngineProfile::pgxl(), HardwareProfile::standard());
         (s, w, o)
     }
 
     #[test]
     fn system_x_hides_estimates() {
-        let s = lpa_schema::ssb::schema(0.01);
-        let w = lpa_workload::ssb::workload(&s);
+        let s = lpa_schema::ssb::schema(0.01).expect("schema builds");
+        let w = lpa_workload::ssb::workload(&s).expect("workload builds");
         let o = OptimizerEstimator::new(EngineProfile::system_x(), HardwareProfile::standard());
         let p = Partitioning::initial(&s);
         assert!(o.estimate_cost(&s, &w.queries()[0], &p, 0).is_none());

@@ -36,7 +36,9 @@ pub fn partition_imbalance(schema: &Schema, attr: AttrRef, nodes: usize) -> f64 
     let hot_share = match schema.attribute(attr).skew {
         Skew::Uniform => 1.0 / d as f64,
         Skew::Zipf(theta) => {
-            let h: f64 = (1..=d.min(100_000)).map(|k| 1.0 / (k as f64).powf(theta)).sum();
+            let h: f64 = (1..=d.min(100_000))
+                .map(|k| 1.0 / (k as f64).powf(theta))
+                .sum();
             1.0 / h
         }
     };
@@ -49,7 +51,7 @@ mod tests {
 
     #[test]
     fn high_cardinality_uniform_is_balanced() {
-        let s = lpa_schema::ssb::schema(1.0);
+        let s = lpa_schema::ssb::schema(1.0).expect("schema builds");
         let pk = s.attr_ref("lineorder", "lo_orderkey").unwrap();
         let f = partition_imbalance(&s, pk, 4);
         assert!((f - 0.25).abs() < 1e-9, "got {f}");
@@ -57,7 +59,7 @@ mod tests {
 
     #[test]
     fn low_cardinality_is_imbalanced() {
-        let s = lpa_schema::tpcch::schema(1.0);
+        let s = lpa_schema::tpcch::schema(1.0).expect("schema builds");
         let d_id = s.attr_ref("customer", "c_d_id").unwrap(); // 10 values, Zipf
         let f = partition_imbalance(&s, d_id, 4);
         // ceil(10/4)/10 = 0.3 from buckets alone, more with skew.
@@ -70,7 +72,7 @@ mod tests {
 
     #[test]
     fn bounded_by_one_and_uniform_floor() {
-        let s = lpa_schema::tpcch::schema(1.0);
+        let s = lpa_schema::tpcch::schema(1.0).expect("schema builds");
         for t in 0..s.tables().len() {
             let table = lpa_schema::TableId(t);
             for (a, _) in s.table(table).attributes.iter().enumerate() {
@@ -86,7 +88,7 @@ mod tests {
 
     #[test]
     fn more_nodes_never_increase_balance_beyond_domain() {
-        let s = lpa_schema::tpcch::schema(1.0);
+        let s = lpa_schema::tpcch::schema(1.0).expect("schema builds");
         let d_id = s.attr_ref("district", "d_id").unwrap();
         let f4 = partition_imbalance(&s, d_id, 4);
         let f100 = partition_imbalance(&s, d_id, 100);

@@ -11,6 +11,10 @@
 //! partition keys, which the paper notes its cost model captured for the
 //! TPC-CH compound-key case.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod imbalance;
 pub mod model;
 pub mod params;

@@ -238,12 +238,22 @@ impl NetworkCostModel {
                     continue;
                 }
                 done = false;
-                let new_table = if a_in { tb } else if b_in { ta } else { continue };
+                let new_table = if a_in {
+                    tb
+                } else if b_in {
+                    ta
+                } else {
+                    continue;
+                };
                 let right = self.base_side(schema, query, p, new_table);
                 let (step, next) =
                     self.join_sides(schema, query, &inter, &right, join, ji, new_table);
                 let cost = step.net_seconds + step.cpu_seconds;
-                if choice.as_ref().map(|(_, _, _, _, c)| cost < *c).unwrap_or(true) {
+                if choice
+                    .as_ref()
+                    .map(|(_, _, _, _, c)| cost < *c)
+                    .unwrap_or(true)
+                {
                     choice = Some((ji, new_table, step, next, cost));
                 }
             }
@@ -331,32 +341,67 @@ impl NetworkCostModel {
             let b_in = inter.tables & (1 << tb.0) != 0;
             if a_in && b_in {
                 used[ji] = true;
-                self.dfs(schema, query, p, inter.clone(), used, steps, cost, start, best);
+                self.dfs(
+                    schema,
+                    query,
+                    p,
+                    inter.clone(),
+                    used,
+                    steps,
+                    cost,
+                    start,
+                    best,
+                );
                 used[ji] = false;
                 extended = true;
                 continue;
             }
-            let new_table = if a_in { tb } else if b_in { ta } else { continue };
+            let new_table = if a_in {
+                tb
+            } else if b_in {
+                ta
+            } else {
+                continue;
+            };
             extended = true;
             let right = self.base_side(schema, query, p, new_table);
-            let (step, next) =
-                self.join_sides(schema, query, &inter, &right, &query.joins[ji], ji, new_table);
+            let (step, next) = self.join_sides(
+                schema,
+                query,
+                &inter,
+                &right,
+                &query.joins[ji],
+                ji,
+                new_table,
+            );
             let step_cost = step.net_seconds + step.cpu_seconds;
             used[ji] = true;
             steps.push(step);
-            self.dfs(schema, query, p, next, used, steps, cost + step_cost, start, best);
+            self.dfs(
+                schema,
+                query,
+                p,
+                next,
+                used,
+                steps,
+                cost + step_cost,
+                start,
+                best,
+            );
             steps.pop();
             used[ji] = false;
         }
-        if !extended && used.iter().all(|u| *u) {
-            if best.as_ref().map(|(c, _, _)| cost < *c).unwrap_or(true) {
-                *best = Some((cost, start, steps.clone()));
-            }
+        if !extended
+            && used.iter().all(|u| *u)
+            && best.as_ref().map(|(c, _, _)| cost < *c).unwrap_or(true)
+        {
+            *best = Some((cost, start, steps.clone()));
         }
     }
 
     /// Join `left` (intermediate or base) with base-table side `right`,
     /// choosing the cheapest distribution strategy.
+    #[allow(clippy::too_many_arguments)] // private planner helper; all args are hot-path plan state
     fn join_sides(
         &self,
         schema: &Schema,
@@ -385,7 +430,9 @@ impl NetworkCostModel {
         let primary = oriented[0];
 
         // Output cardinality from the primary pair.
-        let d_left = (schema.attr_distinct(primary.0) as f64).min(left.rows).max(1.0);
+        let d_left = (schema.attr_distinct(primary.0) as f64)
+            .min(left.rows)
+            .max(1.0);
         let d_right = (schema.attr_distinct(primary.1) as f64
             * query.table_selectivity(right_table))
         .max(1.0);
@@ -400,12 +447,12 @@ impl NetworkCostModel {
         // result dist).
         let mut candidates: Vec<(JoinStrategy, f64, f64, Dist)> = Vec::new();
 
-        let left_hash_match = oriented.iter().find(|(l, _)| {
-            left.dist.hash_attrs().contains(l)
-        });
-        let right_hash_match = oriented.iter().find(|(_, r)| {
-            matches!(&right.dist, Dist::Hash(attrs) if attrs.contains(r))
-        });
+        let left_hash_match = oriented
+            .iter()
+            .find(|(l, _)| left.dist.hash_attrs().contains(l));
+        let right_hash_match = oriented
+            .iter()
+            .find(|(_, r)| matches!(&right.dist, Dist::Hash(attrs) if attrs.contains(r)));
 
         match (&left.dist, &right.dist) {
             (_, Dist::Replicated) => {
@@ -424,8 +471,7 @@ impl NetworkCostModel {
             (Dist::Hash(lattrs), Dist::Hash(_)) => {
                 // Co-located if some pair is the partitioning of both sides.
                 let co = oriented.iter().find(|(l, r)| {
-                    lattrs.contains(l)
-                        && matches!(&right.dist, Dist::Hash(ra) if ra.contains(r))
+                    lattrs.contains(l) && matches!(&right.dist, Dist::Hash(ra) if ra.contains(r))
                 });
                 if let Some((_, r)) = co {
                     let mut attrs = lattrs.clone();
@@ -489,15 +535,16 @@ impl NetworkCostModel {
             if bytes == 0.0 && rows == 0.0 {
                 0.0
             } else {
-                bytes / agg_bw
-                    + rows * self.params.ship_tuple_cost
-                    + self.params.shuffle_overhead
+                bytes / agg_bw + rows * self.params.ship_tuple_cost + self.params.shuffle_overhead
             }
         };
+        // The candidate list always contains at least the broadcast and
+        // symmetric-repartition strategies; a free no-op join is the
+        // graceful floor if it is ever empty.
         let (strategy, net_bytes, net_rows, dist) = candidates
             .into_iter()
             .min_by(|a, b| net_time(a.1, a.2).total_cmp(&net_time(b.1, b.2)))
-            .expect("at least one candidate strategy");
+            .unwrap_or((JoinStrategy::CoLocated, 0.0, 0.0, Dist::Replicated));
 
         // Per-node work share of the join output's distribution.
         let share = match &dist {
@@ -538,8 +585,8 @@ mod tests {
     use lpa_schema::EdgeId;
 
     fn ssb_setup() -> (Schema, Workload, NetworkCostModel) {
-        let s = lpa_schema::ssb::schema(0.01);
-        let w = lpa_workload::ssb::workload(&s);
+        let s = lpa_schema::ssb::schema(0.01).expect("schema builds");
+        let w = lpa_workload::ssb::workload(&s).expect("workload builds");
         (s, w, NetworkCostModel::new(CostParams::standard()))
     }
 
@@ -561,11 +608,7 @@ mod tests {
         // other dimensions: flight-3 queries still shuffle for supplier/date.
         let co = Action::ActivateEdge(EdgeId(0)).apply(&s, &p0).unwrap();
         let q11 = &w.queries()[0]; // lineorder ⋈ date
-        let cust_join = w
-            .queries()
-            .iter()
-            .find(|q| q.name == "ssb_q3.1")
-            .unwrap();
+        let cust_join = w.queries().iter().find(|q| q.name == "ssb_q3.1").unwrap();
         let plan_seed = m.plan(&s, q11, &p0);
         assert!(plan_seed.net_seconds() > 0.0, "PK partitioning shuffles");
         let plan_co = m.plan(&s, cust_join, &co);
@@ -615,11 +658,7 @@ mod tests {
         let p = Partitioning::initial(&s);
         let uni = FrequencyVector::uniform(w.slots());
         let total = m.workload_cost(&s, &w, &uni, &p);
-        let single: f64 = w
-            .queries()
-            .iter()
-            .map(|q| m.query_cost(&s, q, &p))
-            .sum();
+        let single: f64 = w.queries().iter().map(|q| m.query_cost(&s, q, &p)).sum();
         assert!((total - single).abs() < 1e-9);
         // Zeroing all but one query leaves exactly that query's cost.
         let mut counts = vec![0.0; w.queries().len()];
@@ -633,8 +672,8 @@ mod tests {
 
     #[test]
     fn skewed_partition_key_costs_more() {
-        let s = lpa_schema::tpcch::schema(0.003);
-        let w = lpa_workload::tpcch::workload(&s);
+        let s = lpa_schema::tpcch::schema(0.003).expect("schema builds");
+        let w = lpa_workload::tpcch::workload(&s).expect("workload builds");
         let m = NetworkCostModel::new(CostParams::standard());
         let order = s.table_by_name("order").unwrap();
         let customer = s.table_by_name("customer").unwrap();
@@ -643,10 +682,19 @@ mod tests {
         // Partition order and customer by the skewed 10-value district.
         let o_d = s.attr_ref("order", "o_d_id").unwrap();
         let c_d = s.attr_ref("customer", "c_d_id").unwrap();
-        let by_district = Action::Partition { table: order, attr: o_d.attr }
-            .apply(&s, &p0)
-            .and_then(|p| Action::Partition { table: customer, attr: c_d.attr }.apply(&s, &p))
-            .unwrap();
+        let by_district = Action::Partition {
+            table: order,
+            attr: o_d.attr,
+        }
+        .apply(&s, &p0)
+        .and_then(|p| {
+            Action::Partition {
+                table: customer,
+                attr: c_d.attr,
+            }
+            .apply(&s, &p)
+        })
+        .unwrap();
         // Q1 (orderline scan) unaffected; Q13 (customer ⋈ order) is local
         // under district co-partitioning but suffers the straggler penalty.
         let q13 = w.queries().iter().find(|q| q.name == "ch_q13").unwrap();
@@ -657,10 +705,19 @@ mod tests {
         // The compound key is also local AND balanced — strictly better.
         let o_wd = s.attr_ref("order", "o_wd").unwrap();
         let c_wd = s.attr_ref("customer", "c_wd").unwrap();
-        let by_wd = Action::Partition { table: order, attr: o_wd.attr }
-            .apply(&s, &p0)
-            .and_then(|p| Action::Partition { table: customer, attr: c_wd.attr }.apply(&s, &p))
-            .unwrap();
+        let by_wd = Action::Partition {
+            table: order,
+            attr: o_wd.attr,
+        }
+        .apply(&s, &p0)
+        .and_then(|p| {
+            Action::Partition {
+                table: customer,
+                attr: c_wd.attr,
+            }
+            .apply(&s, &p)
+        })
+        .unwrap();
         let plan_wd = m.plan(&s, q13, &by_wd);
         assert!(plan_wd.fully_local());
         assert!(
@@ -675,15 +732,20 @@ mod tests {
     fn exp5_crossover_partition_vs_replicate_b() {
         // The Fig. 8 effect: on a fast network partitioning B wins (scan is
         // distributed); on a slow network replicating B wins (no shuffles).
-        let s = lpa_schema::microbench::schema(0.2);
-        let w = lpa_workload::microbench::workload(&s);
+        let s = lpa_schema::microbench::schema(0.2).expect("schema builds");
+        let w = lpa_workload::microbench::workload(&s).expect("workload builds");
         let a = s.table_by_name("a").unwrap();
         let b = s.table_by_name("b").unwrap();
         let c = s.table_by_name("c").unwrap();
         let a_c = s.attr_ref("a", "a_c_key").unwrap();
         let base = Partitioning::initial(&s);
         // A co-partitioned with C in both variants.
-        let with_ac = Action::Partition { table: a, attr: a_c.attr }.apply(&s, &base).unwrap();
+        let with_ac = Action::Partition {
+            table: a,
+            attr: a_c.attr,
+        }
+        .apply(&s, &base)
+        .unwrap();
         let _ = c;
         let b_part = with_ac.clone(); // B stays partitioned by its PK
         let b_repl = Action::Replicate { table: b }.apply(&s, &with_ac).unwrap();
@@ -714,20 +776,14 @@ mod tests {
         for q in w.queries() {
             let g = m.query_cost(&s, q, &p);
             let e = ex.query_cost(&s, q, &p);
-            assert!(
-                e <= g + 1e-9,
-                "{}: exhaustive {} > greedy {}",
-                q.name,
-                e,
-                g
-            );
+            assert!(e <= g + 1e-9, "{}: exhaustive {} > greedy {}", q.name, e, g);
         }
     }
 
     #[test]
     fn single_table_query_cost_scales_with_partitioning() {
-        let s = lpa_schema::tpcch::schema(0.003);
-        let w = lpa_workload::tpcch::workload(&s);
+        let s = lpa_schema::tpcch::schema(0.003).expect("schema builds");
+        let w = lpa_workload::tpcch::workload(&s).expect("workload builds");
         let m = NetworkCostModel::new(CostParams::standard());
         let q1 = w.queries().iter().find(|q| q.name == "ch_q01").unwrap();
         let ol = s.table_by_name("orderline").unwrap();

@@ -27,7 +27,11 @@ impl fmt::Display for JoinStrategy {
             Self::CoLocated => write!(f, "co-located"),
             Self::ReplicatedSide => write!(f, "replicated side"),
             Self::Broadcast { table_side } => {
-                write!(f, "broadcast {}", if *table_side { "table" } else { "intermediate" })
+                write!(
+                    f,
+                    "broadcast {}",
+                    if *table_side { "table" } else { "intermediate" }
+                )
             }
             Self::DirectedRepartition { table_side } => write!(
                 f,

@@ -1,0 +1,225 @@
+//! `lpa-lint`: the workspace's own static-analysis pass.
+//!
+//! The learned partitioning advisor trains on rewards produced by a
+//! deterministic cluster simulator. Bugs that an ordinary compiler never
+//! flags — hash-order iteration feeding an encoder, a stray `Instant::now()`
+//! in the cost model, an `unwrap()` that aborts a training episode — corrupt
+//! the training signal silently. This crate walks every `.rs` file in the
+//! workspace with a from-scratch lexer (no external dependencies, in the
+//! spirit of the hand-written `lpa-sql` lexer) and enforces rules
+//! L001–L005; see [`rules`] for the catalogue.
+//!
+//! Violations are waivable per line with a mandatory justification:
+//!
+//! ```text
+//! let v = known_nonempty.pop().unwrap(); // lint: allow(L001) guarded by is_empty check above
+//! ```
+//!
+//! A waiver covers its own line and the next, so it can also sit on its own
+//! line directly above a flagged statement.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::Diagnostic;
+pub use walk::{FileKind, SourceFile};
+
+use std::path::Path;
+
+/// A parsed `// lint: allow(LXXX) reason` waiver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Waiver {
+    pub rule: String,
+    pub rel_path: String,
+    /// Line of the waiver comment; it suppresses `line` and `line + 1`.
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived waiver matching (plus waiver-hygiene findings).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Well-formed waivers found in the file, used or not.
+    pub waivers: Vec<Waiver>,
+    /// Findings suppressed by a waiver.
+    pub suppressed: usize,
+}
+
+/// Aggregated result over the whole workspace.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceReport {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+    pub waivers: Vec<Waiver>,
+    pub suppressed: usize,
+}
+
+impl WorkspaceReport {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Minimum justification length — long enough that "ok" or "todo" cannot
+/// pass as a reason.
+const MIN_REASON_LEN: usize = 10;
+
+/// Extract waivers from comment tokens. Malformed waivers (unknown rule id,
+/// missing or too-short justification) become `W000` diagnostics so that a
+/// waiver can never silently fail to document itself.
+fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Diagnostic>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.kind != lexer::TokKind::Comment {
+            continue;
+        }
+        let body = t.text.trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: t.line,
+                message: "malformed waiver: expected `lint: allow(LXXX) reason`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: t.line,
+                message: "malformed waiver: missing `)` after rule id".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim().to_string();
+        let known = matches!(rule.as_str(), "L001" | "L002" | "L003" | "L004" | "L005");
+        if !known {
+            bad.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: t.line,
+                message: format!("waiver names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        if reason.len() < MIN_REASON_LEN {
+            bad.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "waiver for {rule} lacks a real justification (need ≥{MIN_REASON_LEN} chars explaining why the rule is safe to break here)"
+                ),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            rule,
+            rel_path: rel_path.to_string(),
+            line: t.line,
+            reason,
+        });
+    }
+    (waivers, bad)
+}
+
+/// Lint a single source text. `kind` controls whether the library rule set
+/// applies. This is the pure core used by both the CLI and the fixture tests.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    kind: FileKind,
+) -> Result<FileReport, lexer::LexError> {
+    let tokens = lexer::tokenize(source)?;
+    let raw = rules::run_all(rel_path, &tokens, kind == FileKind::Lib);
+    let (waivers, mut diagnostics) = parse_waivers(rel_path, &tokens);
+    let mut suppressed = 0usize;
+    let mut used = vec![false; waivers.len()];
+    for d in raw {
+        let hit = waivers
+            .iter()
+            .position(|w| w.rule == d.rule && (w.line == d.line || w.line + 1 == d.line));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => diagnostics.push(d),
+        }
+    }
+    for (w, used) in waivers.iter().zip(&used) {
+        if !used {
+            diagnostics.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for {} suppresses nothing; remove it or move it onto the offending line",
+                    w.rule
+                ),
+            });
+        }
+    }
+    diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    Ok(FileReport {
+        diagnostics,
+        waivers,
+        suppressed,
+    })
+}
+
+/// Lint every `.rs` file under `root`. I/O or lex failures become
+/// diagnostics rather than aborting the run, so one unreadable file cannot
+/// mask findings elsewhere.
+pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let files = walk::workspace_files(root)?;
+    let mut report = WorkspaceReport::default();
+    for f in &files {
+        report.files_scanned += 1;
+        let source = match std::fs::read_to_string(&f.abs_path) {
+            Ok(s) => s,
+            Err(e) => {
+                report.diagnostics.push(Diagnostic {
+                    rule: "W000",
+                    rel_path: f.rel_path.clone(),
+                    line: 0,
+                    message: format!("unreadable file: {e}"),
+                });
+                continue;
+            }
+        };
+        match lint_source(&f.rel_path, &source, f.kind) {
+            Ok(fr) => {
+                report.diagnostics.extend(fr.diagnostics);
+                report.waivers.extend(fr.waivers);
+                report.suppressed += fr.suppressed;
+            }
+            Err(e) => {
+                report.diagnostics.push(Diagnostic {
+                    rule: "W000",
+                    rel_path: f.rel_path.clone(),
+                    line: e.line,
+                    message: format!("lexer error: {}", e.message),
+                });
+            }
+        }
+    }
+    report.diagnostics.sort_by(|a, b| {
+        (a.rel_path.clone(), a.line, a.rule).cmp(&(b.rel_path.clone(), b.line, b.rule))
+    });
+    Ok(report)
+}

@@ -1,0 +1,514 @@
+//! The project-specific rules.
+//!
+//! Each rule exists because a violation can silently corrupt the advisor's
+//! training signal (see DESIGN.md "Static analysis & invariants" for the
+//! paper-level rationale):
+//!
+//! - **L001** — no `unwrap()` / `expect()` / `panic!` in library code. A
+//!   panicking advisor aborts an online-training episode and loses the
+//!   replay transitions collected so far.
+//! - **L002** — no `HashMap` / `HashSet` in encoder, reward, or
+//!   cost-accounting paths. Hash iteration order is nondeterministic across
+//!   runs, which leaks into state encodings and reward accounting and makes
+//!   ground-truth rewards untrustworthy.
+//! - **L003** — no wall-clock (`Instant` / `SystemTime`) inside simulator
+//!   crates. Simulated time only: reward = modeled runtime, never host load.
+//! - **L004** — no wildcard `_` arm in a `match` over the `Action` enum. A
+//!   new action variant must be a compile/lint error, not silently ignored.
+//! - **L005** — no raw `f32` accumulation in reward/cost sums. Summing many
+//!   small costs in `f32` loses precision long before the replay buffer
+//!   fills; accumulate in `f64`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A single finding, pre-waiver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Rule id: "L001".."L005", or "W000" for waiver-hygiene findings.
+    pub rule: &'static str,
+    pub rel_path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.rel_path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Paths (relative, `/`-separated, substring match) whose code feeds state
+/// encodings, rewards, or cost accounting — the determinism-critical set for
+/// L002/L005.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/lpa-costmodel/src/",
+    "crates/lpa-partition/src/encoder.rs",
+    "crates/lpa-advisor/src/accounting.rs",
+    "crates/lpa-advisor/src/env.rs",
+    "crates/lpa-rl/src/",
+];
+
+/// Simulator crates where wall-clock time must never appear (L003).
+const SIMULATED_TIME_SCOPE: &[&str] = &["crates/lpa-cluster/src/", "crates/lpa-costmodel/src/"];
+
+fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|s| rel_path.contains(s))
+}
+
+/// Marks which tokens sit inside `#[cfg(test)] mod … { … }` regions (where
+/// panicking is fine — a failing test is loud).
+pub fn test_regions(tokens: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut depth = 0i32;
+    // Stack of depths at which a test region opened.
+    let mut test_stack: Vec<i32> = Vec::new();
+    let mut pending_attr = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Punct if t.is_punct('#') => {
+                // Attribute: `#[ ... ]` — check for cfg(test) / cfg(any(.., test, ..)).
+                if let Some(end) = attr_extent(tokens, i) {
+                    if attr_is_cfg_test(&tokens[i..=end]) {
+                        pending_attr = true;
+                    }
+                    for slot in in_test.iter_mut().take(end + 1).skip(i) {
+                        *slot = !test_stack.is_empty();
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                depth += 1;
+                if pending_attr {
+                    test_stack.push(depth);
+                    pending_attr = false;
+                }
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                if test_stack.last() == Some(&depth) {
+                    test_stack.pop();
+                    // The closing brace itself still belongs to the region.
+                    in_test[i] = true;
+                    depth -= 1;
+                    i += 1;
+                    continue;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // `#[cfg(test)] use …;` — attribute consumed by a non-block item.
+                pending_attr = false;
+            }
+            _ => {}
+        }
+        in_test[i] = !test_stack.is_empty();
+        i += 1;
+    }
+    in_test
+}
+
+/// Token index of the closing `]` of an attribute starting at `#`, if any.
+fn attr_extent(tokens: &[Tok], hash_idx: usize) -> Option<usize> {
+    let open = hash_idx + 1;
+    // Allow `#![...]` inner attributes.
+    let open = if tokens.get(open).is_some_and(|t| t.is_punct('!')) {
+        open + 1
+    } else {
+        open
+    };
+    if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn attr_is_cfg_test(attr: &[Tok]) -> bool {
+    let mut saw_cfg = false;
+    for t in attr {
+        if t.kind == TokKind::Ident {
+            if t.text == "cfg" {
+                saw_cfg = true;
+            } else if saw_cfg && t.text == "test" {
+                return true;
+            }
+        }
+    }
+    // `#[test]` / `#[bench]` directly on a function.
+    attr.len() == 3
+        && attr[1].kind == TokKind::Ident
+        && matches!(attr[1].text.as_str(), "test" | "bench")
+        || attr.len() == 4
+            && attr[2].kind == TokKind::Ident
+            && matches!(attr[2].text.as_str(), "test" | "bench")
+}
+
+/// Significant (non-comment) token index before/after `i`.
+fn prev_sig(tokens: &[Tok], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| tokens[j].kind != TokKind::Comment)
+}
+
+fn next_sig(tokens: &[Tok], i: usize) -> Option<usize> {
+    (i + 1..tokens.len()).find(|&j| tokens[j].kind != TokKind::Comment)
+}
+
+fn diag(rule: &'static str, rel_path: &str, line: u32, message: impl Into<String>) -> Diagnostic {
+    Diagnostic {
+        rule,
+        rel_path: rel_path.to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// L001: `.unwrap()` / `.expect(` / `panic!` in library code.
+pub fn l001(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let dot = prev_sig(tokens, i).filter(|&j| tokens[j].is_punct('.'));
+                let called = next_sig(tokens, i).is_some_and(|j| tokens[j].is_punct('('));
+                // `self.expect(...)` is always a user-defined method (std
+                // types cannot gain inherent methods), e.g. the SQL parser's
+                // own Result-returning `expect` — not a panic site.
+                let on_self = dot
+                    .and_then(|j| prev_sig(tokens, j))
+                    .is_some_and(|j| tokens[j].is_ident("self"));
+                if dot.is_some() && called && !on_self {
+                    out.push(diag(
+                        "L001",
+                        rel_path,
+                        t.line,
+                        format!(
+                            "`.{}()` in library code can panic mid-episode and poison the replay buffer; return a Result or handle the None/Err arm",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            "panic" if next_sig(tokens, i).is_some_and(|j| tokens[j].is_punct('!')) => {
+                out.push(diag(
+                    "L001",
+                    rel_path,
+                    t.line,
+                    "`panic!` in library code aborts the training episode; return an error instead"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// L002: `HashMap`/`HashSet` in determinism-critical paths.
+pub fn l002(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if !in_scope(rel_path, DETERMINISM_SCOPE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(diag(
+                "L002",
+                rel_path,
+                t.line,
+                format!(
+                    "`{}` in an encoder/reward/cost path: hash iteration order is nondeterministic and leaks into the training signal; use BTreeMap/BTreeSet or sort before iterating",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L003: wall-clock time inside simulator crates.
+pub fn l003(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if !in_scope(rel_path, SIMULATED_TIME_SCOPE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            out.push(diag(
+                "L003",
+                rel_path,
+                t.line,
+                format!(
+                    "`{}` inside the simulator: rewards must come from simulated time, never the host wall clock",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L004: wildcard `_` arm in a `match` whose patterns name the `Action` enum.
+pub fn l004(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "match" && !in_test[i] {
+            if let Some((open, close)) = match_block_extent(tokens, i) {
+                analyze_match_arms(rel_path, tokens, open, close, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Find the arms block `{..}` of the `match` at `kw`: the first `{` at
+/// paren/bracket depth 0 after the scrutinee. Returns (open, close) indices.
+fn match_block_extent(tokens: &[Tok], kw: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut j = kw + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            // Matching close brace.
+            let mut bd = 0i32;
+            for (k, u) in tokens.iter().enumerate().skip(j) {
+                if u.is_punct('{') {
+                    bd += 1;
+                } else if u.is_punct('}') {
+                    bd -= 1;
+                    if bd == 0 {
+                        return Some((j, k));
+                    }
+                }
+            }
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Walk arms of one match block (pattern `=>` body `,`), flagging `_`-only
+/// patterns when any pattern in the block names `Action`.
+fn analyze_match_arms(
+    rel_path: &str,
+    tokens: &[Tok],
+    open: usize,
+    close: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut mentions_action = false;
+    let mut wildcard_arms: Vec<u32> = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // --- pattern: tokens until `=>` at depth 0 ---
+        let pat_start = j;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        while j < close {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && tokens.get(j + 1).is_some_and(|u| u.is_punct('>'))
+            {
+                arrow = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pattern: Vec<&Tok> = tokens[pat_start..arrow]
+            .iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        if pattern
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "Action")
+        {
+            mentions_action = true;
+        }
+        // `_` alone (ignoring a leading `|`) is the wildcard arm. A guard
+        // (`_ if cond`) still silently swallows variants, so flag it too.
+        let core: Vec<&&Tok> = pattern.iter().filter(|t| !t.is_punct('|')).collect();
+        if core.first().is_some_and(|t| t.is_ident("_"))
+            && (core.len() == 1 || core.get(1).is_some_and(|t| t.is_ident("if")))
+        {
+            wildcard_arms.push(core[0].line);
+        }
+        // --- body: `{...}` block or expression until `,` at depth 0 ---
+        j = arrow + 2;
+        if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+            let mut bd = 0i32;
+            while j < close + 1 {
+                let t = &tokens[j];
+                if t.is_punct('{') {
+                    bd += 1;
+                } else if t.is_punct('}') {
+                    bd -= 1;
+                    if bd == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct(',')) {
+                j += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while j < close {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    if mentions_action {
+        for line in wildcard_arms {
+            out.push(diag(
+                "L004",
+                rel_path,
+                line,
+                "wildcard `_` arm in a match over `Action`: a newly added action variant would be silently ignored; list every variant".to_string(),
+            ));
+        }
+    }
+}
+
+/// L005: raw `f32` accumulation in reward/cost sums.
+pub fn l005(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if !in_scope(rel_path, DETERMINISM_SCOPE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Names of `let mut x: f32` bindings seen so far (per file — coarse but
+    // effective; false positives are waivable with justification).
+    let mut f32_accumulators: Vec<String> = Vec::new();
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokKind::Comment)
+        .collect();
+    for (si, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let at = |off: isize| -> Option<&Tok> {
+            let idx = si as isize + off;
+            if idx < 0 {
+                return None;
+            }
+            sig.get(idx as usize).map(|&k| &tokens[k])
+        };
+        // `.sum::<f32>()`
+        if t.text == "sum"
+            && at(1).is_some_and(|u| u.is_punct(':'))
+            && at(2).is_some_and(|u| u.is_punct(':'))
+            && at(3).is_some_and(|u| u.is_punct('<'))
+            && at(4).is_some_and(|u| u.is_ident("f32"))
+        {
+            out.push(diag(
+                "L005",
+                rel_path,
+                t.line,
+                "`.sum::<f32>()` in a reward/cost path loses precision; accumulate in f64"
+                    .to_string(),
+            ));
+        }
+        // `.fold(0.0f32, ...)` / `.fold(0f32, ...)`
+        if t.text == "fold" && at(1).is_some_and(|u| u.is_punct('(')) {
+            if let Some(u) = at(2) {
+                if matches!(u.kind, TokKind::Float | TokKind::Int) && u.text.ends_with("f32") {
+                    out.push(diag(
+                        "L005",
+                        rel_path,
+                        t.line,
+                        "f32-typed fold accumulator in a reward/cost path; fold over f64"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        // `let mut x: f32` … later `x +=` / `x -=`
+        if t.text == "mut"
+            && at(-1).is_some_and(|u| u.is_ident("let"))
+            && at(2).is_some_and(|u| u.is_punct(':'))
+            && at(3).is_some_and(|u| u.is_ident("f32"))
+        {
+            if let Some(name_tok) = at(1) {
+                if name_tok.kind == TokKind::Ident {
+                    f32_accumulators.push(name_tok.text.clone());
+                }
+            }
+        }
+        if f32_accumulators.iter().any(|n| n == &t.text)
+            && at(1).is_some_and(|u| u.is_punct('+') || u.is_punct('-'))
+            && at(2).is_some_and(|u| u.is_punct('='))
+        {
+            out.push(diag(
+                "L005",
+                rel_path,
+                t.line,
+                format!(
+                    "`{}` is an f32 accumulator in a reward/cost path; make it f64",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Run every rule over one file's token stream.
+pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
+    let in_test = test_regions(tokens);
+    let mut out = Vec::new();
+    if lib_code {
+        out.extend(l001(rel_path, tokens, &in_test));
+        out.extend(l002(rel_path, tokens, &in_test));
+        out.extend(l003(rel_path, tokens, &in_test));
+        out.extend(l004(rel_path, tokens, &in_test));
+        out.extend(l005(rel_path, tokens, &in_test));
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

@@ -1,0 +1,147 @@
+//! Drives the lint engine over the fixture files under `tests/fixtures/`.
+//! Fixtures are excluded from the workspace walk (the walker skips
+//! `fixtures/` directories), so deliberate violations here never fail the
+//! real gate; each is linted explicitly with a synthetic in-scope path.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_lint::{lint_source, FileKind};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint a fixture as library code under a determinism-scoped path.
+fn lint_as_lib(name: &str) -> lpa_lint::FileReport {
+    let src = fixture(name);
+    lint_source(
+        &format!("crates/lpa-costmodel/src/{name}"),
+        &src,
+        FileKind::Lib,
+    )
+    .unwrap_or_else(|e| panic!("lex {name}: {e}"))
+}
+
+fn rules(report: &lpa_lint::FileReport) -> Vec<&str> {
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn l001_fixture_finds_unwrap_expect_panic_outside_tests() {
+    let report = lint_as_lib("l001_violations.rs");
+    assert_eq!(rules(&report), vec!["L001", "L001", "L001"]);
+    // The waived unwrap is suppressed, the cfg(test) module is exempt.
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.waivers.len(), 1);
+    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
+    let src = fixture("l001_violations.rs");
+    for line in lines {
+        let text = src.lines().nth(line as usize - 1).unwrap_or("");
+        assert!(text.contains("FINDING"), "line {line} not marked: {text}");
+    }
+}
+
+#[test]
+fn l001_fixture_is_exempt_as_test_like_code() {
+    let src = fixture("l001_violations.rs");
+    let report = lint_source(
+        "crates/lpa-costmodel/src/bin/tool.rs",
+        &src,
+        FileKind::TestLike,
+    )
+    .expect("lexes");
+    // Only waiver hygiene can fire in test-like code; the waiver now
+    // suppresses nothing, which is itself reported.
+    assert_eq!(rules(&report), vec!["W000"]);
+}
+
+#[test]
+fn l002_l003_fixture_finds_hash_collections_and_wall_clock() {
+    let report = lint_as_lib("l002_l003_determinism.rs");
+    let l002 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L002")
+        .count();
+    let l003 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L003")
+        .count();
+    // Two `use` lines plus two signature mentions; Instant and SystemTime.
+    assert_eq!(l002, 4);
+    assert_eq!(l003, 2);
+    assert_eq!(report.diagnostics.len(), l002 + l003);
+}
+
+#[test]
+fn l002_is_scoped_to_determinism_paths() {
+    let src = fixture("l002_l003_determinism.rs");
+    let report = lint_source("crates/lpa-sql/src/fixture.rs", &src, FileKind::Lib).expect("lexes");
+    // Outside both scopes neither rule fires.
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn l004_l005_fixture_flags_wildcards_and_f32_sums() {
+    let report = lint_as_lib("l004_l005_actions.rs");
+    let l004 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L004")
+        .count();
+    let l005 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L005")
+        .count();
+    assert_eq!(l004, 3, "{:?}", report.diagnostics);
+    assert_eq!(l005, 3, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics.len(), l004 + l005);
+    let src = fixture("l004_l005_actions.rs");
+    for d in &report.diagnostics {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains(&format!("FINDING {}", d.rule)),
+            "{}:{} not marked: {text}",
+            d.rule,
+            d.line
+        );
+    }
+}
+
+#[test]
+fn false_positive_fixture_is_clean() {
+    let report = lint_as_lib("false_positives.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn waiver_fixture_suppresses_and_reports_hygiene() {
+    let report = lint_as_lib("waivers.rs");
+    assert_eq!(report.suppressed, 2, "{:?}", report.diagnostics);
+    let l001 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L001")
+        .count();
+    let w000 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "W000")
+        .count();
+    // Reasonless waiver's unwrap, unknown-rule waiver's unwrap, and the
+    // plain unwrap all survive; the three bad waivers each get W000.
+    assert_eq!(l001, 3, "{:?}", report.diagnostics);
+    assert_eq!(w000, 3, "{:?}", report.diagnostics);
+}
+
+#[test]
+fn waiver_requires_matching_rule() {
+    // An L002 waiver does not cover an L001 finding on the same line.
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // lint: allow(L002) wrong rule id for this finding\n}\n";
+    let report = lint_source("crates/lpa-costmodel/src/x.rs", src, FileKind::Lib).expect("lexes");
+    assert!(report.diagnostics.iter().any(|d| d.rule == "L001"));
+}

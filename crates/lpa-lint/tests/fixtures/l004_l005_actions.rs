@@ -1,0 +1,77 @@
+//! Fixture: wildcard arms on Action matches (L004) and f32 accumulation
+//! (L005). Linted under a costmodel path.
+
+pub enum Action {
+    Partition(u32, u32),
+    Replicate(u32),
+    Noop,
+}
+
+pub fn describe(a: &Action) -> &'static str {
+    match a {
+        Action::Partition(..) => "partition",
+        Action::Replicate(_) => "replicate", // positional `_` inside a variant is fine
+        _ => "other", // FINDING L004
+    }
+}
+
+pub fn guarded(a: &Action, verbose: bool) -> &'static str {
+    match a {
+        Action::Partition(..) => "partition",
+        _ if verbose => "other (verbose)", // FINDING L004: guard still swallows variants
+        _ => "other", // FINDING L004
+    }
+}
+
+pub fn exhaustive(a: &Action) -> &'static str {
+    match a {
+        Action::Partition(..) => "partition",
+        Action::Replicate(_) => "replicate",
+        Action::Noop => "noop",
+    }
+}
+
+pub fn unrelated_wildcard(n: u32) -> &'static str {
+    // Wildcards on non-Action matches are fine.
+    match n {
+        0 => "zero",
+        _ => "many",
+    }
+}
+
+pub fn nested(a: &Action, n: u32) -> &'static str {
+    match a {
+        Action::Partition(..) => match n {
+            0 => "p0",
+            _ => "pn", // inner match is not over Action: no finding
+        },
+        Action::Replicate(_) => "replicate",
+        Action::Noop => "noop",
+    }
+}
+
+pub fn f32_sum(costs: &[f32]) -> f32 {
+    costs.iter().copied().sum::<f32>() // FINDING L005
+}
+
+pub fn f32_fold(costs: &[f32]) -> f32 {
+    costs.iter().fold(0.0f32, |acc, c| acc + c) // FINDING L005
+}
+
+pub fn f32_loop(costs: &[f32]) -> f32 {
+    let mut total: f32 = 0.0;
+    for c in costs {
+        total += c; // FINDING L005
+    }
+    total
+}
+
+pub fn f64_is_fine(costs: &[f32]) -> f64 {
+    // Accumulator names are tracked per file, so this uses a distinct name
+    // from the f32 accumulator above.
+    let mut acc64: f64 = 0.0;
+    for c in costs {
+        acc64 += f64::from(*c);
+    }
+    acc64 + costs.iter().map(|c| f64::from(*c)).sum::<f64>()
+}

@@ -1,0 +1,32 @@
+//! Fixture: waiver parsing. Expected when linted as lib code:
+//! - the two justified waivers suppress their findings,
+//! - the reasonless / unknown-rule / unused waivers each yield W000,
+//! - the unwaived unwrap at the end is still reported as L001.
+
+pub fn waived_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(L001) fixture: value is produced two lines up and always Some
+}
+
+pub fn waived_line_above(x: Option<u32>) -> u32 {
+    // lint: allow(L001) fixture: caller contract guarantees Some, documented on the trait
+    x.unwrap()
+}
+
+pub fn reasonless_waiver(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(L001) ok
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint: allow(L999) this rule id does not exist so the waiver is rejected
+    x.unwrap()
+}
+
+pub fn unused_waiver(x: Option<u32>) -> u32 {
+    // lint: allow(L001) nothing on this or the next line needs a waiver at all
+    let y = x;
+    y.unwrap_or(0)
+}
+
+pub fn still_reported(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

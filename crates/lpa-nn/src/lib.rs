@@ -8,6 +8,10 @@
 //! Everything is `f32`, row-major, allocation-conscious in the hot paths,
 //! and fully deterministic given a seed.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod adam;
 pub mod dense;
 pub mod matrix;

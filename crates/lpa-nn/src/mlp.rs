@@ -30,7 +30,7 @@ impl Mlp {
     }
 
     pub fn output_dim(&self) -> usize {
-        self.layers.last().unwrap().output_dim()
+        self.layers.last().map_or(0, Dense::output_dim)
     }
 
     pub fn layers(&self) -> &[Dense] {
@@ -101,7 +101,7 @@ impl Mlp {
         let mut acts: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.clone());
         for (i, layer) in self.layers.iter().enumerate() {
-            let prev = acts.last().unwrap();
+            let prev = acts.last().unwrap_or(x);
             let mut next = Matrix::zeros(prev.rows(), layer.output_dim());
             matmul_wt(prev, &layer.w, &layer.b, &mut next);
             if i != last {
@@ -114,8 +114,8 @@ impl Mlp {
         let preds = &acts[self.layers.len()];
         let mut loss = 0.0f32;
         let mut delta = Matrix::zeros(batch, 1);
-        for b in 0..batch {
-            let err = preds.get(b, 0) - targets[b];
+        for (b, &target) in targets.iter().enumerate().take(batch) {
+            let err = preds.get(b, 0) - target;
             match huber_delta {
                 None => {
                     loss += err * err;
@@ -321,17 +321,17 @@ mod tests {
         assert_eq!(net.input_dim(), 134);
         assert_eq!(net.output_dim(), 1);
         assert_eq!(net.layers().len(), 3);
-        assert_eq!(
-            net.param_count(),
-            134 * 128 + 128 + 128 * 64 + 64 + 64 + 1
-        );
+        assert_eq!(net.param_count(), 134 * 128 + 128 + 128 * 64 + 64 + 64 + 1);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let a = Mlp::new(&[3, 5, 1], &mut StdRng::seed_from_u64(7));
         let b = Mlp::new(&[3, 5, 1], &mut StdRng::seed_from_u64(7));
-        assert_eq!(a.predict_scalar(&[0.1, 0.2, 0.3]), b.predict_scalar(&[0.1, 0.2, 0.3]));
+        assert_eq!(
+            a.predict_scalar(&[0.1, 0.2, 0.3]),
+            b.predict_scalar(&[0.1, 0.2, 0.3])
+        );
     }
 }
 

@@ -107,12 +107,7 @@ impl Action {
     /// Whether activating `candidate` would require `ep.table` to be
     /// partitioned by an attribute different from what another active edge
     /// already requires.
-    fn pin_conflict(
-        schema: &Schema,
-        state: &Partitioning,
-        ep: AttrRef,
-        candidate: EdgeId,
-    ) -> bool {
+    fn pin_conflict(schema: &Schema, state: &Partitioning, ep: AttrRef, candidate: EdgeId) -> bool {
         schema.edges_of(ep.table).any(|(id, other)| {
             id != candidate
                 && state.edge_active(id)
@@ -211,7 +206,7 @@ mod tests {
     use super::*;
 
     fn ssb() -> Schema {
-        lpa_schema::ssb::schema(0.001)
+        lpa_schema::ssb::schema(0.001).expect("schema builds")
     }
 
     #[test]
@@ -219,9 +214,12 @@ mod tests {
         let s = ssb();
         let p0 = Partitioning::initial(&s);
         let lo = s.table_by_name("lineorder").unwrap();
-        let p1 = Action::Partition { table: lo, attr: AttrId(1) }
-            .apply(&s, &p0)
-            .unwrap();
+        let p1 = Action::Partition {
+            table: lo,
+            attr: AttrId(1),
+        }
+        .apply(&s, &p0)
+        .unwrap();
         assert_eq!(p1.table_state(lo), TableState::PartitionedBy(AttrId(1)));
         let p2 = Action::Replicate { table: lo }.apply(&s, &p1).unwrap();
         assert!(p2.is_replicated(lo));
@@ -232,9 +230,12 @@ mod tests {
         let s = ssb();
         let p0 = Partitioning::initial(&s);
         let lo = s.table_by_name("lineorder").unwrap();
-        let err = Action::Partition { table: lo, attr: AttrId(0) }
-            .validate(&s, &p0)
-            .unwrap_err();
+        let err = Action::Partition {
+            table: lo,
+            attr: AttrId(0),
+        }
+        .validate(&s, &p0)
+        .unwrap_err();
         assert_eq!(err, ActionError::NoOp);
     }
 
@@ -283,11 +284,15 @@ mod tests {
 
     #[test]
     fn non_partitionable_attr_rejected() {
-        let s = lpa_schema::tpcch::schema(0.0001);
+        let s = lpa_schema::tpcch::schema(0.0001).expect("schema builds");
         let p0 = Partitioning::initial(&s);
         let r = s.attr_ref("customer", "c_w_id").unwrap();
         assert_eq!(
-            Action::Partition { table: r.table, attr: r.attr }.validate(&s, &p0),
+            Action::Partition {
+                table: r.table,
+                attr: r.attr
+            }
+            .validate(&s, &p0),
             Err(ActionError::NotPartitionable)
         );
     }
@@ -305,11 +310,17 @@ mod tests {
         }
         // All four SSB edges can be activated from s0; none deactivated.
         assert_eq!(
-            actions.iter().filter(|a| matches!(a, Action::ActivateEdge(_))).count(),
+            actions
+                .iter()
+                .filter(|a| matches!(a, Action::ActivateEdge(_)))
+                .count(),
             4
         );
         assert_eq!(
-            actions.iter().filter(|a| matches!(a, Action::DeactivateEdge(_))).count(),
+            actions
+                .iter()
+                .filter(|a| matches!(a, Action::DeactivateEdge(_)))
+                .count(),
             0
         );
     }

@@ -163,13 +163,7 @@ impl StateEncoder {
     }
 
     /// Encode state ‖ action in one buffer (the Q-network input).
-    pub fn encode_input(
-        &self,
-        p: &Partitioning,
-        f: &FrequencyVector,
-        a: &Action,
-        out: &mut [f32],
-    ) {
+    pub fn encode_input(&self, p: &Partitioning, f: &FrequencyVector, a: &Action, out: &mut [f32]) {
         assert_eq!(out.len(), self.input_dim());
         let (s, act) = out.split_at_mut(self.state_dim);
         self.encode_state_into(p, f, s);
@@ -184,7 +178,7 @@ mod tests {
     use lpa_schema::{AttrId, EdgeId, TableId};
 
     fn setup() -> (Schema, StateEncoder) {
-        let s = lpa_schema::ssb::schema(0.001);
+        let s = lpa_schema::ssb::schema(0.001).expect("schema builds");
         let enc = StateEncoder::new(&s, 13);
         (s, enc)
     }
@@ -267,7 +261,10 @@ mod tests {
         let (s, enc) = setup();
         let p = Partitioning::initial(&s);
         let f = FrequencyVector::uniform(13);
-        let a = Action::Partition { table: TableId(0), attr: AttrId(2) };
+        let a = Action::Partition {
+            table: TableId(0),
+            attr: AttrId(2),
+        };
         let mut buf = vec![0.0; enc.input_dim()];
         enc.encode_input(&p, &f, &a, &mut buf);
         assert_eq!(&buf[..enc.state_dim()], enc.encode_state(&p, &f).as_slice());

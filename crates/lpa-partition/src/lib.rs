@@ -10,6 +10,10 @@
 //!   table one-hots, edge bits, query frequencies) and one-hot action
 //!   encoding fed into the Q-network.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod action;
 pub mod encoder;
 pub mod partitioning;

@@ -7,7 +7,7 @@ use std::fmt;
 
 /// Partitioning state of a single table (the paper's
 /// `s(T_i) = (r_i, a_i1, …, a_in)` one-hot vector).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum TableState {
     /// Full copy on every node.
     Replicated,
@@ -36,11 +36,12 @@ impl Partitioning {
             .tables()
             .iter()
             .map(|t| {
-                let attr = t
-                    .partitionable_attrs()
-                    .next()
-                    .expect("validated schemas have a partitionable attribute");
-                TableState::PartitionedBy(attr)
+                // Validated schemas always have a partitionable attribute;
+                // replication is the graceful fallback if not.
+                match t.partitionable_attrs().next() {
+                    Some(attr) => TableState::PartitionedBy(attr),
+                    None => TableState::Replicated,
+                }
             })
             .collect();
         Self {
@@ -188,7 +189,7 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        lpa_schema::ssb::schema(0.001)
+        lpa_schema::ssb::schema(0.001).expect("schema builds")
     }
 
     #[test]
@@ -196,7 +197,10 @@ mod tests {
         let s = schema();
         let p = Partitioning::initial(&s);
         for t in 0..s.tables().len() {
-            assert_eq!(p.table_state(TableId(t)), TableState::PartitionedBy(AttrId(0)));
+            assert_eq!(
+                p.table_state(TableId(t)),
+                TableState::PartitionedBy(AttrId(0))
+            );
         }
         assert_eq!(p.active_edges().count(), 0);
         p.check(&s).unwrap();
@@ -229,7 +233,10 @@ mod tests {
         let s = schema();
         let mut p = Partitioning::initial(&s);
         p.set_edge(EdgeId(0), true); // lineorder.lo_custkey = customer.c_custkey
-        assert!(p.check(&s).is_err(), "lineorder is partitioned by PK, not lo_custkey");
+        assert!(
+            p.check(&s).is_err(),
+            "lineorder is partitioned by PK, not lo_custkey"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A Deep-Q agent over some environment type.
+#[derive(Debug)]
 pub struct DqnAgent<E: QEnvironment> {
     q: Mlp,
     target: Mlp,
@@ -83,8 +84,7 @@ impl<E: QEnvironment> DqnAgent<E> {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+            .map_or(0, |(i, _)| i);
         actions[best].clone()
     }
 
@@ -119,8 +119,7 @@ impl<E: QEnvironment> DqnAgent<E> {
         let dim = env.input_dim();
         let batch_refs = self.buffer.sample(&mut self.rng, self.cfg.batch_size);
         // Clone out of the buffer so we can borrow self mutably afterwards.
-        let batch: Vec<Transition<E::State, E::Action>> =
-            batch_refs.into_iter().cloned().collect();
+        let batch: Vec<Transition<E::State, E::Action>> = batch_refs.into_iter().cloned().collect();
 
         // Encode every next-state candidate action into one big matrix.
         let mut ranges = Vec::with_capacity(batch.len());
@@ -167,7 +166,7 @@ impl<E: QEnvironment> DqnAgent<E> {
                     Some(online) => {
                         let best = (lo..hi)
                             .max_by(|a, b| online[*a].total_cmp(&online[*b]))
-                            .expect("non-empty range");
+                            .unwrap_or(lo);
                         next_q[best] as f64
                     }
                     None => next_q[lo..hi]

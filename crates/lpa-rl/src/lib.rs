@@ -7,6 +7,10 @@
 //! buffer and ε-greedy exploration with per-episode decay; [`train()`] runs
 //! the episodic training loop.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod agent;
 pub mod buffer;
 pub mod config;

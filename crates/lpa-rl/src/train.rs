@@ -19,6 +19,7 @@ pub struct EpisodeStats {
 }
 
 /// A greedy rollout: the visited states with their rewards.
+#[derive(Debug)]
 pub struct Trajectory<S> {
     pub states: Vec<S>,
     pub rewards: Vec<f64>,
@@ -33,8 +34,7 @@ impl<S> Trajectory<S> {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("non-empty trajectory")
+            .map_or(0, |(i, _)| i)
     }
 
     pub fn best_state(&self) -> &S {
@@ -83,7 +83,11 @@ pub fn train<E: QEnvironment>(
             total_reward,
             best_reward,
             epsilon: agent.epsilon(),
-            mean_loss: if loss_n > 0 { loss_sum / loss_n as f32 } else { 0.0 },
+            mean_loss: if loss_n > 0 {
+                loss_sum / loss_n as f32
+            } else {
+                0.0
+            },
         });
     }
 }

@@ -84,7 +84,10 @@ mod tests {
         .unwrap();
         assert!(e.touches(TableId(0)));
         assert!(!e.touches(TableId(1)));
-        assert_eq!(e.endpoint_on(TableId(2)), Some(AttrRef::new(TableId(2), AttrId(0))));
+        assert_eq!(
+            e.endpoint_on(TableId(2)),
+            Some(AttrRef::new(TableId(2), AttrId(0)))
+        );
         assert_eq!(e.endpoint_on(TableId(1)), None);
     }
 }

@@ -21,6 +21,10 @@
 //! distributed-execution simulator can run the same schemas at sample size
 //! (the paper's online phase also operates on samples).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod attribute;
 pub mod edge;
 pub mod ids;
@@ -49,15 +53,28 @@ mod tests {
             tpcch::schema(1.0),
             microbench::schema(1.0),
         ] {
+            let schema = schema.expect("built-in schema builds");
             schema.validate().expect("built-in schema must be valid");
         }
     }
 
     #[test]
     fn benchmark_table_counts_match_paper() {
-        assert_eq!(ssb::schema(1.0).tables().len(), 5);
-        assert_eq!(tpcds::schema(1.0).tables().len(), 24);
-        assert_eq!(tpcch::schema(1.0).tables().len(), 12);
-        assert_eq!(microbench::schema(1.0).tables().len(), 3);
+        assert_eq!(ssb::schema(1.0).expect("schema builds").tables().len(), 5);
+        assert_eq!(
+            tpcds::schema(1.0).expect("schema builds").tables().len(),
+            24
+        );
+        assert_eq!(
+            tpcch::schema(1.0).expect("schema builds").tables().len(),
+            12
+        );
+        assert_eq!(
+            microbench::schema(1.0)
+                .expect("schema builds")
+                .tables()
+                .len(),
+            3
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! experiment demonstrates.
 
 use crate::attribute::{Attribute, Domain};
-use crate::schema::{Schema, SchemaBuilder};
+use crate::schema::{Schema, SchemaBuilder, SchemaError};
 use crate::table::Table;
 
 /// Table ids in declaration order.
@@ -20,7 +20,7 @@ pub mod tables {
 }
 
 /// Build the microbenchmark schema at `sf` times the base row counts.
-pub fn schema(sf: f64) -> Schema {
+pub fn schema(sf: f64) -> Result<Schema, SchemaError> {
     use tables::*;
     let mut b = SchemaBuilder::new("microbench");
 
@@ -50,7 +50,7 @@ pub fn schema(sf: f64) -> Schema {
     b.edge(("a", "a_b_key"), ("b", "b_key"));
     b.edge(("a", "a_c_key"), ("c", "c_key"));
 
-    b.build().expect("microbench schema is valid").scaled(sf)
+    Ok(b.build()?.scaled(sf))
 }
 
 #[cfg(test)]
@@ -59,13 +59,13 @@ mod tests {
 
     #[test]
     fn c_significantly_larger_than_b() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         assert!(s.table(tables::C).bytes() > s.table(tables::B).bytes());
         assert!(s.table(tables::A).bytes() > s.table(tables::C).bytes());
     }
 
     #[test]
     fn two_edges() {
-        assert_eq!(schema(1.0).edges().len(), 2);
+        assert_eq!(schema(1.0).expect("schema builds").edges().len(), 2);
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "foreign key `{table}.{attr}` references a missing table")
             }
             Self::BadCompound { table, attr } => {
-                write!(f, "compound attribute `{table}.{attr}` has invalid components")
+                write!(
+                    f,
+                    "compound attribute `{table}.{attr}` has invalid components"
+                )
             }
             Self::BadInheritance { table, attr } => {
                 write!(
@@ -226,9 +229,7 @@ impl Schema {
                 if let AttrKind::Compound(parts) = &a.kind {
                     let ok = !parts.is_empty()
                         && parts.iter().all(|p| {
-                            p.0 < t.attributes.len()
-                                && !t.attributes[p.0].is_compound()
-                                && p.0 != j
+                            p.0 < t.attributes.len() && !t.attributes[p.0].is_compound() && p.0 != j
                         });
                     if !ok {
                         return Err(SchemaError::BadCompound {

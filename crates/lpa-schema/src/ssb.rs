@@ -6,7 +6,7 @@
 //! at sample scale, mirroring the paper's online phase).
 
 use crate::attribute::{Attribute, Domain};
-use crate::schema::{Schema, SchemaBuilder};
+use crate::schema::{Schema, SchemaBuilder, SchemaError};
 use crate::table::Table;
 use crate::TableId;
 
@@ -21,7 +21,7 @@ pub mod tables {
 }
 
 /// Build the SSB schema at `sf` times the SF=1 row counts.
-pub fn schema(sf: f64) -> Schema {
+pub fn schema(sf: f64) -> Result<Schema, SchemaError> {
     let mut b = SchemaBuilder::new("ssb");
 
     b.table(Table::new(
@@ -81,7 +81,7 @@ pub fn schema(sf: f64) -> Schema {
     b.edge(("lineorder", "lo_suppkey"), ("supplier", "s_suppkey"));
     b.edge(("lineorder", "lo_orderdate"), ("date", "d_datekey"));
 
-    b.build().expect("SSB schema is valid").scaled(sf)
+    Ok(b.build()?.scaled(sf))
 }
 
 /// The fact table id (largest table; heuristics anchor on it).
@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn sizes_and_edges() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         assert_eq!(s.table(tables::LINEORDER).rows, 6_000_000);
         assert_eq!(s.edges().len(), 4);
         // lineorder is the largest table by a wide margin.
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn fk_domains_follow_scale() {
-        let s = schema(0.01);
+        let s = schema(0.01).expect("schema builds");
         let lo_cust = s.attr_ref("lineorder", "lo_custkey").unwrap();
         assert_eq!(s.attr_distinct(lo_cust), s.table(tables::CUSTOMER).rows);
     }

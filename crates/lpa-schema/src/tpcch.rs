@@ -18,7 +18,7 @@
 
 use crate::attribute::{Attribute, Domain, Skew};
 use crate::ids::AttrId;
-use crate::schema::{Schema, SchemaBuilder};
+use crate::schema::{Schema, SchemaBuilder, SchemaError};
 use crate::table::Table;
 
 /// Table ids in declaration order.
@@ -52,8 +52,7 @@ fn warehouse_attr(name: &str) -> Attribute {
 
 /// Compound (warehouse-id, district-id): 1000 distinct values, mild skew.
 fn wd_compound(name: &str, w_idx: usize, d_idx: usize) -> Attribute {
-    Attribute::new(name, Domain::Fixed(1_000))
-        .compound_of(vec![AttrId(w_idx), AttrId(d_idx)])
+    Attribute::new(name, Domain::Fixed(1_000)).compound_of(vec![AttrId(w_idx), AttrId(d_idx)])
 }
 
 /// Attribute whose value is copied from the referenced parent row.
@@ -68,7 +67,7 @@ fn inherited(name: &str, via_idx: usize, parent_idx: usize) -> Attribute {
 }
 
 /// Build the TPC-CH schema at `sf` times the 100-warehouse row counts.
-pub fn schema(sf: f64) -> Schema {
+pub fn schema(sf: f64) -> Result<Schema, SchemaError> {
     use tables::*;
     let mut b = SchemaBuilder::new("tpcch");
 
@@ -235,7 +234,7 @@ pub fn schema(sf: f64) -> Schema {
     b.edge(("order", "o_wd"), ("neworder", "no_wd"));
     b.edge(("stock", "s_wd"), ("orderline", "ol_wd"));
 
-    b.build().expect("TPC-CH schema is valid").scaled(sf)
+    Ok(b.build()?.scaled(sf))
 }
 
 #[cfg(test)]
@@ -245,7 +244,7 @@ mod tests {
 
     #[test]
     fn warehouse_ids_not_partitionable() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         for (t, a) in [
             ("district", "d_w_id"),
             ("customer", "c_w_id"),
@@ -260,7 +259,7 @@ mod tests {
 
     #[test]
     fn compound_keys_present() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         let r = s.attr_ref("stock", "s_wd").unwrap();
         assert!(matches!(s.attribute(r).kind, AttrKind::Compound(_)));
         assert_eq!(s.attr_distinct(r), 1_000);
@@ -268,7 +267,7 @@ mod tests {
 
     #[test]
     fn orderline_has_most_rows_and_stock_most_bytes() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         let ol = s.table(tables::ORDERLINE);
         assert!(s.tables().iter().all(|t| ol.rows >= t.rows));
         let stock = s.table(tables::STOCK);
@@ -277,7 +276,7 @@ mod tests {
 
     #[test]
     fn district_columns_are_skewed_low_cardinality() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         let r = s.attr_ref("customer", "c_d_id").unwrap();
         assert_eq!(s.attr_distinct(r), 10);
         assert!(matches!(s.attribute(r).skew, Skew::Zipf(_)));
@@ -285,6 +284,6 @@ mod tests {
 
     #[test]
     fn edge_count_stable() {
-        assert_eq!(schema(1.0).edges().len(), 20);
+        assert_eq!(schema(1.0).expect("schema builds").edges().len(), 20);
     }
 }

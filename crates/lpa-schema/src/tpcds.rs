@@ -5,7 +5,7 @@
 //! into the per-row byte width. Row counts are the SF=1 sizes.
 
 use crate::attribute::{Attribute, Domain};
-use crate::schema::{Schema, SchemaBuilder};
+use crate::schema::{Schema, SchemaBuilder, SchemaError};
 use crate::table::Table;
 use crate::TableId;
 
@@ -52,7 +52,7 @@ pub fn fact_tables() -> [TableId; 7] {
 }
 
 /// Build the TPC-DS schema at `sf` times the SF=1 row counts.
-pub fn schema(sf: f64) -> Schema {
+pub fn schema(sf: f64) -> Result<Schema, SchemaError> {
     use tables::*;
     let mut b = SchemaBuilder::new("tpcds");
 
@@ -193,8 +193,14 @@ pub fn schema(sf: f64) -> Schema {
         vec![
             Attribute::new("c_customer_sk", Domain::PrimaryKey),
             Attribute::new("c_current_addr_sk", Domain::ForeignKey(CUSTOMER_ADDRESS)),
-            Attribute::new("c_current_cdemo_sk", Domain::ForeignKey(CUSTOMER_DEMOGRAPHICS)),
-            Attribute::new("c_current_hdemo_sk", Domain::ForeignKey(HOUSEHOLD_DEMOGRAPHICS)),
+            Attribute::new(
+                "c_current_cdemo_sk",
+                Domain::ForeignKey(CUSTOMER_DEMOGRAPHICS),
+            ),
+            Attribute::new(
+                "c_current_hdemo_sk",
+                Domain::ForeignKey(HOUSEHOLD_DEMOGRAPHICS),
+            ),
         ],
         100_000,
         132,
@@ -297,47 +303,119 @@ pub fn schema(sf: f64) -> Schema {
     b.edge(("web_returns", "wr_item_sk"), ("item", "i_item_sk"));
     b.edge(("inventory", "inv_item_sk"), ("item", "i_item_sk"));
 
-    b.edge(("store_sales", "ss_customer_sk"), ("customer", "c_customer_sk"));
-    b.edge(("store_returns", "sr_customer_sk"), ("customer", "c_customer_sk"));
-    b.edge(("catalog_sales", "cs_bill_customer_sk"), ("customer", "c_customer_sk"));
-    b.edge(("catalog_returns", "cr_returning_customer_sk"), ("customer", "c_customer_sk"));
-    b.edge(("web_sales", "ws_bill_customer_sk"), ("customer", "c_customer_sk"));
-    b.edge(("web_returns", "wr_returning_customer_sk"), ("customer", "c_customer_sk"));
+    b.edge(
+        ("store_sales", "ss_customer_sk"),
+        ("customer", "c_customer_sk"),
+    );
+    b.edge(
+        ("store_returns", "sr_customer_sk"),
+        ("customer", "c_customer_sk"),
+    );
+    b.edge(
+        ("catalog_sales", "cs_bill_customer_sk"),
+        ("customer", "c_customer_sk"),
+    );
+    b.edge(
+        ("catalog_returns", "cr_returning_customer_sk"),
+        ("customer", "c_customer_sk"),
+    );
+    b.edge(
+        ("web_sales", "ws_bill_customer_sk"),
+        ("customer", "c_customer_sk"),
+    );
+    b.edge(
+        ("web_returns", "wr_returning_customer_sk"),
+        ("customer", "c_customer_sk"),
+    );
 
-    b.edge(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"));
-    b.edge(("catalog_sales", "cs_sold_date_sk"), ("date_dim", "d_date_sk"));
+    b.edge(
+        ("store_sales", "ss_sold_date_sk"),
+        ("date_dim", "d_date_sk"),
+    );
+    b.edge(
+        ("catalog_sales", "cs_sold_date_sk"),
+        ("date_dim", "d_date_sk"),
+    );
     b.edge(("web_sales", "ws_sold_date_sk"), ("date_dim", "d_date_sk"));
     b.edge(("inventory", "inv_date_sk"), ("date_dim", "d_date_sk"));
 
     // Fact ↔ fact join paths (sales ⋈ returns on the order/ticket key).
-    b.edge(("store_sales", "ss_ticket_number"), ("store_returns", "sr_ticket_number"));
-    b.edge(("catalog_sales", "cs_order_number"), ("catalog_returns", "cr_order_number"));
-    b.edge(("web_sales", "ws_order_number"), ("web_returns", "wr_order_number"));
+    b.edge(
+        ("store_sales", "ss_ticket_number"),
+        ("store_returns", "sr_ticket_number"),
+    );
+    b.edge(
+        ("catalog_sales", "cs_order_number"),
+        ("catalog_returns", "cr_order_number"),
+    );
+    b.edge(
+        ("web_sales", "ws_order_number"),
+        ("web_returns", "wr_order_number"),
+    );
 
     // Fact ↔ fact join paths on the shared item key (sales ⋈ returns ⋈ inventory).
-    b.edge(("store_sales", "ss_item_sk"), ("store_returns", "sr_item_sk"));
-    b.edge(("catalog_sales", "cs_item_sk"), ("catalog_returns", "cr_item_sk"));
+    b.edge(
+        ("store_sales", "ss_item_sk"),
+        ("store_returns", "sr_item_sk"),
+    );
+    b.edge(
+        ("catalog_sales", "cs_item_sk"),
+        ("catalog_returns", "cr_item_sk"),
+    );
     b.edge(("web_sales", "ws_item_sk"), ("web_returns", "wr_item_sk"));
-    b.edge(("catalog_sales", "cs_item_sk"), ("inventory", "inv_item_sk"));
+    b.edge(
+        ("catalog_sales", "cs_item_sk"),
+        ("inventory", "inv_item_sk"),
+    );
 
     // Snowflake edges.
-    b.edge(("customer", "c_current_addr_sk"), ("customer_address", "ca_address_sk"));
-    b.edge(("customer", "c_current_cdemo_sk"), ("customer_demographics", "cd_demo_sk"));
-    b.edge(("customer", "c_current_hdemo_sk"), ("household_demographics", "hd_demo_sk"));
-    b.edge(("household_demographics", "hd_income_band_sk"), ("income_band", "ib_income_band_sk"));
+    b.edge(
+        ("customer", "c_current_addr_sk"),
+        ("customer_address", "ca_address_sk"),
+    );
+    b.edge(
+        ("customer", "c_current_cdemo_sk"),
+        ("customer_demographics", "cd_demo_sk"),
+    );
+    b.edge(
+        ("customer", "c_current_hdemo_sk"),
+        ("household_demographics", "hd_demo_sk"),
+    );
+    b.edge(
+        ("household_demographics", "hd_income_band_sk"),
+        ("income_band", "ib_income_band_sk"),
+    );
     b.edge(("store_sales", "ss_promo_sk"), ("promotion", "p_promo_sk"));
     b.edge(("promotion", "p_item_sk"), ("item", "i_item_sk"));
-    b.edge(("catalog_sales", "cs_warehouse_sk"), ("warehouse", "w_warehouse_sk"));
-    b.edge(("catalog_returns", "cr_warehouse_sk"), ("warehouse", "w_warehouse_sk"));
-    b.edge(("inventory", "inv_warehouse_sk"), ("warehouse", "w_warehouse_sk"));
-    b.edge(("catalog_sales", "cs_catalog_page_sk"), ("catalog_page", "cp_catalog_page_sk"));
+    b.edge(
+        ("catalog_sales", "cs_warehouse_sk"),
+        ("warehouse", "w_warehouse_sk"),
+    );
+    b.edge(
+        ("catalog_returns", "cr_warehouse_sk"),
+        ("warehouse", "w_warehouse_sk"),
+    );
+    b.edge(
+        ("inventory", "inv_warehouse_sk"),
+        ("warehouse", "w_warehouse_sk"),
+    );
+    b.edge(
+        ("catalog_sales", "cs_catalog_page_sk"),
+        ("catalog_page", "cp_catalog_page_sk"),
+    );
     b.edge(("web_sales", "ws_web_site_sk"), ("web_site", "web_site_sk"));
-    b.edge(("web_sales", "ws_web_page_sk"), ("web_page", "wp_web_page_sk"));
-    b.edge(("web_returns", "wr_web_page_sk"), ("web_page", "wp_web_page_sk"));
+    b.edge(
+        ("web_sales", "ws_web_page_sk"),
+        ("web_page", "wp_web_page_sk"),
+    );
+    b.edge(
+        ("web_returns", "wr_web_page_sk"),
+        ("web_page", "wp_web_page_sk"),
+    );
     b.edge(("store_sales", "ss_store_sk"), ("store", "s_store_sk"));
     b.edge(("store_returns", "sr_store_sk"), ("store", "s_store_sk"));
 
-    b.build().expect("TPC-DS schema is valid").scaled(sf)
+    Ok(b.build()?.scaled(sf))
 }
 
 #[cfg(test)]
@@ -346,23 +424,25 @@ mod tests {
 
     #[test]
     fn table_and_fact_counts() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         assert_eq!(s.tables().len(), 24);
         assert_eq!(fact_tables().len(), 7);
         // 7 fact + 17 dimension tables per the paper.
         for f in fact_tables() {
-            assert!(s.table(f).rows >= 70_000, "{} is fact-sized", s.table(f).name);
+            assert!(
+                s.table(f).rows >= 70_000,
+                "{} is fact-sized",
+                s.table(f).name
+            );
         }
     }
 
     #[test]
     fn item_reachable_from_all_sales_and_returns_facts() {
-        let s = schema(1.0);
+        let s = schema(1.0).expect("schema builds");
         let item = tables::ITEM;
         for f in fact_tables() {
-            let has_item_edge = s
-                .edges_of(f)
-                .any(|(_, e)| e.touches(item));
+            let has_item_edge = s.edges_of(f).any(|(_, e)| e.touches(item));
             assert!(has_item_edge, "{} should join item", s.table(f).name);
         }
     }
@@ -370,6 +450,6 @@ mod tests {
     #[test]
     fn edge_count_stable() {
         // The state encoding depends on the edge count; pin it.
-        assert_eq!(schema(1.0).edges().len(), 39);
+        assert_eq!(schema(1.0).expect("schema builds").edges().len(), 39);
     }
 }

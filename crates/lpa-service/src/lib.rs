@@ -20,6 +20,10 @@
 //!    long run"), and triggers incremental training when enough new
 //!    queries accumulate (Section 5).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod forecast;
 pub mod monitor;
 pub mod service;

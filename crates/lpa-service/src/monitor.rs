@@ -48,7 +48,12 @@ fn signature(schema: &Schema, buckets: &SelectivityBuckets, q: &Query) -> Signat
     let mut bucket_ids: Vec<(usize, usize)> = q
         .tables
         .iter()
-        .map(|t| (t.0, buckets.classify(q.table_selectivity(*t).clamp(1e-9, 1.0))))
+        .map(|t| {
+            (
+                t.0,
+                buckets.classify(q.table_selectivity(*t).clamp(1e-9, 1.0)),
+            )
+        })
         .collect();
     bucket_ids.sort_unstable();
     Signature {
@@ -59,6 +64,7 @@ fn signature(schema: &Schema, buckets: &SelectivityBuckets, q: &Query) -> Signat
 }
 
 /// Counts observed statements against a representative workload.
+#[derive(Debug)]
 pub struct WorkloadMonitor {
     schema: Schema,
     buckets: SelectivityBuckets,
@@ -93,7 +99,8 @@ impl WorkloadMonitor {
     pub fn register(&mut self, id: QueryId, query: &Query) {
         let sig = signature(&self.schema, &self.buckets, query);
         self.known.insert(sig, id);
-        self.pending.retain(|s, _| *s != signature(&self.schema, &self.buckets, query));
+        self.pending
+            .retain(|s, _| *s != signature(&self.schema, &self.buckets, query));
         if self.counts.len() <= id.0 {
             self.counts.resize(id.0 + 1, 0.0);
         }
@@ -126,7 +133,10 @@ impl WorkloadMonitor {
         if self.counts.iter().all(|c| *c == 0.0) {
             return None;
         }
-        Some(FrequencyVector::from_counts(&self.counts, self.counts.len()))
+        Some(FrequencyVector::from_counts(
+            &self.counts,
+            self.counts.len(),
+        ))
     }
 
     /// New queries with their observation counts, hottest first.
@@ -168,8 +178,8 @@ mod tests {
     use super::*;
 
     fn setup() -> (Schema, Workload, WorkloadMonitor) {
-        let schema = lpa_schema::ssb::schema(0.01);
-        let workload = lpa_workload::ssb::workload(&schema);
+        let schema = lpa_schema::ssb::schema(0.01).expect("schema builds");
+        let workload = lpa_workload::ssb::workload(&schema).expect("workload builds");
         let monitor = WorkloadMonitor::new(schema.clone(), &workload);
         (schema, workload, monitor)
     }
@@ -185,7 +195,7 @@ mod tests {
         );
         assert!(matches!(obs, Observation::Known(_)), "got {obs:?}");
         let f = m.frequencies().expect("non-empty window");
-        assert!(f.as_slice().iter().any(|x| *x == 1.0));
+        assert!(f.as_slice().contains(&1.0));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub struct WindowReport {
 }
 
 /// The advisor wired into a production database.
+#[derive(Debug)]
 pub struct PartitioningService {
     advisor: Advisor,
     cluster: Cluster,
@@ -119,17 +120,23 @@ impl PartitioningService {
             let take = pending.len().min(slots_free);
             let queries: Vec<_> = pending.iter().take(take).map(|(q, _)| q.clone()).collect();
             if take > 0 {
-                let report =
-                    incremental::add_queries(&mut self.advisor, queries, self.cfg.incremental_episodes)
-                        .expect("slot count checked");
-                for id in &report.new_ids {
-                    let q = self.advisor.env.workload.query(*id).clone();
-                    self.monitor.register(*id, &q);
+                // `take` is clamped to the free slots above, so this only
+                // fails if the workload rejects a query; the window then
+                // proceeds without incremental training instead of aborting.
+                if let Ok(report) = incremental::add_queries(
+                    &mut self.advisor,
+                    queries,
+                    self.cfg.incremental_episodes,
+                ) {
+                    for id in &report.new_ids {
+                        let q = self.advisor.env.workload.query(*id).clone();
+                        self.monitor.register(*id, &q);
+                    }
+                    events.push(ServiceEvent::IncrementallyTrained {
+                        added: take,
+                        skipped: pending.len() - take,
+                    });
                 }
-                events.push(ServiceEvent::IncrementallyTrained {
-                    added: take,
-                    skipped: pending.len() - take,
-                });
             }
             self.monitor.clear_pending();
         }
@@ -195,8 +202,10 @@ mod tests {
     use lpa_workload::MixSampler;
 
     fn service(reserved: usize) -> PartitioningService {
-        let schema = lpa_schema::ssb::schema(0.005);
-        let workload = lpa_workload::ssb::workload(&schema).with_reserved_slots(reserved);
+        let schema = lpa_schema::ssb::schema(0.005).expect("schema builds");
+        let workload = lpa_workload::ssb::workload(&schema)
+            .expect("workload builds")
+            .with_reserved_slots(reserved);
         let cfg = DqnConfig {
             batch_size: 16,
             hidden: vec![48, 24],
@@ -207,7 +216,7 @@ mod tests {
             schema.clone(),
             workload,
             NetworkCostModel::new(CostParams::standard()),
-            MixSampler::uniform(&lpa_workload::ssb::workload(&schema)),
+            MixSampler::uniform(&lpa_workload::ssb::workload(&schema).expect("workload builds")),
             cfg,
             true,
         );
@@ -247,7 +256,10 @@ mod tests {
             s.observe_sql(Q1_SQL);
         }
         let r2 = s.end_window();
-        if let ServiceEvent::KeptCurrent { benefit_per_run, .. } = r2.events[0] {
+        if let ServiceEvent::KeptCurrent {
+            benefit_per_run, ..
+        } = r2.events[0]
+        {
             assert!(benefit_per_run >= 0.0);
         }
     }
@@ -256,8 +268,7 @@ mod tests {
     fn new_queries_trigger_incremental_training() {
         let mut s = service(2);
         let new_sql = "SELECT count(*) FROM customer c, supplier s WHERE c.c_city = s.s_city";
-        let new_sql2 =
-            "SELECT count(*) FROM part p, lineorder l WHERE l.lo_partkey = p.p_partkey \
+        let new_sql2 = "SELECT count(*) FROM part p, lineorder l WHERE l.lo_partkey = p.p_partkey \
              AND p.p_brand BETWEEN 10 AND 12 AND l.lo_orderkey IN (1, 2, 3)";
         for _ in 0..3 {
             s.observe_sql(new_sql);

@@ -84,8 +84,14 @@ mod tests {
     fn table_names_iterates_from_list() {
         let s = SelectStmt {
             from: vec![
-                TableRef { name: "a".into(), alias: None },
-                TableRef { name: "b".into(), alias: Some("x".into()) },
+                TableRef {
+                    name: "a".into(),
+                    alias: None,
+                },
+                TableRef {
+                    name: "b".into(),
+                    alias: Some("x".into()),
+                },
             ],
             ..Default::default()
         };

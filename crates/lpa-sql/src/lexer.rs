@@ -34,8 +34,7 @@ pub enum Token {
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "ON",
     "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "AS", "IN", "EXISTS", "NOT", "BETWEEN", "LIKE",
-    "ASC", "DESC", "DISTINCT", "UNION", "ALL", "NULL", "IS", "CASE", "WHEN", "THEN", "ELSE",
-    "END",
+    "ASC", "DESC", "DISTINCT", "UNION", "ALL", "NULL", "IS", "CASE", "WHEN", "THEN", "ELSE", "END",
 ];
 
 /// Lexing failure with byte position.
@@ -108,22 +107,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Neq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Neq);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Ge);

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use lpa_sql::parse_query;
-//! let schema = lpa_schema::ssb::schema(0.01);
+//! let schema = lpa_schema::ssb::schema(0.01).expect("schema builds");
 //! let q = parse_query(
 //!     &schema,
 //!     "SELECT sum(lo_revenue) FROM lineorder l, date d \
@@ -27,6 +27,10 @@
 //! .unwrap();
 //! assert_eq!(q.joins.len(), 1);
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod ast;
 pub mod lexer;

@@ -114,9 +114,11 @@ impl<'a> Parser<'a> {
             }
             // [INNER|LEFT|RIGHT [OUTER]] JOIN t ON cond
             let mark = self.pos;
-            let _ = self.eat_keyword("INNER")
-                || (self.eat_keyword("LEFT") | self.eat_keyword("RIGHT"))
-                    && (self.eat_keyword("OUTER") || true);
+            if self.eat_keyword("LEFT") || self.eat_keyword("RIGHT") {
+                self.eat_keyword("OUTER");
+            } else {
+                self.eat_keyword("INNER");
+            }
             if self.eat_keyword("JOIN") {
                 from.push(self.table_ref()?);
                 self.expect_keyword("ON")?;
@@ -289,12 +291,13 @@ impl<'a> Parser<'a> {
             self.expect(&Token::RParen, ")")?;
             // A parenthesized conjunction of one predicate passes through;
             // larger groups become opaque (rare in practice).
-            return Ok(if inner.len() == 1 {
-                inner.pop().unwrap()
-            } else {
-                Predicate::Opaque {
-                    cols: inner.iter().flat_map(pred_columns).collect(),
+            if inner.len() == 1 {
+                if let Some(only) = inner.pop() {
+                    return Ok(only);
                 }
+            }
+            return Ok(Predicate::Opaque {
+                cols: inner.iter().flat_map(pred_columns).collect(),
             });
         }
         if self.eat_keyword("NOT") {
@@ -456,7 +459,11 @@ mod tests {
              (SELECT ol.ol_i_id FROM orderline ol WHERE ol.ol_d_id = 3)",
         );
         match &s.predicates[0] {
-            Predicate::InSubquery { col, negated, subquery } => {
+            Predicate::InSubquery {
+                col,
+                negated,
+                subquery,
+            } => {
                 assert_eq!(col.as_ref().unwrap().column, "i_id");
                 assert!(!negated);
                 assert_eq!(subquery.from[0].name, "orderline");

@@ -127,9 +127,10 @@ pub fn resolve(schema: &Schema, stmt: &SelectStmt, sql: &str) -> Result<Query, R
         *e = (*e * s).max(sel::FLOOR);
     };
 
-    let add_join = |a: AttrRef, b: AttrRef,
-                        joins: &mut HashMap<(TableId, TableId), Vec<(AttrRef, AttrRef)>>,
-                        selmap: &mut HashMap<TableId, f64>| {
+    let add_join = |a: AttrRef,
+                    b: AttrRef,
+                    joins: &mut HashMap<(TableId, TableId), Vec<(AttrRef, AttrRef)>>,
+                    selmap: &mut HashMap<TableId, f64>| {
         if a.table == b.table {
             // Same-table equality: treat as a filter.
             apply_sel(a.table, sel::OPAQUE, selmap);
@@ -177,7 +178,9 @@ pub fn resolve(schema: &Schema, stmt: &SelectStmt, sql: &str) -> Result<Query, R
                 let s = match (lo, hi) {
                     (Value::Number(l), Value::Number(h)) if h > l => {
                         let d = schema.attr_distinct(a) as f64;
-                        ((h - l) / d).clamp(sel::FLOOR, 1.0).min(sel::BETWEEN.max((h - l) / d))
+                        ((h - l) / d)
+                            .clamp(sel::FLOOR, 1.0)
+                            .min(sel::BETWEEN.max((h - l) / d))
                     }
                     _ => sel::BETWEEN,
                 };
@@ -225,7 +228,8 @@ pub fn resolve(schema: &Schema, stmt: &SelectStmt, sql: &str) -> Result<Query, R
         let mut keys: Vec<_> = joins.keys().copied().collect();
         keys.sort();
         keys.into_iter()
-            .map(|k| JoinPred::new(joins.remove(&k).unwrap()))
+            .filter_map(|k| joins.remove(&k))
+            .map(JoinPred::new)
             .collect()
     };
 
@@ -333,7 +337,7 @@ mod tests {
     use crate::parse_query;
 
     fn ssb() -> Schema {
-        lpa_schema::ssb::schema(0.01)
+        lpa_schema::ssb::schema(0.01).expect("schema builds")
     }
 
     #[test]
@@ -372,7 +376,7 @@ mod tests {
 
     #[test]
     fn composite_join_predicates_merge_into_one_joinpred() {
-        let schema = lpa_schema::tpcds::schema(0.001);
+        let schema = lpa_schema::tpcds::schema(0.001).expect("schema builds");
         let q = parse_query(
             &schema,
             "SELECT count(*) FROM store_sales ss, store_returns sr \
@@ -386,7 +390,7 @@ mod tests {
 
     #[test]
     fn in_subquery_flattens_to_join() {
-        let schema = lpa_schema::tpcch::schema(0.0005);
+        let schema = lpa_schema::tpcch::schema(0.0005).expect("schema builds");
         let q = parse_query(
             &schema,
             "SELECT count(*) FROM item i WHERE i.i_id IN \
@@ -402,7 +406,7 @@ mod tests {
 
     #[test]
     fn exists_correlated_subquery() {
-        let schema = lpa_schema::tpcch::schema(0.0005);
+        let schema = lpa_schema::tpcch::schema(0.0005).expect("schema builds");
         let q = parse_query(
             &schema,
             "SELECT count(*) FROM supplier s WHERE EXISTS \

@@ -6,7 +6,7 @@
 //! and dedicates one frequency entry per bucket. A re-parameterized query
 //! then maps onto an existing entry instead of requiring retraining.
 
-use crate::query::Query;
+use crate::query::{Query, QueryError};
 use serde::{Deserialize, Serialize};
 
 /// Log-scaled selectivity buckets.
@@ -77,23 +77,25 @@ impl SelectivityBuckets {
         schema: &lpa_schema::Schema,
         template: &Query,
         filter_table: &str,
-    ) -> Vec<Query> {
-        let t = schema
-            .table_by_name(filter_table)
-            .unwrap_or_else(|| panic!("unknown table {filter_table}"));
+    ) -> Result<Vec<Query>, QueryError> {
+        let t = schema.table_by_name(filter_table).ok_or_else(|| {
+            QueryError::UnknownTable(format!("{} ({filter_table})", template.name))
+        })?;
         let idx = template
             .tables
             .iter()
             .position(|x| *x == t)
-            .unwrap_or_else(|| panic!("{} does not scan {filter_table}", template.name));
-        (0..self.count())
+            .ok_or_else(|| {
+                QueryError::FilterTableNotScanned(format!("{} ({filter_table})", template.name))
+            })?;
+        Ok((0..self.count())
             .map(|b| {
                 let mut q = template.clone();
                 q.name = format!("{}#b{b}", template.name);
                 q.selectivity[idx] = self.representative(b);
                 q
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -131,14 +133,16 @@ mod tests {
 
     #[test]
     fn instantiate_produces_variants() {
-        let s = lpa_schema::ssb::schema(0.001);
+        let s = lpa_schema::ssb::schema(0.001).expect("schema builds");
         let template = QueryBuilder::new(&s, "q")
             .join(("lineorder", "lo_partkey"), ("part", "p_partkey"))
             .filter("part", 0.05)
             .finish()
             .unwrap();
         let b = SelectivityBuckets::default_three();
-        let variants = b.instantiate(&s, &template, "part");
+        let variants = b
+            .instantiate(&s, &template, "part")
+            .expect("variants build");
         assert_eq!(variants.len(), 3);
         let part = s.table_by_name("part").unwrap();
         let sels: Vec<f64> = variants.iter().map(|q| q.table_selectivity(part)).collect();

@@ -36,8 +36,7 @@ impl From<std::io::Error> for IoError {
 
 /// Write a workload as JSON.
 pub fn save_workload<W: Write>(workload: &Workload, mut writer: W) -> Result<(), IoError> {
-    let json =
-        serde_json_string(workload).map_err(IoError::Format)?;
+    let json = serde_json_string(workload).map_err(IoError::Format)?;
     writer.write_all(json.as_bytes())?;
     Ok(())
 }
@@ -72,8 +71,10 @@ mod tests {
 
     #[test]
     fn workload_round_trip() {
-        let schema = lpa_schema::ssb::schema(0.001);
-        let w = crate::ssb::workload(&schema).with_reserved_slots(3);
+        let schema = lpa_schema::ssb::schema(0.001).expect("schema builds");
+        let w = crate::ssb::workload(&schema)
+            .expect("workload builds")
+            .with_reserved_slots(3);
         let mut buf = Vec::new();
         save_workload(&w, &mut buf).unwrap();
         let back = load_workload(&schema, buf.as_slice()).unwrap();
@@ -85,18 +86,18 @@ mod tests {
 
     #[test]
     fn load_against_wrong_schema_fails() {
-        let ssb = lpa_schema::ssb::schema(0.001);
-        let w = crate::ssb::workload(&ssb);
+        let ssb = lpa_schema::ssb::schema(0.001).expect("schema builds");
+        let w = crate::ssb::workload(&ssb).expect("workload builds");
         let mut buf = Vec::new();
         save_workload(&w, &mut buf).unwrap();
-        let micro = lpa_schema::microbench::schema(0.001);
+        let micro = lpa_schema::microbench::schema(0.001).expect("schema builds");
         let err = load_workload(&micro, buf.as_slice()).unwrap_err();
         assert!(matches!(err, IoError::SchemaMismatch(_)), "{err}");
     }
 
     #[test]
     fn garbage_input_rejected() {
-        let schema = lpa_schema::ssb::schema(0.001);
+        let schema = lpa_schema::ssb::schema(0.001).expect("schema builds");
         assert!(matches!(
             load_workload(&schema, "not json".as_bytes()),
             Err(IoError::Format(_))
@@ -107,7 +108,7 @@ mod tests {
     fn schema_itself_round_trips() {
         // Schemas carry serde derives; verify the full TPC-CH catalog
         // survives, including compound and inherited attributes.
-        let s = lpa_schema::tpcch::schema(0.01);
+        let s = lpa_schema::tpcch::schema(0.01).expect("schema builds");
         let json = serde_json::to_string(&s).unwrap();
         let back: Schema = serde_json::from_str(&json).unwrap();
         back.validate().unwrap();

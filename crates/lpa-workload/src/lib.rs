@@ -17,6 +17,10 @@
 //!   Fig. 5 / Fig. 7b workload clusters;
 //! * built-in workloads for the paper's four benchmarks.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod buckets;
 pub mod io;
 pub mod microbench;
@@ -38,15 +42,29 @@ mod tests {
     use super::*;
     use lpa_schema::Schema;
 
+    type BuildFn = fn(&Schema) -> Result<Workload, QueryError>;
+
     #[test]
     fn builtin_workloads_are_consistent() {
-        let cases: [(Schema, fn(&Schema) -> Workload, usize); 3] = [
-            (lpa_schema::ssb::schema(1.0), ssb::workload, 13),
-            (lpa_schema::tpcch::schema(1.0), tpcch::workload, 22),
-            (lpa_schema::microbench::schema(1.0), microbench::workload, 2),
+        let cases: [(Schema, BuildFn, usize); 3] = [
+            (
+                lpa_schema::ssb::schema(1.0).expect("schema builds"),
+                ssb::workload,
+                13,
+            ),
+            (
+                lpa_schema::tpcch::schema(1.0).expect("schema builds"),
+                tpcch::workload,
+                22,
+            ),
+            (
+                lpa_schema::microbench::schema(1.0).expect("schema builds"),
+                microbench::workload,
+                2,
+            ),
         ];
         for (schema, build, n) in cases {
-            let w = build(&schema);
+            let w = build(&schema).expect("workload builds");
             assert_eq!(w.queries().len(), n, "{}", schema.name);
             for q in w.queries() {
                 q.validate(&schema)
@@ -57,8 +75,8 @@ mod tests {
 
     #[test]
     fn tpcds_workload_has_60_queries() {
-        let schema = lpa_schema::tpcds::schema(1.0);
-        let w = tpcds::workload(&schema);
+        let schema = lpa_schema::tpcds::schema(1.0).expect("schema builds");
+        let w = tpcds::workload(&schema).expect("workload builds");
         assert_eq!(w.queries().len(), 60);
         for q in w.queries() {
             q.validate(&schema)
@@ -70,14 +88,26 @@ mod tests {
     fn every_builtin_join_pair_has_a_schema_edge() {
         // Co-partitioning shortcuts only exist for declared edges; make sure
         // the primary join pairs of the built-in workloads are all covered.
-        let pairs: [(Schema, fn(&Schema) -> Workload); 4] = [
-            (lpa_schema::ssb::schema(1.0), ssb::workload),
-            (lpa_schema::tpcds::schema(1.0), tpcds::workload),
-            (lpa_schema::tpcch::schema(1.0), tpcch::workload),
-            (lpa_schema::microbench::schema(1.0), microbench::workload),
+        let pairs: [(Schema, BuildFn); 4] = [
+            (
+                lpa_schema::ssb::schema(1.0).expect("schema builds"),
+                ssb::workload,
+            ),
+            (
+                lpa_schema::tpcds::schema(1.0).expect("schema builds"),
+                tpcds::workload,
+            ),
+            (
+                lpa_schema::tpcch::schema(1.0).expect("schema builds"),
+                tpcch::workload,
+            ),
+            (
+                lpa_schema::microbench::schema(1.0).expect("schema builds"),
+                microbench::workload,
+            ),
         ];
         for (schema, build) in pairs {
-            let w = build(&schema);
+            let w = build(&schema).expect("workload builds");
             for q in w.queries() {
                 for j in &q.joins {
                     let (a, b) = j.pairs[0];

@@ -2,23 +2,21 @@
 //! the fact table `a` joined with dimension `b` or dimension `c`, with
 //! selectivities between 2 % and 5 %.
 
-use crate::query::QueryBuilder;
+use crate::query::{QueryBuilder, QueryError};
 use crate::workload::Workload;
 use lpa_schema::Schema;
 
 /// Build the microbenchmark workload against the microbenchmark schema.
-pub fn workload(schema: &Schema) -> Workload {
+pub fn workload(schema: &Schema) -> Result<Workload, QueryError> {
     let q1 = QueryBuilder::new(schema, "micro_ab")
         .join(("a", "a_b_key"), ("b", "b_key"))
         .filter("b", 0.03)
-        .finish()
-        .expect("micro_ab builds");
+        .finish()?;
     let q2 = QueryBuilder::new(schema, "micro_ac")
         .join(("a", "a_c_key"), ("c", "c_key"))
         .filter("c", 0.04)
-        .finish()
-        .expect("micro_ac builds");
-    Workload::new(vec![q1, q2])
+        .finish()?;
+    Ok(Workload::new(vec![q1, q2]))
 }
 
 #[cfg(test)]
@@ -27,8 +25,8 @@ mod tests {
 
     #[test]
     fn selectivities_in_paper_range() {
-        let s = lpa_schema::microbench::schema(0.01);
-        let w = workload(&s);
+        let s = lpa_schema::microbench::schema(0.01).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         let b = s.table_by_name("b").unwrap();
         let c = s.table_by_name("c").unwrap();
         let s1 = w.queries()[0].table_selectivity(b);

@@ -52,6 +52,8 @@ pub enum QueryError {
     /// Selectivity outside `(0, 1]`.
     BadSelectivity(String),
     NoTables(String),
+    /// A selectivity-bucket sweep names a filter table the query never scans.
+    FilterTableNotScanned(String),
 }
 
 impl fmt::Display for QueryError {
@@ -63,6 +65,9 @@ impl fmt::Display for QueryError {
             Self::Disconnected(q) => write!(f, "query `{q}`: join graph is disconnected"),
             Self::BadSelectivity(q) => write!(f, "query `{q}`: selectivity outside (0,1]"),
             Self::NoTables(q) => write!(f, "query `{q}`: no tables"),
+            Self::FilterTableNotScanned(q) => {
+                write!(f, "query `{q}`: filter table is not scanned by the query")
+            }
         }
     }
 }
@@ -169,8 +174,12 @@ impl Query {
     }
 }
 
+/// One equi-join pair by name: `((table, attr), (table, attr))`.
+pub type NamedJoinPair<'a> = ((&'a str, &'a str), (&'a str, &'a str));
+
 /// Name-based builder resolving against a schema; used by the built-in
 /// workloads and by tests/examples.
+#[derive(Debug)]
 pub struct QueryBuilder<'a> {
     schema: &'a Schema,
     name: String,
@@ -194,10 +203,15 @@ impl<'a> QueryBuilder<'a> {
         }
     }
 
-    fn touch(&mut self, t: TableId) {
-        if !self.tables.contains(&t) {
-            self.tables.push(t);
-            self.selectivity.push(1.0);
+    /// Register a table and return its index in `tables`.
+    fn touch(&mut self, t: TableId) -> usize {
+        match self.tables.iter().position(|x| *x == t) {
+            Some(i) => i,
+            None => {
+                self.tables.push(t);
+                self.selectivity.push(1.0);
+                self.tables.len() - 1
+            }
         }
     }
 
@@ -218,7 +232,9 @@ impl<'a> QueryBuilder<'a> {
     /// Add a table without a join (single-table scans).
     pub fn scan(mut self, table: &str) -> Self {
         match self.schema.table_by_name(table) {
-            Some(t) => self.touch(t),
+            Some(t) => {
+                self.touch(t);
+            }
             None => {
                 self.error
                     .get_or_insert(QueryError::UnknownTable(format!("{} ({table})", self.name)));
@@ -234,7 +250,7 @@ impl<'a> QueryBuilder<'a> {
 
     /// Add an equi-join with several equivalent attribute pairs (composite /
     /// denormalized keys). The first pair is the primary predicate.
-    pub fn join_multi(mut self, pairs: &[((&str, &str), (&str, &str))]) -> Self {
+    pub fn join_multi(mut self, pairs: &[NamedJoinPair<'_>]) -> Self {
         let mut resolved = Vec::with_capacity(pairs.len());
         for ((ta, aa), (tb, ab)) in pairs {
             let (Some(a), Some(b)) = (self.resolve(ta, aa), self.resolve(tb, ab)) else {
@@ -255,8 +271,7 @@ impl<'a> QueryBuilder<'a> {
     pub fn filter(mut self, table: &str, selectivity: f64) -> Self {
         match self.schema.table_by_name(table) {
             Some(t) => {
-                self.touch(t);
-                let i = self.tables.iter().position(|x| *x == t).unwrap();
+                let i = self.touch(t);
                 self.selectivity[i] = selectivity;
             }
             None => {
@@ -295,7 +310,7 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        lpa_schema::ssb::schema(0.001)
+        lpa_schema::ssb::schema(0.001).expect("schema builds")
     }
 
     #[test]
@@ -348,7 +363,10 @@ mod tests {
     #[test]
     fn single_table_scan_is_valid() {
         let s = schema();
-        let q = QueryBuilder::new(&s, "t").scan("lineorder").finish().unwrap();
+        let q = QueryBuilder::new(&s, "t")
+            .scan("lineorder")
+            .finish()
+            .unwrap();
         assert!(q.joins.is_empty());
         assert!(q.uses_table(s.table_by_name("lineorder").unwrap()));
     }

@@ -65,8 +65,7 @@ impl MixSampler {
     pub fn sample<R: Rng>(&mut self, rng: &mut R) -> FrequencyVector {
         match self {
             Self::Uniform { slots, queries } => {
-                let counts: Vec<f64> =
-                    (0..*queries).map(|_| rng.gen_range(0.05..=1.0)).collect();
+                let counts: Vec<f64> = (0..*queries).map(|_| rng.gen_range(0.05..=1.0)).collect();
                 FrequencyVector::from_counts(&counts, *slots)
             }
             Self::Emphasis {
@@ -111,7 +110,10 @@ mod tests {
 
     #[test]
     fn uniform_sampler_normalizes() {
-        let mut s = MixSampler::Uniform { slots: 6, queries: 4 };
+        let mut s = MixSampler::Uniform {
+            slots: 6,
+            queries: 4,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..50 {
             let f = s.sample(&mut rng);

@@ -10,7 +10,7 @@ fn q<'a>(schema: &'a Schema, name: &str) -> QueryBuilder<'a> {
 }
 
 /// Build the SSB workload against an SSB schema.
-pub fn workload(schema: &Schema) -> Workload {
+pub fn workload(schema: &Schema) -> Result<Workload, crate::QueryError> {
     let lo_date = (("lineorder", "lo_orderdate"), ("date", "d_datekey"));
     let lo_part = (("lineorder", "lo_partkey"), ("part", "p_partkey"));
     let lo_supp = (("lineorder", "lo_suppkey"), ("supplier", "s_suppkey"));
@@ -130,10 +130,9 @@ pub fn workload(schema: &Schema) -> Workload {
             .finish(),
     ]
     .into_iter()
-    .map(|r| r.expect("SSB query builds"))
-    .collect();
+    .collect::<Result<_, _>>()?;
 
-    Workload::new(queries)
+    Ok(Workload::new(queries))
 }
 
 #[cfg(test)]
@@ -142,8 +141,8 @@ mod tests {
 
     #[test]
     fn thirteen_queries_all_join_the_fact_table() {
-        let s = lpa_schema::ssb::schema(0.01);
-        let w = workload(&s);
+        let s = lpa_schema::ssb::schema(0.01).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         assert_eq!(w.queries().len(), 13);
         let lo = lpa_schema::ssb::fact_table();
         for q in w.queries() {
@@ -156,8 +155,8 @@ mod tests {
     fn date_is_most_frequently_joined_dimension() {
         // Heuristic (a) co-partitions the fact table with the most
         // frequently joined dimension — for SSB that is `date`.
-        let s = lpa_schema::ssb::schema(0.01);
-        let w = workload(&s);
+        let s = lpa_schema::ssb::schema(0.01).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         let count = |name: &str| {
             let t = s.table_by_name(name).unwrap();
             w.queries().iter().filter(|q| q.uses_table(t)).count()

@@ -52,10 +52,14 @@ fn q<'a>(schema: &'a Schema, name: &str) -> QueryBuilder<'a> {
 }
 
 /// Build the TPC-CH analytical workload against a TPC-CH schema.
-pub fn workload(schema: &Schema) -> Workload {
+pub fn workload(schema: &Schema) -> Result<Workload, crate::QueryError> {
     let queries: Vec<Result<Query, _>> = vec![
         // Q1: pricing summary over orderline.
-        q(schema, "ch_q01").scan("orderline").filter("orderline", 0.95).cpu(2.0).finish(),
+        q(schema, "ch_q01")
+            .scan("orderline")
+            .filter("orderline", 0.95)
+            .cpu(2.0)
+            .finish(),
         // Q2: minimum-cost supplier.
         q(schema, "ch_q02")
             .join(STOCK_ITEM.0, STOCK_ITEM.1)
@@ -74,7 +78,10 @@ pub fn workload(schema: &Schema) -> Workload {
             .filter("order", 0.5)
             .finish(),
         // Q4: order priority checking.
-        q(schema, "ch_q04").join_multi(&OL_ORD).filter("order", 0.03).finish(),
+        q(schema, "ch_q04")
+            .join_multi(&OL_ORD)
+            .filter("order", 0.03)
+            .finish(),
         // Q5: local supplier volume.
         q(schema, "ch_q05")
             .join_multi(&ORD_CUST)
@@ -88,7 +95,10 @@ pub fn workload(schema: &Schema) -> Workload {
             .cpu(1.4)
             .finish(),
         // Q6: forecast revenue change.
-        q(schema, "ch_q06").scan("orderline").filter("orderline", 0.01).finish(),
+        q(schema, "ch_q06")
+            .scan("orderline")
+            .filter("orderline", 0.01)
+            .finish(),
         // Q7: volume shipping between two nations.
         q(schema, "ch_q07")
             .join(OL_STOCK.0, OL_STOCK.1)
@@ -139,11 +149,17 @@ pub fn workload(schema: &Schema) -> Workload {
             .cpu(1.2)
             .finish(),
         // Q12: shipping mode / order priority.
-        q(schema, "ch_q12").join_multi(&OL_ORD).filter("orderline", 0.05).finish(),
+        q(schema, "ch_q12")
+            .join_multi(&OL_ORD)
+            .filter("orderline", 0.05)
+            .finish(),
         // Q13: customer order-count distribution.
         q(schema, "ch_q13").join_multi(&ORD_CUST).cpu(1.6).finish(),
         // Q14: promotion effect.
-        q(schema, "ch_q14").join(OL_ITEM.0, OL_ITEM.1).filter("orderline", 0.01).finish(),
+        q(schema, "ch_q14")
+            .join(OL_ITEM.0, OL_ITEM.1)
+            .filter("orderline", 0.01)
+            .finish(),
         // Q15: top supplier (revenue view over orderline ⋈ stock ⋈ supplier).
         q(schema, "ch_q15")
             .join(OL_STOCK.0, OL_STOCK.1)
@@ -158,7 +174,10 @@ pub fn workload(schema: &Schema) -> Workload {
             .cpu(1.3)
             .finish(),
         // Q17: small-quantity-order revenue.
-        q(schema, "ch_q17").join(OL_ITEM.0, OL_ITEM.1).filter("item", 0.001).finish(),
+        q(schema, "ch_q17")
+            .join(OL_ITEM.0, OL_ITEM.1)
+            .filter("item", 0.001)
+            .finish(),
         // Q18: large-volume customers.
         q(schema, "ch_q18")
             .join_multi(&ORD_CUST)
@@ -167,7 +186,10 @@ pub fn workload(schema: &Schema) -> Workload {
             .cpu(1.5)
             .finish(),
         // Q19: discounted revenue.
-        q(schema, "ch_q19").join(OL_ITEM.0, OL_ITEM.1).filter("item", 0.01).finish(),
+        q(schema, "ch_q19")
+            .join(OL_ITEM.0, OL_ITEM.1)
+            .filter("item", 0.01)
+            .finish(),
         // Q20: potential part promotion.
         q(schema, "ch_q20")
             .join(STOCK_ITEM.0, STOCK_ITEM.1)
@@ -189,22 +211,24 @@ pub fn workload(schema: &Schema) -> Workload {
             .cpu(1.4)
             .finish(),
         // Q22: global sales opportunity.
-        q(schema, "ch_q22").join_multi(&ORD_CUST).filter("customer", 0.2).finish(),
+        q(schema, "ch_q22")
+            .join_multi(&ORD_CUST)
+            .filter("customer", 0.2)
+            .finish(),
     ];
 
-    Workload::new(
-        queries
-            .into_iter()
-            .map(|r| r.expect("TPC-CH query builds"))
-            .collect(),
-    )
+    Ok(Workload::new(
+        queries.into_iter().collect::<Result<_, _>>()?,
+    ))
 }
 
 /// Queries that join `stock` and `item` — over-represented in the Fig. 5
 /// workload cluster B.
 pub fn stock_item_queries(schema: &Schema, workload: &Workload) -> Vec<crate::QueryId> {
-    let stock = schema.table_by_name("stock").unwrap();
-    let item = schema.table_by_name("item").unwrap();
+    let (Some(stock), Some(item)) = (schema.table_by_name("stock"), schema.table_by_name("item"))
+    else {
+        return Vec::new();
+    };
     workload
         .query_ids()
         .filter(|id| {
@@ -220,23 +244,27 @@ mod tests {
 
     #[test]
     fn twenty_two_queries() {
-        let s = lpa_schema::tpcch::schema(0.001);
-        assert_eq!(workload(&s).queries().len(), 22);
+        let s = lpa_schema::tpcch::schema(0.001).expect("schema builds");
+        assert_eq!(workload(&s).expect("workload builds").queries().len(), 22);
     }
 
     #[test]
     fn composite_alternatives_present_on_order_joins() {
-        let s = lpa_schema::tpcch::schema(0.001);
-        let w = workload(&s);
+        let s = lpa_schema::tpcch::schema(0.001).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         let q13 = w.queries().iter().find(|q| q.name == "ch_q13").unwrap();
         assert_eq!(q13.joins.len(), 1);
-        assert_eq!(q13.joins[0].pairs.len(), 3, "key, district and compound pair");
+        assert_eq!(
+            q13.joins[0].pairs.len(),
+            3,
+            "key, district and compound pair"
+        );
     }
 
     #[test]
     fn stock_item_cluster_nonempty() {
-        let s = lpa_schema::tpcch::schema(0.001);
-        let w = workload(&s);
+        let s = lpa_schema::tpcch::schema(0.001).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         let hot = stock_item_queries(&s, &w);
         // Q2, Q16, Q20 join stock and item directly.
         assert!(hot.len() >= 3, "found {}", hot.len());

@@ -19,191 +19,266 @@ fn q<'a>(schema: &'a Schema, name: &str) -> QueryBuilder<'a> {
 
 /// Archetype join graphs; the second element names the table whose filter
 /// is swept over the selectivity buckets.
-fn archetypes(schema: &Schema) -> Vec<(Query, &'static str)> {
-    let mk = |r: Result<Query, crate::QueryError>| r.expect("TPC-DS archetype builds");
-    vec![
+fn archetypes(schema: &Schema) -> Result<Vec<(Query, &'static str)>, crate::QueryError> {
+    let raw = vec![
         (
-            mk(q(schema, "ds_ss_date")
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
-                .finish()),
+            q(schema, "ds_ss_date")
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
+                .finish(),
             "date_dim",
         ),
         (
-            mk(q(schema, "ds_ss_item")
+            q(schema, "ds_ss_item")
                 .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
                 .cpu(1.2)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_ss_item_date")
+            q(schema, "ds_ss_item_date")
                 .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
                 .filter("date_dim", 0.08)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_ss_cust_addr")
-                .join(("store_sales", "ss_customer_sk"), ("customer", "c_customer_sk"))
-                .join(("customer", "c_current_addr_sk"), ("customer_address", "ca_address_sk"))
-                .finish()),
+            q(schema, "ds_ss_cust_addr")
+                .join(
+                    ("store_sales", "ss_customer_sk"),
+                    ("customer", "c_customer_sk"),
+                )
+                .join(
+                    ("customer", "c_current_addr_sk"),
+                    ("customer_address", "ca_address_sk"),
+                )
+                .finish(),
             "customer_address",
         ),
         (
-            mk(q(schema, "ds_ss_sr_item")
+            q(schema, "ds_ss_sr_item")
                 .join_multi(&[
-                    (("store_sales", "ss_ticket_number"), ("store_returns", "sr_ticket_number")),
-                    (("store_sales", "ss_item_sk"), ("store_returns", "sr_item_sk")),
+                    (
+                        ("store_sales", "ss_ticket_number"),
+                        ("store_returns", "sr_ticket_number"),
+                    ),
+                    (
+                        ("store_sales", "ss_item_sk"),
+                        ("store_returns", "sr_item_sk"),
+                    ),
                 ])
                 .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
                 .filter("date_dim", 0.25)
                 .cpu(1.3)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_cs_date")
-                .join(("catalog_sales", "cs_sold_date_sk"), ("date_dim", "d_date_sk"))
-                .finish()),
+            q(schema, "ds_cs_date")
+                .join(
+                    ("catalog_sales", "cs_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
+                .finish(),
             "date_dim",
         ),
         (
-            mk(q(schema, "ds_cs_item")
+            q(schema, "ds_cs_item")
                 .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
                 .cpu(1.2)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_cs_cr_item")
+            q(schema, "ds_cs_cr_item")
                 .join_multi(&[
-                    (("catalog_sales", "cs_order_number"), ("catalog_returns", "cr_order_number")),
-                    (("catalog_sales", "cs_item_sk"), ("catalog_returns", "cr_item_sk")),
+                    (
+                        ("catalog_sales", "cs_order_number"),
+                        ("catalog_returns", "cr_order_number"),
+                    ),
+                    (
+                        ("catalog_sales", "cs_item_sk"),
+                        ("catalog_returns", "cr_item_sk"),
+                    ),
                 ])
                 .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
-                .join(("catalog_sales", "cs_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .join(
+                    ("catalog_sales", "cs_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
                 .filter("date_dim", 0.25)
                 .cpu(1.3)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_ws_date")
+            q(schema, "ds_ws_date")
                 .join(("web_sales", "ws_sold_date_sk"), ("date_dim", "d_date_sk"))
-                .finish()),
+                .finish(),
             "date_dim",
         ),
         (
-            mk(q(schema, "ds_ws_item")
+            q(schema, "ds_ws_item")
                 .join(("web_sales", "ws_item_sk"), ("item", "i_item_sk"))
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_ws_wr_item")
+            q(schema, "ds_ws_wr_item")
                 .join_multi(&[
-                    (("web_sales", "ws_order_number"), ("web_returns", "wr_order_number")),
+                    (
+                        ("web_sales", "ws_order_number"),
+                        ("web_returns", "wr_order_number"),
+                    ),
                     (("web_sales", "ws_item_sk"), ("web_returns", "wr_item_sk")),
                 ])
                 .join(("web_sales", "ws_item_sk"), ("item", "i_item_sk"))
                 .join(("web_sales", "ws_sold_date_sk"), ("date_dim", "d_date_sk"))
                 .filter("date_dim", 0.25)
                 .cpu(1.3)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_inv_item_date")
+            q(schema, "ds_inv_item_date")
                 .join(("inventory", "inv_item_sk"), ("item", "i_item_sk"))
                 .join(("inventory", "inv_date_sk"), ("date_dim", "d_date_sk"))
                 .filter("date_dim", 0.02)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_inv_wh_item")
-                .join(("inventory", "inv_warehouse_sk"), ("warehouse", "w_warehouse_sk"))
+            q(schema, "ds_inv_wh_item")
+                .join(
+                    ("inventory", "inv_warehouse_sk"),
+                    ("warehouse", "w_warehouse_sk"),
+                )
                 .join(("inventory", "inv_item_sk"), ("item", "i_item_sk"))
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_cross_ss_cs")
+            q(schema, "ds_cross_ss_cs")
                 .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
                 .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
                 .filter("date_dim", 0.3)
                 .cpu(1.5)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_cross_all_channels")
+            q(schema, "ds_cross_all_channels")
                 .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
                 .join(("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"))
                 .join(("web_sales", "ws_item_sk"), ("item", "i_item_sk"))
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
                 .filter("date_dim", 0.3)
                 .cpu(1.8)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_cust_demo")
-                .join(("store_sales", "ss_customer_sk"), ("customer", "c_customer_sk"))
-                .join(("customer", "c_current_cdemo_sk"), ("customer_demographics", "cd_demo_sk"))
-                .join(("customer", "c_current_hdemo_sk"), ("household_demographics", "hd_demo_sk"))
-                .join(("household_demographics", "hd_income_band_sk"), ("income_band", "ib_income_band_sk"))
+            q(schema, "ds_cust_demo")
+                .join(
+                    ("store_sales", "ss_customer_sk"),
+                    ("customer", "c_customer_sk"),
+                )
+                .join(
+                    ("customer", "c_current_cdemo_sk"),
+                    ("customer_demographics", "cd_demo_sk"),
+                )
+                .join(
+                    ("customer", "c_current_hdemo_sk"),
+                    ("household_demographics", "hd_demo_sk"),
+                )
+                .join(
+                    ("household_demographics", "hd_income_band_sk"),
+                    ("income_band", "ib_income_band_sk"),
+                )
                 .cpu(1.4)
-                .finish()),
+                .finish(),
             "customer_demographics",
         ),
         (
-            mk(q(schema, "ds_promo_item")
+            q(schema, "ds_promo_item")
                 .join(("store_sales", "ss_promo_sk"), ("promotion", "p_promo_sk"))
                 .join(("promotion", "p_item_sk"), ("item", "i_item_sk"))
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
                 .filter("date_dim", 0.25)
-                .finish()),
+                .finish(),
             "item",
         ),
         (
-            mk(q(schema, "ds_cs_inv_wh")
-                .join(("catalog_sales", "cs_item_sk"), ("inventory", "inv_item_sk"))
-                .join(("inventory", "inv_warehouse_sk"), ("warehouse", "w_warehouse_sk"))
+            q(schema, "ds_cs_inv_wh")
+                .join(
+                    ("catalog_sales", "cs_item_sk"),
+                    ("inventory", "inv_item_sk"),
+                )
+                .join(
+                    ("inventory", "inv_warehouse_sk"),
+                    ("warehouse", "w_warehouse_sk"),
+                )
                 .join(("inventory", "inv_date_sk"), ("date_dim", "d_date_sk"))
                 .filter("date_dim", 0.25)
                 .cpu(1.4)
-                .finish()),
+                .finish(),
             "catalog_sales",
         ),
         (
-            mk(q(schema, "ds_store_traffic")
+            q(schema, "ds_store_traffic")
                 .join(("store_sales", "ss_store_sk"), ("store", "s_store_sk"))
-                .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
-                .finish()),
+                .join(
+                    ("store_sales", "ss_sold_date_sk"),
+                    ("date_dim", "d_date_sk"),
+                )
+                .finish(),
             "date_dim",
         ),
         (
-            mk(q(schema, "ds_returns_cust")
-                .join(("store_returns", "sr_customer_sk"), ("customer", "c_customer_sk"))
-                .join(("customer", "c_current_addr_sk"), ("customer_address", "ca_address_sk"))
-                .finish()),
+            q(schema, "ds_returns_cust")
+                .join(
+                    ("store_returns", "sr_customer_sk"),
+                    ("customer", "c_customer_sk"),
+                )
+                .join(
+                    ("customer", "c_current_addr_sk"),
+                    ("customer_address", "ca_address_sk"),
+                )
+                .finish(),
             "customer_address",
         ),
-    ]
+    ];
+    raw.into_iter().map(|(r, t)| Ok((r?, t))).collect()
 }
 
 /// Build the TPC-DS workload (60 queries) against a TPC-DS schema.
-pub fn workload(schema: &Schema) -> Workload {
+pub fn workload(schema: &Schema) -> Result<Workload, crate::QueryError> {
     let buckets = SelectivityBuckets::default_three();
     let mut queries = Vec::with_capacity(60);
-    for (template, filter_table) in archetypes(schema) {
-        queries.extend(buckets.instantiate(schema, &template, filter_table));
+    for (template, filter_table) in archetypes(schema)? {
+        queries.extend(buckets.instantiate(schema, &template, filter_table)?);
     }
-    Workload::new(queries)
+    Ok(Workload::new(queries))
 }
 
 #[cfg(test)]
@@ -212,16 +287,16 @@ mod tests {
 
     #[test]
     fn sixty_queries_from_twenty_archetypes() {
-        let s = lpa_schema::tpcds::schema(0.001);
-        let w = workload(&s);
+        let s = lpa_schema::tpcds::schema(0.001).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         assert_eq!(w.queries().len(), 60);
-        assert_eq!(archetypes(&s).len(), 20);
+        assert_eq!(archetypes(&s).expect("archetypes build").len(), 20);
     }
 
     #[test]
     fn bucket_variants_differ_only_in_selectivity() {
-        let s = lpa_schema::tpcds::schema(0.001);
-        let w = workload(&s);
+        let s = lpa_schema::tpcds::schema(0.001).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         let v0 = &w.queries()[0];
         let v1 = &w.queries()[1];
         assert_eq!(v0.tables, v1.tables);
@@ -231,8 +306,8 @@ mod tests {
 
     #[test]
     fn fact_fact_joins_carry_item_alternative() {
-        let s = lpa_schema::tpcds::schema(0.001);
-        let w = workload(&s);
+        let s = lpa_schema::tpcds::schema(0.001).expect("schema builds");
+        let w = workload(&s).expect("workload builds");
         let ss_sr = w
             .queries()
             .iter()

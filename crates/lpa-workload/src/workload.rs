@@ -48,14 +48,14 @@ impl Workload {
     }
 
     /// Add a new query into a reserved slot (incremental extension).
-    /// Returns its id, or `None` if no slot is free.
-    pub fn add_query(&mut self, query: Query) -> Option<QueryId> {
+    /// Returns its id, or hands the query back if no slot is free.
+    pub fn add_query(&mut self, query: Query) -> Result<QueryId, Query> {
         if self.reserved_slots == 0 {
-            return None;
+            return Err(query);
         }
         self.reserved_slots -= 1;
         self.queries.push(query);
-        Some(QueryId(self.queries.len() - 1))
+        Ok(QueryId(self.queries.len() - 1))
     }
 
     /// Ids of all current queries.
@@ -164,8 +164,8 @@ mod tests {
     use crate::query::QueryBuilder;
 
     fn tiny_workload() -> Workload {
-        let s = lpa_schema::microbench::schema(0.001);
-        crate::microbench::workload(&s)
+        let s = lpa_schema::microbench::schema(0.001).expect("schema builds");
+        crate::microbench::workload(&s).expect("workload builds")
     }
 
     #[test]
@@ -197,15 +197,18 @@ mod tests {
     fn add_query_consumes_reserved_slot() {
         let mut w = tiny_workload().with_reserved_slots(1);
         assert_eq!(w.slots(), 3);
-        let s = lpa_schema::microbench::schema(0.001);
+        let s = lpa_schema::microbench::schema(0.001).expect("schema builds");
         let q = QueryBuilder::new(&s, "new").scan("a").finish().unwrap();
-        let id = w.add_query(q).unwrap();
+        let id = w.add_query(q).expect("slot reserved");
         assert_eq!(id, QueryId(2));
         assert_eq!(w.slots(), 3);
         assert_eq!(w.reserved_slots(), 0);
-        let s2 = lpa_schema::microbench::schema(0.001);
-        let q2 = QueryBuilder::new(&s2, "overflow").scan("b").finish().unwrap();
-        assert!(w.add_query(q2).is_none());
+        let s2 = lpa_schema::microbench::schema(0.001).expect("schema builds");
+        let q2 = QueryBuilder::new(&s2, "overflow")
+            .scan("b")
+            .finish()
+            .unwrap();
+        assert!(w.add_query(q2).is_err());
     }
 
     #[test]
@@ -216,14 +219,20 @@ mod tests {
             "f",
             vec![
                 lpa_schema::Attribute::new("f_pk", lpa_schema::Domain::PrimaryKey),
-                lpa_schema::Attribute::new("f_d", lpa_schema::Domain::ForeignKey(lpa_schema::TableId(1))),
+                lpa_schema::Attribute::new(
+                    "f_d",
+                    lpa_schema::Domain::ForeignKey(lpa_schema::TableId(1)),
+                ),
             ],
             100,
             10,
         ));
         b.table(lpa_schema::Table::new(
             "d",
-            vec![lpa_schema::Attribute::new("d_pk", lpa_schema::Domain::PrimaryKey)],
+            vec![lpa_schema::Attribute::new(
+                "d_pk",
+                lpa_schema::Domain::PrimaryKey,
+            )],
             10,
             10,
         ));

@@ -7,12 +7,16 @@
 //! cargo run --release --example advisor_service
 //! ```
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa::prelude::*;
 use lpa::service::ServiceEvent;
 
 fn main() {
-    let schema = lpa::schema::ssb::schema(0.005);
-    let workload = lpa::workload::ssb::workload(&schema).with_reserved_slots(2);
+    let schema = lpa::schema::ssb::schema(0.005).expect("schema builds");
+    let workload = lpa::workload::ssb::workload(&schema)
+        .expect("workload builds")
+        .with_reserved_slots(2);
 
     println!("training the advisor once (offline)…");
     let cfg = DqnConfig::simulation(200, 16).with_seed(77);
@@ -28,7 +32,10 @@ fn main() {
     // Persist + restore the trained policy — what a provider would do
     // between the training cluster and the serving fleet.
     let snapshot_json = serde_json_roundtrip(&advisor);
-    println!("policy snapshot: {} KiB of JSON", snapshot_json.len() / 1024);
+    println!(
+        "policy snapshot: {} KiB of JSON",
+        snapshot_json.len() / 1024
+    );
 
     let production = Cluster::new(
         schema.clone(),
@@ -60,9 +67,8 @@ fn main() {
         );
     }
     for _ in 0..3 {
-        service.observe_sql(
-            "SELECT count(*) FROM customer c, supplier s WHERE c.c_city = s.s_city",
-        );
+        service
+            .observe_sql("SELECT count(*) FROM customer c, supplier s WHERE c.c_city = s.s_city");
         service.observe_sql(
             "SELECT count(*) FROM part p, lineorder l WHERE l.lo_partkey = p.p_partkey \
              AND p.p_brand BETWEEN 100 AND 120",

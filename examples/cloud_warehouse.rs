@@ -7,11 +7,13 @@
 //! cargo run --release --example cloud_warehouse
 //! ```
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa::prelude::*;
 
 fn main() {
-    let schema = lpa::schema::tpcds::schema(0.005);
-    let workload = lpa::workload::tpcds::workload(&schema);
+    let schema = lpa::schema::tpcds::schema(0.005).expect("schema builds");
+    let workload = lpa::workload::tpcds::workload(&schema).expect("workload builds");
     println!(
         "TPC-DS: {} tables ({} fact), {} queries",
         schema.tables().len(),
@@ -43,7 +45,11 @@ fn main() {
         schema.clone(),
         ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
     );
-    for (label, p) in [("Heuristic (a)", &ha), ("Heuristic (b)", &hb), ("RL advisor", &p_rl)] {
+    for (label, p) in [
+        ("Heuristic (a)", &ha),
+        ("Heuristic (b)", &hb),
+        ("RL advisor", &p_rl),
+    ] {
         cluster.deploy(p);
         let t = cluster.run_workload(&workload, &mix);
         println!("{label:<16} {t:>9.3}s");

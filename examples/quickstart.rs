@@ -5,14 +5,20 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa::prelude::*;
 
 fn main() {
     // A fact table `a` (6M rows at full scale) joining two dimensions:
     // `b` (small) and `c` (large). Run at 5% scale for a fast demo.
-    let schema = lpa::schema::microbench::schema(0.05);
-    let workload = lpa::workload::microbench::workload(&schema);
-    println!("schema: {} tables, {} candidate co-partitioning edges", schema.tables().len(), schema.edges().len());
+    let schema = lpa::schema::microbench::schema(0.05).expect("schema builds");
+    let workload = lpa::workload::microbench::workload(&schema).expect("workload builds");
+    println!(
+        "schema: {} tables, {} candidate co-partitioning edges",
+        schema.tables().len(),
+        schema.edges().len()
+    );
 
     // Offline phase (Section 4.1): the agent explores partitionings in a
     // simulation, rewarded by the network-centric cost model.
@@ -30,7 +36,10 @@ fn main() {
     // Inference (Section 6): greedy rollout, best state wins.
     let mix = workload.uniform_frequencies();
     let suggestion = advisor.suggest(&mix);
-    println!("suggested partitioning: {}", suggestion.partitioning.describe(&schema));
+    println!(
+        "suggested partitioning: {}",
+        suggestion.partitioning.describe(&schema)
+    );
 
     // Validate the suggestion against the naive layout on the simulated
     // cluster (actual row-level execution, not the cost model).
@@ -45,6 +54,9 @@ fn main() {
     let t_rl = cluster.run_workload(&workload, &mix);
     println!("measured workload runtime: naive {t_naive:.4}s → advisor {t_rl:.4}s");
     if t_rl < t_naive {
-        println!("the advisor's layout is {:.1}% faster", (1.0 - t_rl / t_naive) * 100.0);
+        println!(
+            "the advisor's layout is {:.1}% faster",
+            (1.0 - t_rl / t_naive) * 100.0
+        );
     }
 }

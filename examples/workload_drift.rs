@@ -8,14 +8,18 @@
 //! cargo run --release --example workload_drift
 //! ```
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa::advisor::incremental;
 use lpa::prelude::*;
 use lpa::workload::QueryId;
 
 fn main() {
-    let schema = lpa::schema::tpcch::schema(0.001);
+    let schema = lpa::schema::tpcch::schema(0.001).expect("schema builds");
     // Reserve two slots for queries we have not seen yet.
-    let workload = lpa::workload::tpcch::workload(&schema).with_reserved_slots(2);
+    let workload = lpa::workload::tpcch::workload(&schema)
+        .expect("workload builds")
+        .with_reserved_slots(2);
 
     println!("training the advisor once over many workload mixes…");
     let cfg = DqnConfig::simulation(220, 26).with_seed(11);
@@ -50,7 +54,7 @@ fn main() {
         .filter("history", 0.2)
         .finish()
         .expect("valid query");
-    println!("\nadding a new query ({}) with incremental training…", "weekly_history_report");
+    println!("\nadding a new query (weekly_history_report) with incremental training…");
     let report = incremental::add_queries(&mut advisor, vec![new_query], 25)
         .expect("a reserved slot is available");
     let new_id = report.new_ids[0];

@@ -8,6 +8,8 @@
 //! lpa baselines --benchmark ssb [--engine pgxl|systemx]
 //! ```
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa::advisor::OnlineOptimizations;
 use lpa::prelude::*;
 use std::collections::HashMap;
@@ -86,8 +88,8 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
 
 struct BenchmarkSpec {
     name: &'static str,
-    schema: fn(f64) -> Schema,
-    workload: fn(&Schema) -> Workload,
+    schema: fn(f64) -> Result<Schema, lpa::schema::SchemaError>,
+    workload: fn(&Schema) -> Result<Workload, lpa::workload::QueryError>,
     default_sf: f64,
     class: SchemaClass,
 }
@@ -154,8 +156,8 @@ fn cmd_schemas() -> Result<(), String> {
         "name", "tables", "edges", "queries", "bytes @default"
     );
     for spec in BENCHMARKS {
-        let schema = (spec.schema)(spec.default_sf);
-        let workload = (spec.workload)(&schema);
+        let schema = (spec.schema)(spec.default_sf).expect("benchmark schema builds");
+        let workload = (spec.workload)(&schema).expect("benchmark workload builds");
         println!(
             "{:<8} {:>7} {:>6} {:>8} {:>14}",
             spec.name,
@@ -172,16 +174,12 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
     let spec = benchmark(&flags)?;
     let sql = positional.first().ok_or("missing SQL string")?;
-    let schema = (spec.schema)(sf_of(&flags, spec)?);
+    let schema = (spec.schema)(sf_of(&flags, spec)?).expect("benchmark schema builds");
     let q = lpa::sql::parse_query(&schema, sql).map_err(|e| e.to_string())?;
     println!("query `{}`:", q.name);
     println!("  tables:");
     for (t, sel) in q.tables.iter().zip(&q.selectivity) {
-        println!(
-            "    {:<24} selectivity {:.4}",
-            schema.table(*t).name,
-            sel
-        );
+        println!("    {:<24} selectivity {:.4}", schema.table(*t).name, sel);
     }
     println!("  joins:");
     for j in &q.joins {
@@ -213,13 +211,13 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --episodes"))
         .transpose()?
         .unwrap_or(250);
-    let schema = (spec.schema)(sf);
+    let schema = (spec.schema)(sf).expect("benchmark schema builds");
     let tmax: usize = flags
         .get("tmax")
         .map(|s| s.parse().map_err(|_| "bad --tmax"))
         .transpose()?
         .unwrap_or((schema.tables().len() + schema.edges().len()).min(60));
-    let workload = (spec.workload)(&schema);
+    let workload = (spec.workload)(&schema).expect("benchmark workload builds");
 
     eprintln!("training offline ({episodes} episodes, t_max {tmax})…");
     let cfg = DqnConfig::simulation(episodes, tmax).with_seed(0xC11);
@@ -234,7 +232,10 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
 
     if flags.contains_key("online") {
         eprintln!("refining online on a sampled cluster…");
-        let mut full = Cluster::new(schema.clone(), ClusterConfig::new(engine, HardwareProfile::standard()));
+        let mut full = Cluster::new(
+            schema.clone(),
+            ClusterConfig::new(engine, HardwareProfile::standard()),
+        );
         let mut sample = full.sampled(0.25);
         let uniform = workload.uniform_frequencies();
         let p_off = advisor.suggest(&uniform).partitioning;
@@ -274,7 +275,10 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         if !regressions.is_empty() {
             println!("queries that pay for the change:");
             for d in regressions {
-                println!("  {:<14} {:.5}s → {:.5}s", d.name, d.cost_before, d.cost_after);
+                println!(
+                    "  {:<14} {:.5}s → {:.5}s",
+                    d.name, d.cost_before, d.cost_after
+                );
             }
         }
     }
@@ -293,8 +297,8 @@ fn cmd_baselines(args: &[String]) -> Result<(), String> {
     let spec = benchmark(&flags)?;
     let engine = engine_of(&flags)?;
     let sf = sf_of(&flags, spec)?;
-    let schema = (spec.schema)(sf);
-    let workload = (spec.workload)(&schema);
+    let schema = (spec.schema)(sf).expect("benchmark schema builds");
+    let workload = (spec.workload)(&schema).expect("benchmark workload builds");
     let mix = workload.uniform_frequencies();
     let mut cluster = Cluster::new(
         schema.clone(),
@@ -313,9 +317,27 @@ fn cmd_baselines(args: &[String]) -> Result<(), String> {
         println!("  {label:<22} {t:>10.4} s");
     }
     println!("workload runtime on {} at sf {sf}:", engine.name());
-    eval(&mut cluster, &workload, &mix, "initial (by key)", &Partitioning::initial(&schema));
-    eval(&mut cluster, &workload, &mix, "heuristic (a)", &heuristic_a(&schema, &workload, spec.class));
-    eval(&mut cluster, &workload, &mix, "heuristic (b)", &heuristic_b(&schema, &workload, spec.class));
+    eval(
+        &mut cluster,
+        &workload,
+        &mix,
+        "initial (by key)",
+        &Partitioning::initial(&schema),
+    );
+    eval(
+        &mut cluster,
+        &workload,
+        &mix,
+        "heuristic (a)",
+        &heuristic_a(&schema, &workload, spec.class),
+    );
+    eval(
+        &mut cluster,
+        &workload,
+        &mix,
+        "heuristic (b)",
+        &heuristic_b(&schema, &workload, spec.class),
+    );
     match lpa::baselines::minimum_optimizer_partitioning(&cluster, &workload, &mix, 10) {
         Some(p) => eval(&mut cluster, &workload, &mix, "minimum optimizer", &p),
         None => println!("  {:<22} {:>12}", "minimum optimizer", "not available"),

@@ -16,8 +16,8 @@
 //!
 //! // 1. A schema and a representative workload (here: the paper's
 //! //    three-table microbenchmark).
-//! let schema = lpa::schema::microbench::schema(0.05);
-//! let workload = lpa::workload::microbench::workload(&schema);
+//! let schema = lpa::schema::microbench::schema(0.05).expect("schema builds");
+//! let workload = lpa::workload::microbench::workload(&schema).expect("workload builds");
 //!
 //! // 2. Offline phase: bootstrap a DQN agent against the simple
 //! //    network-centric cost model (Section 4.1 / Algorithm 1).
@@ -52,6 +52,10 @@
 //! | [`baselines`] | heuristics, minimum-optimizer designer, neural cost model |
 //! | [`sql`] | SQL frontend: parse observed statements into join graphs |
 //! | [`service`] | workload monitoring, forecasting, repartition controller |
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub use lpa_advisor as advisor;
 pub use lpa_baselines as baselines;

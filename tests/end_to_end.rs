@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full pipeline from schema to
 //! suggestion, exercised through the public `lpa` API.
 
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
 use lpa::prelude::*;
 
 fn quick_cfg(episodes: usize, tmax: usize) -> DqnConfig {
@@ -14,8 +16,8 @@ fn quick_cfg(episodes: usize, tmax: usize) -> DqnConfig {
 
 #[test]
 fn offline_pipeline_improves_over_initial_layout() {
-    let schema = lpa::schema::microbench::schema(0.05);
-    let workload = lpa::workload::microbench::workload(&schema);
+    let schema = lpa::schema::microbench::schema(0.05).expect("schema builds");
+    let workload = lpa::workload::microbench::workload(&schema).expect("workload builds");
     let mut advisor = Advisor::train_offline(
         schema.clone(),
         workload.clone(),
@@ -39,8 +41,8 @@ fn offline_pipeline_improves_over_initial_layout() {
 fn online_pipeline_runs_and_accounts_time() {
     use lpa::advisor::{shared_cache, shared_cluster, OnlineBackend};
 
-    let schema = lpa::schema::microbench::schema(0.02);
-    let workload = lpa::workload::microbench::workload(&schema);
+    let schema = lpa::schema::microbench::schema(0.02).expect("schema builds");
+    let workload = lpa::workload::microbench::workload(&schema).expect("workload builds");
     let mut advisor = Advisor::train_offline(
         schema.clone(),
         workload.clone(),
@@ -83,8 +85,8 @@ fn online_pipeline_runs_and_accounts_time() {
 
 #[test]
 fn baselines_and_advisor_share_the_same_state_space() {
-    let schema = lpa::schema::ssb::schema(0.002);
-    let workload = lpa::workload::ssb::workload(&schema);
+    let schema = lpa::schema::ssb::schema(0.002).expect("schema builds");
+    let workload = lpa::workload::ssb::workload(&schema).expect("workload builds");
     let class = SchemaClass::detect(&schema);
     let a = heuristic_a(&schema, &workload, class);
     let b = heuristic_b(&schema, &workload, class);
@@ -104,8 +106,8 @@ fn baselines_and_advisor_share_the_same_state_space() {
 #[test]
 fn engine_capability_gates_match_paper() {
     // System-X: no optimizer estimates, compound keys supported.
-    let schema = lpa::schema::tpcch::schema(0.0005);
-    let workload = lpa::workload::tpcch::workload(&schema);
+    let schema = lpa::schema::tpcch::schema(0.0005).expect("schema builds");
+    let workload = lpa::workload::tpcch::workload(&schema).expect("workload builds");
     let sx = Cluster::new(
         schema.clone(),
         ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
@@ -128,8 +130,8 @@ fn engine_capability_gates_match_paper() {
 fn suggestions_adapt_to_the_workload_mix() {
     // A custom two-query schema where each query unambiguously prefers a
     // different co-partitioning; the advisor must switch with the mix.
-    let schema = lpa::schema::microbench::schema(0.05);
-    let workload = lpa::workload::microbench::workload(&schema);
+    let schema = lpa::schema::microbench::schema(0.05).expect("schema builds");
+    let workload = lpa::workload::microbench::workload(&schema).expect("workload builds");
     let mut advisor = Advisor::train_offline(
         schema.clone(),
         workload.clone(),

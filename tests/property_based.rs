@@ -1,71 +1,91 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Formerly written with `proptest`; the offline build vendors only a
+//! minimal `rand`, so each property is now driven by an explicit
+//! seed-indexed loop over `StdRng`-generated inputs. Coverage (number of
+//! cases per property) matches the old `ProptestConfig` settings.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
 
 use lpa::prelude::*;
 use lpa::schema::{AttrId, EdgeId, TableId};
 use lpa::workload::FrequencyVector;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn tpcch() -> lpa::schema::Schema {
-    lpa::schema::tpcch::schema(0.0005)
+    lpa::schema::tpcch::schema(0.0005).expect("schema builds")
 }
 
-/// A strategy producing random valid action sequences.
-fn action_indices() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0usize..1000, 1..40)
+/// Random valid action-index sequence (1..40 long, indices 0..1000).
+fn action_indices(rng: &mut StdRng) -> Vec<usize> {
+    let len = rng.gen_range(1..40);
+    (0..len).map(|_| rng.gen_range(0..1000usize)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Applying any sequence of valid actions preserves the edge/table
-    /// consistency invariant.
-    #[test]
-    fn random_action_walks_stay_consistent(choices in action_indices()) {
-        let schema = tpcch();
+/// Applying any sequence of valid actions preserves the edge/table
+/// consistency invariant.
+#[test]
+fn random_action_walks_stay_consistent() {
+    let schema = tpcch();
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x1000 + case);
+        let choices = action_indices(&mut rng);
         let mut p = Partitioning::initial(&schema);
         for c in choices {
             let actions = lpa::partition::valid_actions(&schema, &p);
-            prop_assert!(!actions.is_empty(), "reachable states keep actions");
+            assert!(!actions.is_empty(), "reachable states keep actions");
             let a = actions[c % actions.len()];
-            p = a.apply(&schema, &p).unwrap();
-            prop_assert!(p.check(&schema).is_ok());
+            p = a.apply(&schema, &p).expect("valid action applies");
+            assert!(p.check(&schema).is_ok());
         }
     }
+}
 
-    /// The state encoding is always one-hot per table block and its length
-    /// never varies.
-    #[test]
-    fn encoding_shape_invariants(choices in action_indices()) {
-        let schema = tpcch();
-        let workload = lpa::workload::tpcch::workload(&schema);
-        let enc = StateEncoder::new(&schema, workload.slots());
+/// The state encoding is always one-hot per table block and its length
+/// never varies.
+#[test]
+fn encoding_shape_invariants() {
+    let schema = tpcch();
+    let workload = lpa::workload::tpcch::workload(&schema).expect("workload builds");
+    let enc = StateEncoder::new(&schema, workload.slots());
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x2000 + case);
+        let choices = action_indices(&mut rng);
         let mut p = Partitioning::initial(&schema);
         for c in choices {
             let actions = lpa::partition::valid_actions(&schema, &p);
-            p = actions[c % actions.len()].apply(&schema, &p).unwrap();
+            p = actions[c % actions.len()]
+                .apply(&schema, &p)
+                .expect("valid action applies");
         }
         let f = FrequencyVector::uniform(workload.slots());
         let v = enc.encode_state(&p, &f);
-        prop_assert_eq!(v.len(), enc.state_dim());
+        assert_eq!(v.len(), enc.state_dim());
         let mut off = 0;
         for t in schema.tables() {
             let dim = 1 + t.attributes.len();
             let ones = v[off..off + dim].iter().filter(|x| **x == 1.0).count();
-            prop_assert_eq!(ones, 1);
+            assert_eq!(ones, 1);
             off += dim;
         }
     }
+}
 
-    /// Cost-model costs are positive, finite, and monotone in frequency.
-    #[test]
-    fn cost_model_sanity(scale_num in 1u32..5, boost in 1.0f64..4.0) {
-        let schema = lpa::schema::ssb::schema(scale_num as f64 * 0.002);
-        let workload = lpa::workload::ssb::workload(&schema);
+/// Cost-model costs are positive, finite, and monotone in frequency.
+#[test]
+fn cost_model_sanity() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x3000 + case);
+        let scale_num = rng.gen_range(1u32..5);
+        let boost = rng.gen_range(1.0f64..4.0);
+        let schema = lpa::schema::ssb::schema(scale_num as f64 * 0.002).expect("schema builds");
+        let workload = lpa::workload::ssb::workload(&schema).expect("workload builds");
         let model = NetworkCostModel::new(CostParams::standard());
         let p = Partitioning::initial(&schema);
         let f1 = FrequencyVector::uniform(workload.slots());
         let base = model.workload_cost(&schema, &workload, &f1, &p);
-        prop_assert!(base.is_finite() && base > 0.0);
+        assert!(base.is_finite() && base > 0.0);
         // Boosting one query never decreases the workload cost.
         let mut counts = vec![1.0; workload.queries().len()];
         counts[3] = boost;
@@ -73,48 +93,61 @@ proptest! {
         // f2 is normalized by its max, so compare against the same
         // normalization of f1: scale costs by boost to undo it.
         let boosted = model.workload_cost(&schema, &workload, &f2, &p) * boost;
-        prop_assert!(boosted + 1e-12 >= base, "boosted {boosted} >= base {base}");
+        assert!(boosted + 1e-12 >= base, "boosted {boosted} >= base {base}");
     }
+}
 
-    /// Frequency-vector normalization: max entry is 1, order preserved.
-    #[test]
-    fn frequency_normalization(counts in prop::collection::vec(0.01f64..100.0, 2..30)) {
+/// Frequency-vector normalization: max entry is 1, order preserved.
+#[test]
+fn frequency_normalization() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x4000 + case);
+        let len = rng.gen_range(2..30usize);
+        let counts: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01f64..100.0)).collect();
         let f = FrequencyVector::from_counts(&counts, counts.len());
         let s = f.as_slice();
         let max = s.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!((max - 1.0).abs() < 1e-12);
+        assert!((max - 1.0).abs() < 1e-12);
         for i in 0..counts.len() {
             for j in 0..counts.len() {
-                prop_assert_eq!(counts[i] < counts[j], s[i] < s[j]);
+                assert_eq!(counts[i] < counts[j], s[i] < s[j]);
             }
         }
     }
+}
 
-    /// Data generation respects foreign-key domains for arbitrary scales.
-    #[test]
-    fn datagen_referential_integrity(seed in 0u64..1000) {
-        let schema = lpa::schema::microbench::schema(0.001);
+/// Data generation respects foreign-key domains for arbitrary seeds.
+#[test]
+fn datagen_referential_integrity() {
+    let schema = lpa::schema::microbench::schema(0.001).expect("schema builds");
+    let a = lpa::schema::microbench::tables::A;
+    let b_rows = schema.table(lpa::schema::microbench::tables::B).rows;
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x5000 + case);
+        let seed = rng.gen_range(0u64..1000);
         let db = lpa::cluster::Database::generate(&schema, seed);
-        let a = lpa::schema::microbench::tables::A;
-        let b_rows = schema.table(lpa::schema::microbench::tables::B).rows;
         for &v in db.column(a, AttrId(1)) {
-            prop_assert!(v < b_rows);
+            assert!(v < b_rows);
         }
     }
+}
 
-    /// Edge activation followed by deactivation returns to the same
-    /// physical layout.
-    #[test]
-    fn edge_toggle_roundtrip(e_idx in 0usize..100) {
-        let schema = tpcch();
-        let p0 = Partitioning::initial(&schema);
-        let e = EdgeId(e_idx % schema.edges().len());
+/// Edge activation followed by deactivation returns to the same
+/// physical layout.
+#[test]
+fn edge_toggle_roundtrip() {
+    let schema = tpcch();
+    let p0 = Partitioning::initial(&schema);
+    for e_idx in 0..schema.edges().len() {
+        let e = EdgeId(e_idx);
         if let Ok(p1) = Action::ActivateEdge(e).apply(&schema, &p0) {
-            let p2 = Action::DeactivateEdge(e).apply(&schema, &p1).unwrap();
+            let p2 = Action::DeactivateEdge(e)
+                .apply(&schema, &p1)
+                .expect("active edge deactivates");
             // Table states now reflect the edge attrs (not reverted), but
             // the layout stays valid and edges match p0 again.
-            prop_assert!(p2.check(&schema).is_ok());
-            prop_assert_eq!(p2.active_edges().count(), 0);
+            assert!(p2.check(&schema).is_ok());
+            assert_eq!(p2.active_edges().count(), 0);
         }
     }
 }
@@ -123,8 +156,8 @@ proptest! {
 fn executor_matches_truth_join_cardinality() {
     // Deterministic cross-check: the simulated executor's join output for
     // a ⋈ c equals a brute-force single-node join over the generated data.
-    let schema = lpa::schema::microbench::schema(0.002);
-    let workload = lpa::workload::microbench::workload(&schema);
+    let schema = lpa::schema::microbench::schema(0.002).expect("schema builds");
+    let workload = lpa::workload::microbench::workload(&schema).expect("workload builds");
     let db = lpa::cluster::Database::generate(&schema, 0x5EED);
     let a = lpa::schema::microbench::tables::A;
     let c = lpa::schema::microbench::tables::C;

@@ -1,0 +1,136 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: `Criterion::bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. It reports mean
+//! nanoseconds per iteration over a fixed measurement budget — no statistics,
+//! no HTML reports, but enough to compare hot paths offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How expensive batch setup is relative to the routine (accepted for API
+/// compatibility; the stub sizes batches identically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            warm_up_iters: 3,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            warm_up_iters: self.warm_up_iters,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / (b.iters as u32)
+        };
+        println!(
+            "bench: {id:<50} {:>12.1} ns/iter ({} iters)",
+            per_iter.as_nanos() as f64,
+            b.iters
+        );
+        self
+    }
+}
+
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    warm_up_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.warm_up_iters {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.warm_up_iters {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let wall = Instant::now();
+        while wall.elapsed() < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,468 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, from-scratch serialization framework
+//! under the `serde` name. It supports exactly the surface this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on plain (non-generic) structs
+//! and enums, `serde::Serialize` / `serde::de::DeserializeOwned` bounds, and
+//! value-level JSON via the sibling `serde_json` stand-in.
+//!
+//! Design notes:
+//! - Serialization is value-based: `Serialize::to_value` produces a [`Value`]
+//!   tree, which the JSON layer renders. This is slower than real serde but
+//!   dependency-free and easy to audit.
+//! - Maps serialize as sorted arrays of `[key, value]` pairs so that output
+//!   is deterministic regardless of `HashMap` iteration order (the same
+//!   determinism requirement `lpa-lint` rule L002 enforces on the advisor).
+//! - Floats render via Rust's shortest-roundtrip `{:?}` formatting, so
+//!   `f32`/`f64` survive save/load bit-exactly; non-finite floats are encoded
+//!   as tagged strings since JSON has no representation for them.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialized value (the JSON data model plus split
+/// integer variants so `i64`/`u64` round-trip exactly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Object fields in insertion order (derive emits declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization marker, as used in `T: serde::de::DeserializeOwned`
+    /// bounds. Our `Deserialize` has no borrowed variant, so this is a blanket
+    /// alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Fetch a required struct field from an object value.
+pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error(format!("missing field `{name}`"))),
+        other => Err(Error(format!(
+            "expected object with field `{name}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Interpret a value as an array of exactly `len` elements (enum tuple
+/// variants and tuple structs).
+pub fn tuple(v: &Value, len: usize) -> Result<&[Value], Error> {
+    match v {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(Error(format!(
+            "expected array of {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error(format!("expected array, found {}", other.kind()))),
+    }
+}
+
+/// Destructure an externally tagged enum value (`{"Variant": payload}` or
+/// `"Variant"` for unit variants).
+pub fn enum_tag(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), None)),
+        Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), Some(&pairs[0].1))),
+        other => Err(Error(format!(
+            "expected enum (string tag or single-key object), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error(format!("integer {u} out of range")))?,
+                    other => return Err(Error(format!("expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u64 = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| Error(format!("integer {i} out of range")))?,
+                    other => return Err(Error(format!("expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as f64;
+                if x.is_finite() {
+                    Value::Float(x)
+                } else if x.is_nan() {
+                    Value::Str("NaN".to_string())
+                } else if x > 0.0 {
+                    Value::Str("Infinity".to_string())
+                } else {
+                    Value::Str("-Infinity".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Str(s) if s == "NaN" => Ok(<$t>::NAN),
+                    Value::Str(s) if s == "Infinity" => Ok(<$t>::INFINITY),
+                    Value::Str(s) if s == "-Infinity" => Ok(<$t>::NEG_INFINITY),
+                    other => Err(Error(format!("expected number, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                s.chars().next().ok_or_else(|| Error::msg("empty char"))
+            }
+            other => Err(Error(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error(format!("expected array of {N} elements, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = tuple(v, $len)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) => 1;
+    (A: 0, B: 1) => 2;
+    (A: 0, B: 1, C: 2) => 3;
+    (A: 0, B: 1, C: 2, D: 3) => 4;
+}
+
+// Maps serialize as sorted arrays of [key, value] pairs: deterministic output
+// for HashMap and support for non-string keys.
+fn map_to_value<'a, K, V, I>(iter: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<Value> = iter
+        .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+        .collect();
+    pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    Value::Array(pairs)
+}
+
+fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let pair = tuple(item, 2)?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(Error(format!(
+            "expected map (array of pairs), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}

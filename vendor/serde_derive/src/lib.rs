@@ -1,0 +1,403 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the subset of shapes
+//! this workspace uses: non-generic structs (named, tuple, unit) and
+//! non-generic enums (unit, tuple, and struct variants). There is no support
+//! for `#[serde(...)]` attributes — the workspace uses none — and deriving on
+//! a generic type is a compile error with a clear message.
+//!
+//! The macro is written against `proc_macro` alone (no syn/quote) so it
+//! builds with no external dependencies: it walks the raw token stream to
+//! recover the type's shape, then emits impl blocks as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple arity.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde stub codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // Optional (crate)/(super)/(in ...) restriction.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub: cannot derive for generic type `{name}` (vendored serde supports only concrete types)"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Shape::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Shape::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("serde stub: cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `a: T, pub b: U, ...` returning field names in order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Count fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_tokens = false;
+    let mut pending = false;
+    for t in body {
+        saw_tokens = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if saw_tokens && pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n            {}\n        }}\n    }}\n}}\n",
+                arms.join("\n            ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = ::serde::tuple(v, {n})?;\n        Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!("\"{vn}\" => Ok({name}::{vn}),"),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n                let payload = payload.ok_or_else(|| ::serde::Error::msg(\"variant `{vn}` expects a payload\"))?;\n                let items = ::serde::tuple(payload, {n})?;\n                Ok({name}::{vn}({}))\n            }}",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::field(payload, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n                let payload = payload.ok_or_else(|| ::serde::Error::msg(\"variant `{vn}` expects a payload\"))?;\n                Ok({name}::{vn} {{ {} }})\n            }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n        let (tag, payload) = ::serde::enum_tag(v)?;\n        match tag {{\n            {}\n            other => Err(::serde::Error(format!(\"unknown variant `{{other}}` for {name}\"))),\n        }}\n    }}\n}}\n",
+                arms.join("\n            ")
+            )
+        }
+    }
+}
