@@ -11,6 +11,7 @@
 
 use crate::advisor::{Advisor, Suggestion};
 use crate::env::AdvisorEnv;
+use lpa_par::Pool;
 use lpa_partition::Partitioning;
 use lpa_rl::DqnConfig;
 use lpa_workload::{FrequencyVector, MixSampler, QueryId};
@@ -119,27 +120,40 @@ impl Committee {
         // refined only on its subspace's mixes with low exploration. The
         // shared runtime cache means this rarely executes new queries
         // (Section 5).
+        //
+        // Environments and mix lists are built serially (`make_env` is
+        // FnMut); the expensive part — training — runs as one task per
+        // expert on the deterministic pool. Each expert's RNG stream is
+        // derived from `(seed, expert_id)`, so its trajectory does not
+        // depend on how many experts run concurrently, and the experts come
+        // back in subspace order.
         let naive_policy = naive.snapshot();
-        let mut experts = Vec::with_capacity(refs.len());
-        for pool in pools.iter() {
-            let mut env = make_env();
-            let vectors = if pool.is_empty() {
-                vec![FrequencyVector::uniform(slots)]
-            } else {
-                pool.clone()
-            };
+        let inputs: Vec<(AdvisorEnv, Vec<FrequencyVector>)> = pools
+            .iter()
+            .map(|pool| {
+                let env = make_env();
+                let vectors = if pool.is_empty() {
+                    vec![FrequencyVector::uniform(slots)]
+                } else {
+                    pool.clone()
+                };
+                (env, vectors)
+            })
+            .collect();
+        let experts = Pool::current().par_map_owned(inputs, |expert_id, (mut env, vectors)| {
             env.set_sampler(MixSampler::cycle(vectors));
             let mut snapshot = naive_policy.clone();
             // Experts fine-tune: small learning rate, little exploration —
             // they specialize the naive policy rather than re-learn it.
             let mut cfg = expert_cfg.clone();
             cfg.learning_rate = (expert_cfg.learning_rate * 0.3).max(1e-4);
+            cfg.seed = lpa_par::derive_stream(expert_cfg.seed, expert_id as u64);
             snapshot.cfg = cfg;
             let mut expert = Advisor::from_snapshot(env, snapshot);
             expert.set_epsilon(0.05);
             expert.train_episodes(expert_cfg.episodes, |_| {});
-            experts.push(expert);
-        }
+            expert
+        });
         Committee {
             references: refs,
             experts,

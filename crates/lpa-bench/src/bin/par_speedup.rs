@@ -1,0 +1,164 @@
+//! Serial-vs-parallel speedup of the deterministic execution layer
+//! (`lpa-par`) on its three wired hot paths:
+//!
+//! 1. executor workload replay (per-node join work),
+//! 2. committee expert training (one task per subspace expert),
+//! 3. batched Q-network training steps (blocked matmul).
+//!
+//! Each workload runs under `lpa_par::with_threads(1 | 2 | 4 | 8)`; the
+//! result fingerprint is asserted identical across thread counts (the
+//! whole point of the layer), and wall-clock speedup over the 1-thread run
+//! is reported. On a single-core host every ratio is ≈1.0 by construction —
+//! re-run on multi-core hardware for real numbers.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_advisor::{Advisor, AdvisorEnv, Committee, RewardBackend};
+use lpa_cluster::{Cluster, ClusterConfig, EngineProfile, HardwareProfile, QueryOutcome};
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_nn::{Adam, Matrix, Mlp};
+use lpa_rl::DqnConfig;
+use lpa_workload::MixSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Wall-clock seconds and a determinism fingerprint for one run.
+struct Sample {
+    seconds: f64,
+    fingerprint: u64,
+}
+
+fn fnv(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(0x100000001b3)
+}
+
+fn executor_replay() -> u64 {
+    let schema = lpa_schema::microbench::schema(0.2).unwrap();
+    let workload = lpa_workload::microbench::workload(&schema).unwrap();
+    let mut cluster = Cluster::new(
+        schema,
+        ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
+    );
+    let mut fp = 0xcbf29ce484222325u64;
+    for _ in 0..3 {
+        for q in workload.queries() {
+            match cluster.run_query(q, None) {
+                QueryOutcome::Completed {
+                    seconds,
+                    output_rows,
+                } => {
+                    fp = fnv(fp, seconds.to_bits());
+                    fp = fnv(fp, output_rows);
+                }
+                QueryOutcome::TimedOut { .. } => unreachable!("no budget set"),
+            }
+        }
+    }
+    fp
+}
+
+fn committee_training() -> u64 {
+    let cfg = DqnConfig {
+        episodes: 16,
+        tmax: 5,
+        batch_size: 8,
+        hidden: vec![24],
+        ..DqnConfig::paper()
+    }
+    .with_seed(31);
+    let schema = lpa_schema::microbench::schema(1.0).unwrap();
+    let workload = lpa_workload::microbench::workload(&schema).unwrap();
+    let mut naive = Advisor::train_offline(
+        schema.clone(),
+        workload.clone(),
+        NetworkCostModel::new(CostParams::standard()),
+        MixSampler::uniform(&workload),
+        cfg.clone(),
+        true,
+    );
+    let committee = Committee::train(&mut naive, cfg, move || {
+        AdvisorEnv::new(
+            schema.clone(),
+            workload.clone(),
+            RewardBackend::cost_model(NetworkCostModel::new(CostParams::standard())),
+            MixSampler::uniform(&workload),
+            true,
+            99,
+        )
+    });
+    let mut fp = 0xcbf29ce484222325u64;
+    for expert in &committee.experts {
+        for layer in expert.snapshot().q.layers() {
+            for v in layer.w.data() {
+                fp = fnv(fp, v.to_bits() as u64);
+            }
+        }
+    }
+    fp
+}
+
+fn nn_training() -> u64 {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut net = Mlp::new(&[128, 256, 128, 1], &mut rng);
+    let mut adam = Adam::new(1e-3, net.layers());
+    for _ in 0..30 {
+        let x: Vec<f32> = (0..128 * 128)
+            .map(|_| rng.gen_range(-1.0f64..1.0) as f32)
+            .collect();
+        let xm = Matrix::from_vec(128, 128, x);
+        let y: Vec<f32> = (0..128)
+            .map(|_| rng.gen_range(-1.0f64..1.0) as f32)
+            .collect();
+        net.train_mse(&xm, &y, &mut adam);
+    }
+    let mut fp = 0xcbf29ce484222325u64;
+    for layer in net.layers() {
+        for v in layer.w.data() {
+            fp = fnv(fp, v.to_bits() as u64);
+        }
+    }
+    fp
+}
+
+fn measure(name: &str, workload: fn() -> u64) {
+    let samples: Vec<Sample> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            lpa_par::with_threads(threads, || {
+                let start = Instant::now();
+                let fingerprint = workload();
+                Sample {
+                    seconds: start.elapsed().as_secs_f64(),
+                    fingerprint,
+                }
+            })
+        })
+        .collect();
+    for (s, &threads) in samples.iter().zip(&THREAD_COUNTS) {
+        assert_eq!(
+            s.fingerprint, samples[0].fingerprint,
+            "{name}: result diverged at {threads} threads"
+        );
+    }
+    let serial = samples[0].seconds;
+    print!("{name:<22}");
+    for (s, &threads) in samples.iter().zip(&THREAD_COUNTS) {
+        print!(
+            "  {threads}T {:>7.1}ms ({:>4.2}x)",
+            s.seconds * 1e3,
+            serial / s.seconds.max(1e-12)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("lpa-par speedup (host cores: {cores}; fingerprints asserted bit-identical)");
+    measure("executor_replay", executor_replay);
+    measure("committee_training", committee_training);
+    measure("nn_training", nn_training);
+}

@@ -12,10 +12,27 @@ use crate::datagen::Database;
 use crate::engine::{splitmix64, EngineProfile};
 use crate::hardware::HardwareProfile;
 use lpa_costmodel::{JoinStrategy, QueryPlan};
+use lpa_par::Pool;
 use lpa_partition::TableState;
 use lpa_schema::{AttrRef, Schema, TableId};
 use lpa_workload::Query;
 use std::collections::HashMap;
+
+/// Row count below which per-node work runs inline: thread spawning costs
+/// more than the join itself for small tables. The threshold only selects
+/// serial vs. parallel execution of the *same* per-node decomposition, so
+/// results are bit-identical either way.
+const PAR_MIN_ROWS: usize = 1 << 14;
+
+/// The deterministic pool for `work` row-operations' worth of simulator
+/// work (inline below [`PAR_MIN_ROWS`]).
+fn par_pool(work: usize) -> Pool {
+    if work >= PAR_MIN_ROWS {
+        Pool::current()
+    } else {
+        Pool::with_threads(1)
+    }
+}
 
 /// Per-table physical layout on the cluster.
 #[derive(Clone, Debug)]
@@ -41,10 +58,11 @@ pub fn layout_table(
         TableState::Replicated => Layout::Replicated,
         TableState::PartitionedBy(attr) => {
             let col = db.column(table, attr);
-            let node = col
-                .iter()
-                .map(|&v| engine.node_of(v, nodes) as u8)
-                .collect();
+            let node = par_pool(col.len()).par_map_chunked(
+                col,
+                lpa_par::default_chunk_len(col.len()),
+                |_, &v| engine.node_of(v, nodes) as u8,
+            );
             Layout::Hashed { attr, node }
         }
     }
@@ -189,9 +207,25 @@ impl<'a> Executor<'a> {
         if assignment.is_empty() {
             return 1.0 / nodes as f64;
         }
+        // Chunked partial histograms merged in chunk order. The merge is
+        // integer addition, so the counts — and the fraction — are exact
+        // regardless of chunking or thread count.
+        let chunk = lpa_par::default_chunk_len(assignment.len());
+        let n_chunks = assignment.len().div_ceil(chunk);
+        let partials = par_pool(assignment.len()).par_index_map(n_chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(assignment.len());
+            let mut counts = vec![0usize; nodes];
+            for &a in &assignment[lo..hi] {
+                counts[a as usize] += 1;
+            }
+            counts
+        });
         let mut counts = vec![0usize; nodes];
-        for &a in assignment {
-            counts[a as usize] += 1;
+        for p in partials {
+            for (total, part) in counts.iter_mut().zip(p) {
+                *total += part;
+            }
         }
         counts.iter().max().copied().unwrap_or(0) as f64 / assignment.len() as f64
     }
@@ -412,53 +446,77 @@ impl<'a> Executor<'a> {
         };
 
         // Per-node (or global, when both sides are everywhere) hash join on
-        // the primary pair.
+        // the primary pair. Each simulated node's build/probe touches only
+        // that node's rows, so the groups run as independent tasks on the
+        // deterministic pool and their outputs are merged in group order —
+        // every charged metric is identical for any thread count.
         let both_everywhere = left_at.is_none() && right_at.is_none();
         let groups: usize = if both_everywhere { 1 } else { n };
+        let inter_len = inter.len();
+        let out_width = query.tables.len();
 
-        // Build: hash the right side per group.
-        let mut build: Vec<HashMap<u64, Vec<u32>>> = (0..groups).map(|_| HashMap::new()).collect();
-        for (j, &r) in right_rows.iter().enumerate() {
-            let v = right_col[r as usize];
-            match &right_at {
-                None => {
-                    if both_everywhere {
-                        build[0].entry(v).or_default().push(r);
-                    } else {
-                        for g in build.iter_mut() {
-                            g.entry(v).or_default().push(r);
-                        }
-                    }
-                }
-                Some(at) => {
-                    build[at[j] as usize].entry(v).or_default().push(r);
-                }
+        // Serial pre-bucketing: which right rows build at each group and
+        // which intermediate rows probe there. `None` means the side is
+        // present everywhere and every group sees all of it.
+        let right_bucket: Option<Vec<Vec<usize>>> = right_at.as_ref().map(|at| {
+            let mut buckets = vec![Vec::new(); groups];
+            for (j, &node) in at.iter().enumerate() {
+                buckets[node as usize].push(j);
             }
+            buckets
+        });
+        let left_bucket: Option<Vec<Vec<u32>>> = left_at.as_ref().map(|at| {
+            let mut buckets = vec![Vec::new(); groups];
+            for (i, &node) in at.iter().enumerate() {
+                buckets[node as usize].push(i as u32);
+            }
+            buckets
+        });
+        // Replicated intermediate against a partitioned right side: the
+        // rows are present on every node and probe each node's shard.
+        let all_left: Vec<u32> = if left_bucket.is_none() {
+            (0..inter_len as u32).collect()
+        } else {
+            Vec::new()
+        };
+
+        struct GroupJoin {
+            build_rows: usize,
+            probe_rows: usize,
+            out_rows: usize,
+            out_slots: Vec<Vec<u32>>,
         }
 
-        // Probe with the intermediate.
-        let out_width = query.tables.len();
-        let mut out_slots: Vec<Vec<u32>> = vec![Vec::new(); out_width];
-        let mut out_node: Vec<u8> = Vec::new();
-        let mut per_node_probe = vec![0usize; groups.max(1)];
-        let mut per_node_out = vec![0usize; groups.max(1)];
-
-        let inter_len = inter.len();
-        let mut groups_buf: Vec<usize> = Vec::with_capacity(groups);
-        for i in 0..inter_len {
-            let v = left_vals[i];
-            groups_buf.clear();
-            match &left_at {
-                Some(at) => groups_buf.push(at[i] as usize),
-                None if both_everywhere => groups_buf.push(0),
-                // Replicated intermediate against a partitioned right side:
-                // the row is present on every node and probes each node's
-                // right shard.
-                None => groups_buf.extend(0..groups),
+        let pool = par_pool(right_rows.len() + inter_len);
+        let group_results: Vec<GroupJoin> = pool.par_index_map(groups, |g| {
+            // Build: hash this group's share of the right side, in row-id
+            // order (same per-key match order as a serial build).
+            let mut build: HashMap<u64, Vec<u32>> = HashMap::new();
+            match &right_bucket {
+                Some(buckets) => {
+                    for &j in &buckets[g] {
+                        let r = right_rows[j];
+                        build.entry(right_col[r as usize]).or_default().push(r);
+                    }
+                }
+                None => {
+                    for &r in &right_rows {
+                        build.entry(right_col[r as usize]).or_default().push(r);
+                    }
+                }
             }
-            for &g in &groups_buf {
-                per_node_probe[g] += 1;
-                if let Some(matches) = build[g].get(&v) {
+            let build_rows: usize = build.values().map(|v| v.len()).sum();
+
+            // Probe with this group's intermediate rows, index-ascending.
+            let probe_list: &[u32] = match &left_bucket {
+                Some(buckets) => &buckets[g],
+                None => &all_left,
+            };
+            let mut out_slots: Vec<Vec<u32>> = vec![Vec::new(); out_width];
+            let mut out_rows = 0usize;
+            for &iu in probe_list {
+                let i = iu as usize;
+                if let Some(matches) = build.get(&left_vals[i]) {
                     for &r in matches {
                         for (s, out) in out_slots.iter_mut().enumerate() {
                             // Absent slots stay empty so later steps can
@@ -469,11 +527,35 @@ impl<'a> Executor<'a> {
                                 out.push(inter.slots[s][i]);
                             }
                         }
-                        out_node.push(g as u8);
-                        per_node_out[g] += 1;
+                        out_rows += 1;
                     }
                 }
             }
+            GroupJoin {
+                build_rows,
+                probe_rows: probe_list.len(),
+                out_rows,
+                out_slots,
+            }
+        });
+
+        // Group-ordered merge: node 0's output rows first, then node 1's,
+        // and so on. All charged metrics (counts, stragglers, byte sums of
+        // a constant per row) are insensitive to row order, so this is
+        // equivalent to interleaving by probe index.
+        let mut out_slots: Vec<Vec<u32>> = vec![Vec::new(); out_width];
+        let mut out_node: Vec<u8> = Vec::new();
+        let mut per_node_build = vec![0usize; groups];
+        let mut per_node_probe = vec![0usize; groups];
+        let mut per_node_out = vec![0usize; groups];
+        for (g, gr) in group_results.into_iter().enumerate() {
+            per_node_build[g] = gr.build_rows;
+            per_node_probe[g] = gr.probe_rows;
+            per_node_out[g] = gr.out_rows;
+            for (merged, mut part) in out_slots.iter_mut().zip(gr.out_slots) {
+                merged.append(&mut part);
+            }
+            out_node.resize(out_node.len() + gr.out_rows, g as u8);
         }
 
         // Time accounting: network (straggler), build+probe+output CPU
@@ -483,11 +565,6 @@ impl<'a> Executor<'a> {
             seconds += self.engine.shuffle_overhead;
             let max_in = net_bytes_per_node.iter().cloned().fold(0.0, f64::max);
             seconds += max_in / self.hw.net_bandwidth;
-        }
-        // Build counts per group.
-        let mut per_node_build = vec![0usize; groups.max(1)];
-        for (g, map) in build.iter().enumerate() {
-            per_node_build[g] = map.values().map(|v| v.len()).sum();
         }
         let max_work = (0..groups)
             .map(|g| per_node_build[g] + per_node_probe[g] + per_node_out[g])

@@ -18,13 +18,17 @@
 //! - **L005** — no raw `f32` accumulation in reward/cost sums. Summing many
 //!   small costs in `f32` loses precision long before the replay buffer
 //!   fills; accumulate in `f64`.
+//! - **L006** — no direct `std::thread` use (`spawn` / `scope` / `Builder`)
+//!   outside `crates/lpa-par`. Ad-hoc threads bypass the deterministic
+//!   chunk-ordered schedule (and its nested-parallelism guard), so results
+//!   would depend on the thread count; go through `lpa_par::Pool`.
 
 use crate::lexer::{Tok, TokKind};
 
 /// A single finding, pre-waiver.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Diagnostic {
-    /// Rule id: "L001".."L005", or "W000" for waiver-hygiene findings.
+    /// Rule id: "L001".."L006", or "W000" for waiver-hygiene findings.
     pub rule: &'static str,
     pub rel_path: String,
     pub line: u32,
@@ -54,6 +58,10 @@ const DETERMINISM_SCOPE: &[&str] = &[
 
 /// Simulator crates where wall-clock time must never appear (L003).
 const SIMULATED_TIME_SCOPE: &[&str] = &["crates/lpa-cluster/src/", "crates/lpa-costmodel/src/"];
+
+/// The one crate allowed to touch `std::thread` directly (L006): the
+/// deterministic pool wraps it for everyone else.
+const THREAD_EXEMPT_SCOPE: &[&str] = &["crates/lpa-par/"];
 
 fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| rel_path.contains(s))
@@ -498,6 +506,44 @@ pub fn l005(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
     out
 }
 
+/// L006: direct `thread::spawn` / `thread::scope` / `thread::Builder`
+/// outside `crates/lpa-par`. Everything else must go through the
+/// deterministic pool so results cannot depend on the thread count.
+pub fn l006(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if in_scope(rel_path, THREAD_EXEMPT_SCOPE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] || t.text != "thread" {
+            continue;
+        }
+        // `thread :: spawn|scope|Builder` (covers `std::thread::…`, a
+        // `use std::thread;` alias, and `use std::thread::spawn;`).
+        let c1 = next_sig(tokens, i).filter(|&j| tokens[j].is_punct(':'));
+        let c2 = c1
+            .and_then(|j| next_sig(tokens, j))
+            .filter(|&j| tokens[j].is_punct(':'));
+        let Some(target) = c2.and_then(|j| next_sig(tokens, j)).map(|j| &tokens[j]) else {
+            continue;
+        };
+        if target.kind == TokKind::Ident
+            && matches!(target.text.as_str(), "spawn" | "scope" | "Builder")
+        {
+            out.push(diag(
+                "L006",
+                rel_path,
+                t.line,
+                format!(
+                    "`thread::{}` outside lpa-par: ad-hoc threads bypass the deterministic chunk-ordered schedule; run the work on `lpa_par::Pool`",
+                    target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Run every rule over one file's token stream.
 pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
     let in_test = test_regions(tokens);
@@ -508,6 +554,7 @@ pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic
         out.extend(l003(rel_path, tokens, &in_test));
         out.extend(l004(rel_path, tokens, &in_test));
         out.extend(l005(rel_path, tokens, &in_test));
+        out.extend(l006(rel_path, tokens, &in_test));
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out

@@ -112,6 +112,41 @@ fn l004_l005_fixture_flags_wildcards_and_f32_sums() {
 }
 
 #[test]
+fn l006_fixture_flags_direct_thread_use() {
+    let report = lint_as_lib("l006_threads.rs");
+    let l006: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L006")
+        .collect();
+    assert_eq!(l006.len(), 4, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics.len(), l006.len());
+    // The waived spawn is suppressed, not reported.
+    assert_eq!(report.suppressed, 1);
+    let src = fixture("l006_threads.rs");
+    for d in &l006 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING L006"),
+            "line {} not marked: {text}",
+            d.line
+        );
+    }
+}
+
+#[test]
+fn l006_exempts_lpa_par_and_test_like_code() {
+    let src = fixture("l006_threads.rs");
+    // Inside the pool crate the rule never fires (the waiver then
+    // suppresses nothing, which is the only finding left).
+    let report = lint_source("crates/lpa-par/src/lib.rs", &src, FileKind::Lib).expect("lexes");
+    assert_eq!(rules(&report), vec!["W000"], "{:?}", report.diagnostics);
+    // Test-like files (tests/, benches/, bins) are exempt like all rules.
+    let report = lint_source("tests/determinism.rs", &src, FileKind::TestLike).expect("lexes");
+    assert_eq!(rules(&report), vec!["W000"], "{:?}", report.diagnostics);
+}
+
+#[test]
 fn false_positive_fixture_is_clean() {
     let report = lint_as_lib("false_positives.rs");
     assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);

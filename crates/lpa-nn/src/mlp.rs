@@ -134,55 +134,62 @@ impl Mlp {
         }
         loss /= batch as f32;
 
-        // Backward.
+        // Backward. The gradient loops are written unit-outer (dW) and
+        // row-outer (previous delta) so each output cell accumulates over
+        // the batch in index order on exactly one thread — distributing the
+        // outer loop over the lpa-par pool cannot change the bits.
         opt.begin_step();
         for i in (0..self.layers.len()).rev() {
             let a_prev = &acts[i];
             // dW = deltaᵀ · a_prev  (out×in); db = column sums of delta.
             let out_dim = self.layers[i].output_dim();
             let in_dim = self.layers[i].input_dim();
+            let pool = crate::matrix::pool_for(batch * out_dim * in_dim.max(1));
             let mut dw = Matrix::zeros(out_dim, in_dim);
+            if in_dim > 0 {
+                pool.par_chunks_mut(dw.data_mut(), in_dim, |o, wrow| {
+                    for b in 0..batch {
+                        let d = delta.row(b)[o];
+                        if d == 0.0 {
+                            continue;
+                        }
+                        for (wi, a) in wrow.iter_mut().zip(a_prev.row(b)) {
+                            *wi += d * a;
+                        }
+                    }
+                });
+            }
             let mut db = vec![0.0f32; out_dim];
             for b in 0..batch {
-                let drow = delta.row(b);
-                let arow = a_prev.row(b);
-                for (o, d) in drow.iter().enumerate() {
+                for (o, d) in delta.row(b).iter().enumerate() {
                     if *d == 0.0 {
                         continue;
                     }
                     db[o] += d;
-                    let wrow = dw.row_mut(o);
-                    for (wi, a) in wrow.iter_mut().zip(arow) {
-                        *wi += d * a;
-                    }
                 }
             }
             // delta for the previous layer (before applying the update).
             if i > 0 {
+                let layer_w = &self.layers[i].w;
                 let mut prev_delta = Matrix::zeros(batch, in_dim);
-                for b in 0..batch {
+                pool.par_chunks_mut(prev_delta.data_mut(), in_dim.max(1), |b, prow| {
                     let drow = delta.row(b);
                     for (o, d) in drow.iter().enumerate() {
                         if *d == 0.0 {
                             continue;
                         }
-                        let wrow = self.layers[i].w.row(o);
-                        let prow = prev_delta.row_mut(b);
-                        for (p, w) in prow.iter_mut().zip(wrow) {
+                        for (p, w) in prow.iter_mut().zip(layer_w.row(o)) {
                             *p += d * w;
                         }
                     }
-                }
-                // ReLU derivative: zero where the activation was clamped.
-                for b in 0..batch {
-                    let arow = acts[i].row(b);
-                    let prow = prev_delta.row_mut(b);
-                    for (p, a) in prow.iter_mut().zip(arow) {
+                    // ReLU derivative: zero where the activation was
+                    // clamped.
+                    for (p, a) in prow.iter_mut().zip(acts[i].row(b)) {
                         if *a <= 0.0 {
                             *p = 0.0;
                         }
                     }
-                }
+                });
                 opt.step_layer(i, &mut self.layers[i], &dw, &db);
                 delta = prev_delta;
             } else {

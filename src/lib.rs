@@ -47,6 +47,7 @@
 //! | [`costmodel`] | the network-centric cost model of the offline phase |
 //! | [`cluster`] | the distributed-execution simulator (two engine profiles) |
 //! | [`nn`] | dense NN from scratch (Adam, ReLU, MSE) |
+//! | [`par`] | deterministic thread pool: bit-identical results for any `LPA_THREADS` |
 //! | [`rl`] | generic DQN (replay, target net, ε-greedy) |
 //! | [`advisor`] | offline/online training, inference, committee, incremental |
 //! | [`baselines`] | heuristics, minimum-optimizer designer, neural cost model |
@@ -62,6 +63,7 @@ pub use lpa_baselines as baselines;
 pub use lpa_cluster as cluster;
 pub use lpa_costmodel as costmodel;
 pub use lpa_nn as nn;
+pub use lpa_par as par;
 pub use lpa_partition as partition;
 pub use lpa_rl as rl;
 pub use lpa_schema as schema;

@@ -152,6 +152,81 @@ fn edge_toggle_roundtrip() {
     }
 }
 
+/// `Pool::par_map` over random inputs and thread counts is element-for-
+/// element identical to the serial `Vec::map`.
+#[test]
+fn par_map_equals_serial_map_on_random_inputs() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x7000 + case);
+        let len = rng.gen_range(0..3000usize);
+        let items: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let threads = rng.gen_range(1..9usize);
+        let f = |i: usize, x: &f64| (x * 1.0000001 + i as f64).sin();
+        let serial: Vec<f64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let par = lpa::par::Pool::with_threads(threads).par_map(&items, f);
+        assert_eq!(par.len(), serial.len());
+        for (i, (p, s)) in par.iter().zip(&serial).enumerate() {
+            assert_eq!(p.to_bits(), s.to_bits(), "case {case} element {i}");
+        }
+    }
+}
+
+/// Chunk layout is part of the determinism contract: any explicit chunk
+/// length gives the same element-ordered output as chunk length 1.
+#[test]
+fn par_map_chunked_is_chunk_size_invariant() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x8000 + case);
+        let len = rng.gen_range(1..2000usize);
+        let items: Vec<u64> = (0..len).map(|_| rng.gen::<u64>() >> 8).collect();
+        let reference =
+            lpa::par::Pool::with_threads(1).par_map_chunked(&items, 1, |i, x| x ^ (i as u64));
+        for _ in 0..3 {
+            let chunk = rng.gen_range(1..(len + 2));
+            let threads = rng.gen_range(1..9usize);
+            let got =
+                lpa::par::Pool::with_threads(threads)
+                    .par_map_chunked(&items, chunk, |i, x| x ^ (i as u64));
+            assert_eq!(
+                got, reference,
+                "case {case} chunk {chunk} threads {threads}"
+            );
+        }
+    }
+}
+
+/// The ordered reduction (`par_map_fold`) is bit-identical to the serial
+/// `map` + `fold`, even though f64 addition is non-associative.
+#[test]
+fn par_map_fold_matches_serial_fold_bitwise() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x9000 + case);
+        let len = rng.gen_range(0..2500usize);
+        // Mixed magnitudes make the sum highly order-sensitive.
+        let items: Vec<f64> = (0..len)
+            .map(|_| rng.gen_range(-1.0f64..1.0) * 10f64.powi(rng.gen_range(-9i32..9)))
+            .collect();
+        let chunk = rng.gen_range(1..200usize);
+        let threads = rng.gen_range(1..9usize);
+        let serial = items
+            .iter()
+            .map(|x| x * 1.000001)
+            .fold(0.0f64, |a, x| a + x);
+        let par = lpa::par::Pool::with_threads(threads).par_map_fold(
+            &items,
+            chunk,
+            |_, x| x * 1.000001,
+            0.0f64,
+            |a, x| a + x,
+        );
+        assert_eq!(
+            par.to_bits(),
+            serial.to_bits(),
+            "case {case} chunk {chunk} threads {threads}: {par} vs {serial}"
+        );
+    }
+}
+
 #[test]
 fn executor_matches_truth_join_cardinality() {
     // Deterministic cross-check: the simulated executor's join output for
