@@ -4,27 +4,38 @@
 //! touches, so the cache key is `(query, states of its tables)`. The cache
 //! is shared — the committee of experts and incremental retraining reuse
 //! the runtimes collected by the naive agent (Section 5).
+//!
+//! Keys are interned [`InternedKey`]s from [`lpa_partition::KeyInterner`]:
+//! a lookup packs the relevant table states into a reused scratch buffer
+//! instead of allocating a fresh `Vec<TableState>` per probe, and the map
+//! is a `BTreeMap`, keeping iteration deterministic (lint L002) — the same
+//! key discipline the offline delta engine uses.
 
-use lpa_partition::TableState;
+use lpa_partition::{InternedKey, KeyInterner, Partitioning};
+use lpa_schema::TableId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
-
-/// Cache key: query index plus the physical states of the tables the query
-/// scans (in query-table order).
-pub type CacheKey = (usize, Vec<TableState>);
 
 /// Runtime cache with hit/miss counters.
 #[derive(Debug, Default)]
 pub struct RuntimeCache {
-    map: HashMap<CacheKey, f64>,
+    interner: KeyInterner,
+    map: BTreeMap<(u32, InternedKey), f64>,
     pub hits: u64,
     pub misses: u64,
 }
 
 impl RuntimeCache {
-    pub fn get(&mut self, key: &CacheKey) -> Option<f64> {
-        match self.map.get(key) {
+    fn key(&mut self, query: usize, p: &Partitioning, tables: &[TableId]) -> (u32, InternedKey) {
+        (query as u32, self.interner.query_key(p, tables))
+    }
+
+    /// Cached runtime of `query` under the states `p` gives its `tables`,
+    /// counting a hit or miss.
+    pub fn lookup(&mut self, query: usize, p: &Partitioning, tables: &[TableId]) -> Option<f64> {
+        let key = self.key(query, p, tables);
+        match self.map.get(&key) {
             Some(v) => {
                 self.hits += 1;
                 Some(*v)
@@ -36,13 +47,16 @@ impl RuntimeCache {
         }
     }
 
-    /// Peek without touching counters (used by inference/committee reward
-    /// probes).
-    pub fn peek(&self, key: &CacheKey) -> Option<f64> {
-        self.map.get(key).copied()
+    /// Lookup without touching counters (used by inference/committee
+    /// reward probes). `&mut` because key interning shares the scratch
+    /// buffer; the map itself is not modified.
+    pub fn peek(&mut self, query: usize, p: &Partitioning, tables: &[TableId]) -> Option<f64> {
+        let key = self.key(query, p, tables);
+        self.map.get(&key).copied()
     }
 
-    pub fn insert(&mut self, key: CacheKey, seconds: f64) {
+    pub fn store(&mut self, query: usize, p: &Partitioning, tables: &[TableId], seconds: f64) {
+        let key = self.key(query, p, tables);
         self.map.insert(key, seconds);
     }
 
@@ -76,15 +90,22 @@ pub fn shared_cache() -> SharedRuntimeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lpa_schema::AttrId;
+    use lpa_partition::Action;
+    use lpa_schema::Schema;
+
+    fn ssb() -> Schema {
+        lpa_schema::ssb::schema(0.001).expect("schema builds")
+    }
 
     #[test]
     fn hit_and_miss_counters() {
+        let s = ssb();
+        let p = Partitioning::initial(&s);
+        let tables = [TableId(0), TableId(1)];
         let mut c = RuntimeCache::default();
-        let key = (0usize, vec![TableState::PartitionedBy(AttrId(0))]);
-        assert_eq!(c.get(&key), None);
-        c.insert(key.clone(), 1.5);
-        assert_eq!(c.get(&key), Some(1.5));
+        assert_eq!(c.lookup(0, &p, &tables), None);
+        c.store(0, &p, &tables, 1.5);
+        assert_eq!(c.lookup(0, &p, &tables), Some(1.5));
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
@@ -92,14 +113,37 @@ mod tests {
 
     #[test]
     fn key_distinguishes_states_not_edges() {
-        // Same query, different table states → different entries.
+        let s = ssb();
+        let p0 = Partitioning::initial(&s);
+        let lo = s.table_by_name("lineorder").unwrap();
+        let p1 = Action::Replicate { table: lo }.apply(&s, &p0).unwrap();
+        // Edge toggle away from `tables` leaves the key unchanged.
+        let p0_edge = Action::ActivateEdge(lpa_schema::EdgeId(2))
+            .apply(&s, &p0)
+            .unwrap();
+        let tables = [lo, s.table_by_name("customer").unwrap()];
         let mut c = RuntimeCache::default();
-        let a = (3usize, vec![TableState::Replicated]);
-        let b = (3usize, vec![TableState::PartitionedBy(AttrId(1))]);
-        c.insert(a.clone(), 1.0);
-        c.insert(b.clone(), 2.0);
-        assert_eq!(c.peek(&a), Some(1.0));
-        assert_eq!(c.peek(&b), Some(2.0));
+        c.store(3, &p0, &tables, 1.0);
+        c.store(3, &p1, &tables, 2.0);
+        assert_eq!(c.peek(3, &p0, &tables), Some(1.0));
+        assert_eq!(c.peek(3, &p1, &tables), Some(2.0));
         assert_eq!(c.len(), 2);
+        // p0_edge differs from p0 only in lineorder's forced edge state;
+        // if the toggle changed lineorder's state the key changes too, so
+        // probe a query not touching the edge endpoints instead.
+        let part = s.table_by_name("part").unwrap();
+        let date = s.table_by_name("date").unwrap();
+        c.store(5, &p0, &[part, date], 3.0);
+        assert_eq!(c.peek(5, &p0_edge, &[part, date]), Some(3.0));
+    }
+
+    #[test]
+    fn queries_do_not_alias() {
+        let s = ssb();
+        let p = Partitioning::initial(&s);
+        let tables = [TableId(0)];
+        let mut c = RuntimeCache::default();
+        c.store(1, &p, &tables, 1.0);
+        assert_eq!(c.peek(2, &p, &tables), None);
     }
 }

@@ -1,14 +1,15 @@
 //! The partitioning problem as a DQN environment (Section 3.2).
 
+use crate::delta::{DeltaCostEngine, RecostMode};
 use crate::online::OnlineBackend;
 use lpa_costmodel::NetworkCostModel;
-use lpa_partition::{valid_actions, Action, Partitioning, StateEncoder};
-use lpa_rl::QEnvironment;
+use lpa_partition::{valid_actions, Action, ActionSetCache, Partitioning, StateEncoder};
+use lpa_rl::{EnvCounters, QEnvironment};
 use lpa_schema::Schema;
 use lpa_workload::{FrequencyVector, MixSampler, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 
 /// DQN state: the current partitioning plus the episode's workload mix
 /// (both are part of the Q-network input, Fig. 2c).
@@ -21,24 +22,26 @@ pub struct EnvState {
 /// Where rewards come from.
 #[derive(Debug)]
 pub enum RewardBackend {
-    /// Offline phase: the network-centric cost model, memoized per
-    /// (query, relevant-table-states) just like the online runtime cache.
-    CostModel {
-        model: NetworkCostModel,
-        // BTreeMap keeps any future iteration over the cache deterministic
-        // (lint rule L002); lookups stay cheap at episode scale.
-        cache: BTreeMap<(usize, Vec<lpa_partition::TableState>), f64>,
-    },
+    /// Offline phase: the network-centric cost model behind the
+    /// incremental [`DeltaCostEngine`] (per-query cost vector, inverted
+    /// indexes, interned memo keys).
+    CostModel(Box<DeltaCostEngine>),
     /// Online phase: measured runtimes on the sampled cluster.
     Cluster(Box<OnlineBackend>),
 }
 
 impl RewardBackend {
+    /// Offline backend in delta mode (the default: steps re-cost only the
+    /// queries the action touched).
     pub fn cost_model(model: NetworkCostModel) -> Self {
-        Self::CostModel {
-            model,
-            cache: BTreeMap::new(),
-        }
+        Self::CostModel(Box::new(DeltaCostEngine::new(model, RecostMode::Delta)))
+    }
+
+    /// Offline backend that re-costs the full workload on every reward —
+    /// the seed behaviour, kept as the equivalence reference for the
+    /// differential suite and the before/after benchmark.
+    pub fn cost_model_full(model: NetworkCostModel) -> Self {
+        Self::CostModel(Box::new(DeltaCostEngine::new(model, RecostMode::Full)))
     }
 
     /// Access the online backend, if this is one.
@@ -46,6 +49,14 @@ impl RewardBackend {
         match self {
             Self::Cluster(b) => Some(b),
             Self::CostModel { .. } => None,
+        }
+    }
+
+    /// Access the offline delta engine, if this is one.
+    pub fn as_cost_model(&self) -> Option<&DeltaCostEngine> {
+        match self {
+            Self::CostModel(engine) => Some(engine),
+            Self::Cluster(_) => None,
         }
     }
 
@@ -57,22 +68,27 @@ impl RewardBackend {
         freqs: &FrequencyVector,
     ) -> f64 {
         match self {
-            Self::CostModel { model, cache } => {
-                let mut total = 0.0;
-                for (j, q) in workload.queries().iter().enumerate() {
-                    let f = freqs.as_slice().get(j).copied().unwrap_or(0.0);
-                    if f == 0.0 {
-                        continue;
-                    }
-                    let key = (j, p.physical_key_of(&q.tables));
-                    let c = *cache
-                        .entry(key)
-                        .or_insert_with(|| model.query_cost(schema, q, p));
-                    total += f * c;
-                }
-                -total
-            }
+            Self::CostModel(engine) => engine.reward(schema, workload, p, freqs),
             Self::Cluster(backend) => backend.reward(workload, p, freqs),
+        }
+    }
+
+    /// Reward after `action` turned `prev` into `next` — lets the offline
+    /// engine re-cost only the queries the action touched.
+    fn reward_for_step(
+        &mut self,
+        schema: &Schema,
+        workload: &Workload,
+        prev: &Partitioning,
+        action: &Action,
+        next: &Partitioning,
+        freqs: &FrequencyVector,
+    ) -> f64 {
+        match self {
+            Self::CostModel(engine) => {
+                engine.reward_for_step(schema, workload, prev, action, next, freqs)
+            }
+            Self::Cluster(backend) => backend.reward(workload, next, freqs),
         }
     }
 }
@@ -96,6 +112,11 @@ pub struct AdvisorEnv {
     /// far below the network's initial output scale). Ranking — and thus
     /// every argmax — is unaffected.
     reward_scale: f64,
+    /// `valid_actions` (plus the compound filter) memoized per distinct
+    /// partitioning. `RefCell` because [`QEnvironment::actions`] takes
+    /// `&self`; never borrowed across a call boundary, and `RefCell<T:
+    /// Send>` keeps the env `Send` for the committee's parallel map.
+    action_sets: RefCell<ActionSetCache>,
 }
 
 impl AdvisorEnv {
@@ -119,6 +140,7 @@ impl AdvisorEnv {
             schema,
             workload,
             reward_scale: 1.0,
+            action_sets: RefCell::new(ActionSetCache::new()),
         };
         env.recompute_reward_scale();
         env
@@ -221,15 +243,25 @@ impl QEnvironment for AdvisorEnv {
     }
 
     fn actions(&self, state: &EnvState) -> Vec<Action> {
-        valid_actions(&self.schema, &state.partitioning)
-            .into_iter()
-            .filter(|a| self.action_allowed(a))
-            .collect()
+        self.action_sets
+            .borrow_mut()
+            .get_or_insert_with(&state.partitioning, || {
+                valid_actions(&self.schema, &state.partitioning)
+                    .into_iter()
+                    .filter(|a| self.action_allowed(a))
+                    .collect()
+            })
+            .to_vec()
     }
 
     fn encode(&self, state: &EnvState, action: &Action, out: &mut [f32]) {
         self.encoder
             .encode_input(&state.partitioning, &state.freqs, action, out);
+    }
+
+    fn encode_batch(&self, state: &EnvState, actions: &[Action], out: &mut [f32]) {
+        self.encoder
+            .encode_batch(&state.partitioning, &state.freqs, actions, out);
     }
 
     fn step(&mut self, state: &EnvState, action: &Action) -> (EnvState, f64) {
@@ -238,10 +270,14 @@ impl QEnvironment for AdvisorEnv {
         let next = action
             .apply(&self.schema, &state.partitioning)
             .unwrap_or_else(|_| state.partitioning.clone());
-        let reward = self
-            .backend
-            .reward(&self.schema, &self.workload, &next, &state.freqs)
-            / self.reward_scale;
+        let reward = self.backend.reward_for_step(
+            &self.schema,
+            &self.workload,
+            &state.partitioning,
+            action,
+            &next,
+            &state.freqs,
+        ) / self.reward_scale;
         (
             EnvState {
                 partitioning: next,
@@ -249,6 +285,17 @@ impl QEnvironment for AdvisorEnv {
             },
             reward,
         )
+    }
+
+    fn counters(&self) -> EnvCounters {
+        let mut c = match &self.backend {
+            RewardBackend::CostModel(engine) => engine.stats,
+            RewardBackend::Cluster(_) => EnvCounters::default(),
+        };
+        let sets = self.action_sets.borrow();
+        c.action_cache_hits = sets.hits;
+        c.action_cache_misses = sets.misses;
+        c
     }
 }
 
@@ -313,15 +360,87 @@ mod tests {
     fn offline_cache_memoizes() {
         let mut env = offline_env(true);
         let s = env.reset();
-        let a = env.actions(&s)[0];
+        // An action that changes the physical state of a table some query
+        // actually touches (the first enumerated actions can be state-level
+        // no-ops or hit query-free tables — nothing to re-cost there).
+        let a = env
+            .actions(&s)
+            .into_iter()
+            .find(|a| {
+                let touched = match *a {
+                    Action::Partition { table, .. } | Action::Replicate { table } => env
+                        .workload
+                        .queries()
+                        .iter()
+                        .any(|q| q.tables.contains(&table)),
+                    Action::ActivateEdge(_) | Action::DeactivateEdge(_) => false,
+                };
+                touched
+                    && a.apply(&env.schema, &s.partitioning)
+                        .map(|n| n != s.partitioning)
+                        .unwrap_or(false)
+            })
+            .expect("a state-changing action on a queried table exists");
         let (_, r1) = env.step(&s, &a);
         let (_, r2) = env.step(&s, &a);
         assert_eq!(r1, r2);
-        if let RewardBackend::CostModel { cache, .. } = env.backend() {
-            assert!(!cache.is_empty());
-        } else {
-            panic!("offline backend expected");
+        // Walking back to the initial partitioning re-costs the changed
+        // tables from the memo cache (their s0 costs were cached when the
+        // reward scale was derived).
+        let p0 = env.initial_partitioning().clone();
+        let _ = env.reward_of(&p0, &s.freqs.clone());
+        let engine = env.backend().as_cost_model().expect("offline backend");
+        assert!(engine.cache_len() > 0);
+        assert!(engine.stats.reward_cache_hits > 0, "revisit memoized");
+    }
+
+    #[test]
+    fn delta_env_matches_full_env_bitwise() {
+        let schema = lpa_schema::tpcch::schema(0.001).expect("schema builds");
+        let workload = lpa_workload::tpcch::workload(&schema).expect("workload builds");
+        let mk = |backend| {
+            AdvisorEnv::new(
+                schema.clone(),
+                workload.clone(),
+                backend,
+                MixSampler::uniform(&workload),
+                true,
+                7,
+            )
+        };
+        let mut delta = mk(RewardBackend::cost_model(NetworkCostModel::new(
+            CostParams::standard(),
+        )));
+        let mut full = mk(RewardBackend::cost_model_full(NetworkCostModel::new(
+            CostParams::standard(),
+        )));
+        assert_eq!(
+            delta.reward_scale().to_bits(),
+            full.reward_scale().to_bits(),
+            "normalization identical across modes"
+        );
+        let mut sd = delta.reset();
+        let mut sf = full.reset();
+        assert_eq!(sd.freqs, sf.freqs, "same seed, same mixes");
+        for step in 0..30 {
+            let actions = delta.actions(&sd);
+            assert_eq!(actions, full.actions(&sf));
+            let a = actions[step % actions.len()];
+            let (nd, rd) = delta.step(&sd, &a);
+            let (nf, rf) = full.step(&sf, &a);
+            assert_eq!(rd.to_bits(), rf.to_bits(), "step {step} reward diverged");
+            assert_eq!(nd.partitioning, nf.partitioning);
+            if step % 11 == 10 {
+                sd = delta.reset();
+                sf = full.reset();
+            } else {
+                sd = nd;
+                sf = nf;
+            }
         }
+        let c = delta.counters();
+        assert!(c.delta_recosts > 0, "delta path exercised");
+        assert!(c.action_cache_hits > 0, "action sets memoized");
     }
 
     #[test]

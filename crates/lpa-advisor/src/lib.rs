@@ -23,6 +23,7 @@ pub mod accounting;
 pub mod advisor;
 pub mod cache;
 pub mod committee;
+pub mod delta;
 pub mod env;
 pub mod explain;
 pub mod incremental;
@@ -32,6 +33,7 @@ pub use accounting::CostAccounting;
 pub use advisor::{Advisor, Suggestion};
 pub use cache::{shared_cache, RuntimeCache, SharedRuntimeCache};
 pub use committee::Committee;
+pub use delta::{DeltaCostEngine, RecostMode};
 pub use env::{AdvisorEnv, EnvState, RewardBackend};
 pub use explain::{Explanation, QueryDelta};
 pub use online::{shared_cluster, OnlineBackend, OnlineOptimizations, SharedCluster};

@@ -140,10 +140,9 @@ impl OnlineBackend {
                 continue;
             }
             let s = self.scale.get(j).copied().unwrap_or(1.0);
-            let key = (j, partitioning.physical_key_of(&q.tables));
 
             if self.opts.runtime_cache {
-                if let Some(t) = self.cache.lock().get(&key) {
+                if let Some(t) = self.cache.lock().lookup(j, partitioning, &q.tables) {
                     self.accounting.cached_query_seconds += t;
                     self.accounting.queries_cached += 1;
                     total += f * s * t;
@@ -185,7 +184,7 @@ impl OnlineBackend {
             // Record unconditionally: with caching disabled the entry is
             // never read for rewards, but committee/inference probes and
             // the ledger still use it.
-            self.cache.lock().insert(key, t);
+            self.cache.lock().store(j, partitioning, &q.tables, t);
             total += f * s * t;
         }
         let r = -total;

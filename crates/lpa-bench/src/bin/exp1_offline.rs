@@ -13,6 +13,7 @@ use lpa_baselines::{heuristic_a, heuristic_b, minimum_optimizer_partitioning};
 use lpa_bench::setup::{cluster, eval_partitioning, offline_advisor};
 use lpa_bench::{bar, figure, save_json, Benchmark};
 use lpa_cluster::{EngineKind, HardwareProfile};
+use lpa_rl::QEnvironment;
 use serde_json::json;
 
 fn main() {
@@ -60,6 +61,15 @@ fn main() {
                 "  RL partitioning: {}",
                 suggestion.partitioning.describe(&schema)
             );
+            let c = advisor.env.counters();
+            println!(
+                "  training counters: {} rewards ({} delta / {} full re-costs), \
+                 reward cache {:.1}% hit",
+                c.rewards_evaluated,
+                c.delta_recosts,
+                c.full_recosts,
+                100.0 * c.reward_cache_hit_rate(),
+            );
 
             all.push(json!({
                 "benchmark": bench.name(),
@@ -69,6 +79,9 @@ fn main() {
                 "minimum_optimizer_s": t_opt,
                 "rl_offline_s": t_rl,
                 "rl_partitioning": suggestion.partitioning.describe(&schema),
+                "reward_cache_hit_rate": c.reward_cache_hit_rate(),
+                "delta_recosts": c.delta_recosts,
+                "full_recosts": c.full_recosts,
             }));
         }
     }

@@ -7,7 +7,7 @@ use lpa_bench::Benchmark;
 use lpa_cluster::HardwareProfile;
 use lpa_costmodel::NetworkCostModel;
 use lpa_partition::{Partitioning, TableState};
-use lpa_rl::DqnConfig;
+use lpa_rl::{DqnConfig, QEnvironment};
 use lpa_workload::MixSampler;
 
 fn main() {
@@ -57,6 +57,19 @@ fn main() {
             "  offline agent: reward {:.5} → {}",
             s.reward,
             s.partitioning.describe(&schema)
+        );
+        let c = advisor.env.counters();
+        eprintln!(
+            "  env counters: {} rewards ({} delta / {} full re-costs), \
+             reward cache {:.1}% hit ({}h/{}m), action cache {}h/{}m",
+            c.rewards_evaluated,
+            c.delta_recosts,
+            c.full_recosts,
+            100.0 * c.reward_cache_hit_rate(),
+            c.reward_cache_hits,
+            c.reward_cache_misses,
+            c.action_cache_hits,
+            c.action_cache_misses,
         );
     }
 }

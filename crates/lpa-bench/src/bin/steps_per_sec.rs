@@ -1,0 +1,317 @@
+//! Offline training throughput: steps/sec with select/step/train
+//! breakdowns, comparing the full-recompute reward path (the seed
+//! behaviour) against the incremental delta engine.
+//!
+//! The two modes are run with identical seeds and the *entire* observable
+//! trajectory — every per-step reward and every selected action — is
+//! asserted bit-identical, so the speedup numbers are guaranteed to come
+//! from the same computation. Results go to `BENCH_offline.json`.
+//!
+//! Two measurements per benchmark: the end-to-end train loop (NN-bound
+//! at paper scales) and an env-only walk that isolates the reward path.
+//!
+//! Usage: `steps_per_sec [--bench ssb|tpcds|tpcch|micro] [--episodes N]
+//! [--tmax N] [--walk-steps N] [--seed N]` (defaults: SSB + TPC-CH at a
+//! trimmed episode count, 20 000 walk steps).
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_advisor::{AdvisorEnv, RewardBackend};
+use lpa_bench::setup::cost_params;
+use lpa_bench::Benchmark;
+use lpa_cluster::HardwareProfile;
+use lpa_costmodel::NetworkCostModel;
+use lpa_rl::{DqnAgent, DqnConfig, QEnvironment, Transition};
+use lpa_workload::MixSampler;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    steps: usize,
+    select_s: f64,
+    step_s: f64,
+    train_s: f64,
+    total_s: f64,
+    reward_bits: Vec<u64>,
+    actions: Vec<String>,
+    counters: lpa_rl::EnvCounters,
+}
+
+/// Manual episode loop (mirrors `lpa_rl::train`) with per-phase timers.
+fn run_mode(
+    bench: Benchmark,
+    full_mode: bool,
+    episodes: usize,
+    tmax: usize,
+    seed: u64,
+) -> RunResult {
+    let scale = bench.scale();
+    let schema = bench.schema(scale.sf).expect("schema builds");
+    let workload = bench.workload(&schema).expect("workload builds");
+    let model = NetworkCostModel::new(cost_params(HardwareProfile::standard()));
+    let backend = if full_mode {
+        RewardBackend::cost_model_full(model)
+    } else {
+        RewardBackend::cost_model(model)
+    };
+    let sampler = MixSampler::uniform(&workload);
+    let mut env = AdvisorEnv::new(schema, workload, backend, sampler, true, seed);
+    let mut cfg = DqnConfig::simulation(episodes, tmax).with_seed(seed);
+    cfg.episodes = episodes;
+    cfg.tmax = tmax;
+    let train_every = cfg.train_every.max(1);
+    let mut agent = DqnAgent::new(env.input_dim(), cfg);
+
+    let mut select_t = Duration::ZERO;
+    let mut step_t = Duration::ZERO;
+    let mut train_t = Duration::ZERO;
+    let mut steps = 0usize;
+    let mut reward_bits = Vec::with_capacity(episodes * tmax);
+    let mut actions = Vec::with_capacity(episodes * tmax);
+    let started = Instant::now();
+    for _ in 0..episodes {
+        let mut state = env.reset();
+        for t in 0..tmax {
+            let t0 = Instant::now();
+            let action = agent.select_action(&env, &state, true);
+            let t1 = Instant::now();
+            let (next, reward) = env.step(&state, &action);
+            let t2 = Instant::now();
+            select_t += t1 - t0;
+            step_t += t2 - t1;
+            steps += 1;
+            reward_bits.push(reward.to_bits());
+            actions.push(format!("{action:?}"));
+            agent.remember(Transition {
+                state: state.clone(),
+                action,
+                reward,
+                next_state: next.clone(),
+            });
+            if t % train_every == 0 {
+                let t3 = Instant::now();
+                let _ = agent.train_step(&env);
+                train_t += t3.elapsed();
+            }
+            state = next;
+        }
+        agent.decay_epsilon();
+    }
+    RunResult {
+        steps,
+        select_s: select_t.as_secs_f64(),
+        step_s: step_t.as_secs_f64(),
+        train_s: train_t.as_secs_f64(),
+        total_s: started.elapsed().as_secs_f64(),
+        reward_bits,
+        actions,
+        counters: env.counters(),
+    }
+}
+
+struct WalkResult {
+    steps: usize,
+    total_s: f64,
+    reward_bits_xor: u64,
+    counters: lpa_rl::EnvCounters,
+}
+
+/// Pure environment walk — no agent, actions picked by a seeded LCG — so
+/// the timing isolates the reward path (`env.step`) from NN work, which
+/// dominates the end-to-end loop.
+fn run_walk(
+    bench: Benchmark,
+    full_mode: bool,
+    steps_target: usize,
+    tmax: usize,
+    seed: u64,
+) -> WalkResult {
+    let scale = bench.scale();
+    let schema = bench.schema(scale.sf).expect("schema builds");
+    let workload = bench.workload(&schema).expect("workload builds");
+    let model = NetworkCostModel::new(cost_params(HardwareProfile::standard()));
+    let backend = if full_mode {
+        RewardBackend::cost_model_full(model)
+    } else {
+        RewardBackend::cost_model(model)
+    };
+    let sampler = MixSampler::uniform(&workload);
+    let mut env = AdvisorEnv::new(schema, workload, backend, sampler, true, seed);
+    let mut lcg = seed | 1;
+    let mut steps = 0usize;
+    let mut bits_xor = 0u64;
+    let started = Instant::now();
+    while steps < steps_target {
+        let mut state = env.reset();
+        for _ in 0..tmax {
+            let actions = env.actions(&state);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let action = actions[(lcg >> 33) as usize % actions.len()];
+            let (next, reward) = env.step(&state, &action);
+            bits_xor ^= reward.to_bits().rotate_left((steps % 63) as u32);
+            steps += 1;
+            state = next;
+        }
+    }
+    WalkResult {
+        steps,
+        total_s: started.elapsed().as_secs_f64(),
+        reward_bits_xor: bits_xor,
+        counters: env.counters(),
+    }
+}
+
+fn parse_bench(name: &str) -> Benchmark {
+    match name {
+        "ssb" => Benchmark::Ssb,
+        "tpcds" => Benchmark::Tpcds,
+        "tpcch" => Benchmark::Tpcch,
+        "micro" => Benchmark::Micro,
+        other => panic!("unknown benchmark {other:?} (ssb|tpcds|tpcch|micro)"),
+    }
+}
+
+fn main() {
+    let mut benches: Vec<Benchmark> = Vec::new();
+    let mut episodes: Option<usize> = None;
+    let mut tmax: Option<usize> = None;
+    let mut walk_steps = 20_000usize;
+    let mut seed = 0x57E9u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag value");
+        match a.as_str() {
+            "--bench" => benches.push(parse_bench(&val())),
+            "--episodes" => episodes = Some(val().parse().expect("integer")),
+            "--tmax" => tmax = Some(val().parse().expect("integer")),
+            "--walk-steps" => walk_steps = val().parse().expect("integer"),
+            "--seed" => seed = val().parse().expect("integer"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    if benches.is_empty() {
+        benches = vec![Benchmark::Ssb, Benchmark::Tpcch];
+    }
+
+    let mut out = Vec::new();
+    for bench in benches {
+        let scale = bench.scale();
+        // Trimmed defaults: throughput stabilizes long before a full
+        // training run.
+        let eps = episodes.unwrap_or((scale.episodes / 8).max(10));
+        let tm = tmax.unwrap_or(scale.tmax);
+        eprintln!(
+            "[{}: {eps} episodes × {tm} steps, full recompute…]",
+            bench.name()
+        );
+        let full = run_mode(bench, true, eps, tm, seed);
+        eprintln!("[{}: same run, delta engine…]", bench.name());
+        let delta = run_mode(bench, false, eps, tm, seed);
+
+        // The equivalence contract: identical rewards (bitwise) and
+        // identical selected actions at every step.
+        assert_eq!(
+            full.reward_bits,
+            delta.reward_bits,
+            "{}: delta rewards diverged from full recompute",
+            bench.name()
+        );
+        assert_eq!(
+            full.actions,
+            delta.actions,
+            "{}: delta action trajectory diverged",
+            bench.name()
+        );
+
+        // Reward-path isolation: the end-to-end loop above is dominated by
+        // NN train/select, so also walk the env alone at a step count
+        // large enough to time the reward path itself.
+        eprintln!(
+            "[{}: env-only walk, {walk_steps} steps per mode…]",
+            bench.name()
+        );
+        let walk_full = run_walk(bench, true, walk_steps, tm, seed ^ 0xA1);
+        let walk_delta = run_walk(bench, false, walk_steps, tm, seed ^ 0xA1);
+        assert_eq!(
+            walk_full.reward_bits_xor,
+            walk_delta.reward_bits_xor,
+            "{}: env-walk rewards diverged",
+            bench.name()
+        );
+
+        let sps = |r: &RunResult| r.steps as f64 / r.total_s.max(1e-9);
+        let wps = |w: &WalkResult| w.steps as f64 / w.total_s.max(1e-9);
+        lpa_bench::figure(
+            "steps_per_sec",
+            &format!("{} offline throughput", bench.name()),
+        );
+        lpa_bench::bar("full recompute (train loop)", sps(&full), "steps/s");
+        lpa_bench::bar("delta engine (train loop)", sps(&delta), "steps/s");
+        lpa_bench::bar(
+            "speedup (train loop)",
+            sps(&delta) / sps(&full).max(1e-9),
+            "x",
+        );
+        lpa_bench::bar("full recompute (env walk)", wps(&walk_full), "steps/s");
+        lpa_bench::bar("delta engine (env walk)", wps(&walk_delta), "steps/s");
+        lpa_bench::bar(
+            "speedup (env walk)",
+            wps(&walk_delta) / wps(&walk_full).max(1e-9),
+            "x",
+        );
+
+        let phase = |r: &RunResult| {
+            json!({
+                "steps": r.steps,
+                "total_s": r.total_s,
+                "select_s": r.select_s,
+                "step_s": r.step_s,
+                "train_s": r.train_s,
+                "steps_per_sec": sps(r),
+                "counters": json!({
+                    "reward_cache_hits": r.counters.reward_cache_hits,
+                    "reward_cache_misses": r.counters.reward_cache_misses,
+                    "delta_recosts": r.counters.delta_recosts,
+                    "full_recosts": r.counters.full_recosts,
+                    "queries_recosted": r.counters.queries_recosted,
+                    "rewards_evaluated": r.counters.rewards_evaluated,
+                    "action_cache_hits": r.counters.action_cache_hits,
+                    "action_cache_misses": r.counters.action_cache_misses,
+                }),
+            })
+        };
+        let walk = |w: &WalkResult| {
+            json!({
+                "steps": w.steps,
+                "total_s": w.total_s,
+                "steps_per_sec": wps(w),
+                "queries_recosted": w.counters.queries_recosted,
+                "reward_cache_hits": w.counters.reward_cache_hits,
+                "reward_cache_misses": w.counters.reward_cache_misses,
+            })
+        };
+        out.push(json!({
+            "benchmark": bench.name(),
+            "episodes": eps,
+            "tmax": tm,
+            "seed": seed,
+            "bitwise_equal": true,
+            "full": phase(&full),
+            "delta": phase(&delta),
+            "speedup": sps(&delta) / sps(&full).max(1e-9),
+            "walk_full": walk(&walk_full),
+            "walk_delta": walk(&walk_delta),
+            "walk_speedup": wps(&walk_delta) / wps(&walk_full).max(1e-9),
+        }));
+    }
+
+    let doc = json!({ "runs": out });
+    std::fs::write(
+        "BENCH_offline.json",
+        serde_json::to_string_pretty(&doc).expect("serializes"),
+    )
+    .expect("BENCH_offline.json written");
+    println!("  [saved BENCH_offline.json]");
+}

@@ -51,7 +51,10 @@ impl std::fmt::Display for Diagnostic {
 const DETERMINISM_SCOPE: &[&str] = &[
     "crates/lpa-costmodel/src/",
     "crates/lpa-partition/src/encoder.rs",
+    "crates/lpa-partition/src/fingerprint.rs",
     "crates/lpa-advisor/src/accounting.rs",
+    "crates/lpa-advisor/src/cache.rs",
+    "crates/lpa-advisor/src/delta.rs",
     "crates/lpa-advisor/src/env.rs",
     "crates/lpa-rl/src/",
 ];

@@ -169,6 +169,37 @@ impl StateEncoder {
         self.encode_state_into(p, f, s);
         self.encode_action_into(a, act);
     }
+
+    /// Encode `(state, action_i)` rows for every action into `out`, a
+    /// row-major `actions.len() × input_dim` buffer.
+    ///
+    /// The Q-network scores every candidate action against the *same*
+    /// state, so the state prefix is encoded once and block-copied into
+    /// the remaining rows; only the short action suffix is written per
+    /// row. Bit-identical to calling [`Self::encode_input`] per row (same
+    /// writes, different write order).
+    pub fn encode_batch(
+        &self,
+        p: &Partitioning,
+        f: &FrequencyVector,
+        actions: &[Action],
+        out: &mut [f32],
+    ) {
+        let dim = self.input_dim();
+        assert_eq!(out.len(), actions.len() * dim, "output buffer size");
+        if actions.is_empty() {
+            return;
+        }
+        self.encode_state_into(p, f, &mut out[..self.state_dim]);
+        let (first, rest) = out.split_at_mut(dim);
+        let (state_prefix, first_action) = first.split_at_mut(self.state_dim);
+        self.encode_action_into(&actions[0], first_action);
+        for (row, a) in rest.chunks_exact_mut(dim).zip(&actions[1..]) {
+            let (s, act) = row.split_at_mut(self.state_dim);
+            s.copy_from_slice(state_prefix);
+            self.encode_action_into(a, act);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +300,32 @@ mod tests {
         enc.encode_input(&p, &f, &a, &mut buf);
         assert_eq!(&buf[..enc.state_dim()], enc.encode_state(&p, &f).as_slice());
         assert_eq!(&buf[enc.state_dim()..], enc.encode_action(&a).as_slice());
+    }
+
+    #[test]
+    fn encode_batch_bitwise_matches_per_row_encode() {
+        let (s, enc) = setup();
+        let mut p = Partitioning::initial(&s);
+        p = Action::ActivateEdge(EdgeId(1)).apply(&s, &p).unwrap();
+        let f = FrequencyVector::from_counts(&[1.0, 3.0, 0.5], 13);
+        let actions = valid_actions(&s, &p);
+        assert!(actions.len() > 1);
+        let dim = enc.input_dim();
+        let mut batch = vec![0.123f32; actions.len() * dim];
+        enc.encode_batch(&p, &f, &actions, &mut batch);
+        for (i, a) in actions.iter().enumerate() {
+            let mut row = vec![0.0f32; dim];
+            enc.encode_input(&p, &f, a, &mut row);
+            let got = &batch[i * dim..(i + 1) * dim];
+            assert!(
+                got.iter()
+                    .zip(&row)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "row {i} differs"
+            );
+        }
+        // Empty action set is a no-op on an empty buffer.
+        enc.encode_batch(&p, &f, &[], &mut []);
     }
 
     #[test]

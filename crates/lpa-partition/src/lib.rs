@@ -8,7 +8,10 @@
 //!   (de-)activate an edge, with the paper's conflict-freedom rule;
 //! * [`StateEncoder`] — the fixed-length binary state vector (appended
 //!   table one-hots, edge bits, query frequencies) and one-hot action
-//!   encoding fed into the Q-network.
+//!   encoding fed into the Q-network;
+//! * [`fingerprint`] — interned fixed-width cache keys over partitioning
+//!   states (the allocation-free key layer behind the cost/runtime caches
+//!   and the action-set cache).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -16,8 +19,10 @@
 
 pub mod action;
 pub mod encoder;
+pub mod fingerprint;
 pub mod partitioning;
 
 pub use action::{valid_actions, Action, ActionError};
 pub use encoder::StateEncoder;
+pub use fingerprint::{fingerprint64, ActionSetCache, InternedKey, KeyInterner};
 pub use partitioning::{Partitioning, TableState};

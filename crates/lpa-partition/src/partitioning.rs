@@ -72,6 +72,12 @@ impl Partitioning {
         self.edges[e.0]
     }
 
+    /// Raw activation flags, one per candidate edge (used by the
+    /// fingerprint/interning layer to pack whole-state cache keys).
+    pub fn edge_flags(&self) -> &[bool] {
+        &self.edges
+    }
+
     pub fn active_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.edges
             .iter()

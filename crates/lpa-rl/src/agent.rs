@@ -17,7 +17,6 @@ pub struct DqnAgent<E: QEnvironment> {
     epsilon: f64,
     buffer: ReplayBuffer<E::State, E::Action>,
     rng: StdRng,
-    scratch: Vec<f32>,
 }
 
 impl<E: QEnvironment> DqnAgent<E> {
@@ -35,7 +34,6 @@ impl<E: QEnvironment> DqnAgent<E> {
             epsilon: cfg.epsilon_start,
             buffer: ReplayBuffer::new(cfg.buffer_size),
             rng,
-            scratch: vec![0.0; input_dim],
             q,
             opt,
             cfg,
@@ -60,14 +58,14 @@ impl<E: QEnvironment> DqnAgent<E> {
         &self.q
     }
 
-    /// Batch Q-values for every action in `actions` at `state`.
+    /// Batch Q-values for every action in `actions` at `state`. The whole
+    /// batch shares one state, so the rows are filled by
+    /// [`QEnvironment::encode_batch`] (state prefix encoded once).
     pub fn q_values(&self, env: &E, state: &E::State, actions: &[E::Action]) -> Vec<f32> {
         assert!(!actions.is_empty());
         let dim = env.input_dim();
         let mut batch = Matrix::zeros(actions.len(), dim);
-        for (i, a) in actions.iter().enumerate() {
-            env.encode(state, a, batch.row_mut(i));
-        }
+        env.encode_batch(state, actions, batch.data_mut());
         self.q.predict_batch(&batch)
     }
 
@@ -117,11 +115,13 @@ impl<E: QEnvironment> DqnAgent<E> {
             return None;
         }
         let dim = env.input_dim();
-        let batch_refs = self.buffer.sample(&mut self.rng, self.cfg.batch_size);
-        // Clone out of the buffer so we can borrow self mutably afterwards.
-        let batch: Vec<Transition<E::State, E::Action>> = batch_refs.into_iter().cloned().collect();
+        // Sampled transitions stay borrowed from the buffer — the later
+        // network/optimizer accesses touch disjoint fields, so nothing
+        // needs to be cloned out.
+        let batch = self.buffer.sample(&mut self.rng, self.cfg.batch_size);
 
-        // Encode every next-state candidate action into one big matrix.
+        // Encode every next-state candidate action into one big matrix,
+        // one batched (prefix-reused) encode per transition.
         let mut ranges = Vec::with_capacity(batch.len());
         let mut total = 0usize;
         let per_sample_actions: Vec<Vec<E::Action>> = batch
@@ -136,10 +136,9 @@ impl<E: QEnvironment> DqnAgent<E> {
         let mut next_inputs = Matrix::zeros(total.max(1), dim);
         let mut row = 0;
         for (t, actions) in batch.iter().zip(&per_sample_actions) {
-            for a in actions {
-                env.encode(&t.next_state, a, next_inputs.row_mut(row));
-                row += 1;
-            }
+            let span = &mut next_inputs.data_mut()[row * dim..(row + actions.len()) * dim];
+            env.encode_batch(&t.next_state, actions, span);
+            row += actions.len();
         }
         let next_q = if total > 0 {
             self.target.predict_batch(&next_inputs)
@@ -182,7 +181,6 @@ impl<E: QEnvironment> DqnAgent<E> {
             QLoss::Huber(d) => self.q.train_huber(&inputs, &targets, &mut self.opt, d),
         };
         self.target.soft_update_from(&self.q, self.cfg.tau);
-        let _ = &self.scratch;
         Some(loss)
     }
 
@@ -216,7 +214,6 @@ impl<E: QEnvironment> DqnAgent<E> {
             opt,
             buffer: ReplayBuffer::new(snapshot.cfg.buffer_size),
             rng,
-            scratch: vec![0.0; snapshot.q.input_dim()],
             epsilon: snapshot.epsilon,
             q: snapshot.q,
             target: snapshot.target,

@@ -1,5 +1,70 @@
 //! The environment abstraction Q-learning runs against.
 
+/// Observability counters an environment may expose (all wall-less — lint
+/// L003 forbids clocks in simulator code, so progress is counted, never
+/// timed).
+///
+/// The offline advisor environment fills these from its delta-reward
+/// engine and action-set cache; environments without caches return the
+/// default (all zeros).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EnvCounters {
+    /// Reward-cache lookups that found a memoized per-query cost.
+    pub reward_cache_hits: u64,
+    /// Reward-cache lookups that had to invoke the cost model.
+    pub reward_cache_misses: u64,
+    /// Rewards derived by re-costing only the affected queries.
+    pub delta_recosts: u64,
+    /// Rewards derived by re-costing the whole workload.
+    pub full_recosts: u64,
+    /// Individual query re-costs performed by the delta path.
+    pub queries_recosted: u64,
+    /// Total reward evaluations.
+    pub rewards_evaluated: u64,
+    /// Action-set cache hits.
+    pub action_cache_hits: u64,
+    /// Action-set cache misses (distinct partitionings enumerated).
+    pub action_cache_misses: u64,
+}
+
+impl EnvCounters {
+    /// Field-wise difference against an earlier snapshot (for per-episode
+    /// deltas of monotonically increasing totals).
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            reward_cache_hits: self
+                .reward_cache_hits
+                .saturating_sub(earlier.reward_cache_hits),
+            reward_cache_misses: self
+                .reward_cache_misses
+                .saturating_sub(earlier.reward_cache_misses),
+            delta_recosts: self.delta_recosts.saturating_sub(earlier.delta_recosts),
+            full_recosts: self.full_recosts.saturating_sub(earlier.full_recosts),
+            queries_recosted: self
+                .queries_recosted
+                .saturating_sub(earlier.queries_recosted),
+            rewards_evaluated: self
+                .rewards_evaluated
+                .saturating_sub(earlier.rewards_evaluated),
+            action_cache_hits: self
+                .action_cache_hits
+                .saturating_sub(earlier.action_cache_hits),
+            action_cache_misses: self
+                .action_cache_misses
+                .saturating_sub(earlier.action_cache_misses),
+        }
+    }
+
+    /// Fraction of reward-cache lookups served from the cache.
+    pub fn reward_cache_hit_rate(&self) -> f64 {
+        let total = self.reward_cache_hits + self.reward_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reward_cache_hits as f64 / total as f64
+    }
+}
+
 /// A Markov decision process with an enumerable per-state action set and a
 /// fixed-length featurization of `(state, action)` pairs.
 ///
@@ -23,7 +88,26 @@ pub trait QEnvironment {
     /// Featurize `(state, action)` into `out` (length `input_dim`).
     fn encode(&self, state: &Self::State, action: &Self::Action, out: &mut [f32]);
 
+    /// Featurize `(state, action_i)` for every action into `out`, a
+    /// row-major `actions.len() × input_dim` buffer. Must be bit-identical
+    /// to [`Self::encode`] row by row; implementors that share a state
+    /// prefix across rows (the advisor's encoder) override this to encode
+    /// the prefix once.
+    fn encode_batch(&self, state: &Self::State, actions: &[Self::Action], out: &mut [f32]) {
+        let dim = self.input_dim();
+        assert_eq!(out.len(), actions.len() * dim, "output buffer size");
+        for (row, a) in out.chunks_exact_mut(dim).zip(actions) {
+            self.encode(state, a, row);
+        }
+    }
+
     /// Apply the action, returning the successor state and the reward
     /// observed in the successor.
     fn step(&mut self, state: &Self::State, action: &Self::Action) -> (Self::State, f64);
+
+    /// Cumulative observability counters (see [`EnvCounters`]). Defaults
+    /// to all zeros for environments without caches.
+    fn counters(&self) -> EnvCounters {
+        EnvCounters::default()
+    }
 }

@@ -20,5 +20,5 @@ pub mod train;
 pub use agent::{AgentSnapshot, DqnAgent};
 pub use buffer::{ReplayBuffer, Transition};
 pub use config::{DqnConfig, QLoss};
-pub use env::QEnvironment;
+pub use env::{EnvCounters, QEnvironment};
 pub use train::{rollout, train, EpisodeStats, Trajectory};

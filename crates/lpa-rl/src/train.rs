@@ -3,7 +3,7 @@
 
 use crate::agent::DqnAgent;
 use crate::buffer::Transition;
-use crate::env::QEnvironment;
+use crate::env::{EnvCounters, QEnvironment};
 
 /// Summary of one training episode.
 #[derive(Clone, Debug)]
@@ -16,6 +16,13 @@ pub struct EpisodeStats {
     pub epsilon: f64,
     /// Mean training loss over the episode (0 before the buffer fills).
     pub mean_loss: f32,
+    /// Environment steps taken this episode (wall-less progress counter).
+    pub steps: usize,
+    /// Minibatch updates performed this episode.
+    pub train_steps: usize,
+    /// Environment counter deltas for this episode (cache hits/misses,
+    /// delta vs full re-costs); all zeros for counter-less environments.
+    pub counters: EnvCounters,
 }
 
 /// A greedy rollout: the visited states with their rewards.
@@ -53,14 +60,17 @@ pub fn train<E: QEnvironment>(
     let tmax = agent.config().tmax;
     let train_every = agent.config().train_every.max(1);
     for episode in 0..episodes {
+        let counters_at_start = env.counters();
         let mut state = env.reset();
         let mut total_reward = 0.0;
         let mut best_reward = f64::NEG_INFINITY;
         let mut loss_sum = 0.0f32;
         let mut loss_n = 0u32;
+        let mut steps = 0usize;
         for t in 0..tmax {
             let action = agent.select_action(env, &state, true);
             let (next, reward) = env.step(&state, &action);
+            steps += 1;
             total_reward += reward;
             best_reward = best_reward.max(reward);
             agent.remember(Transition {
@@ -88,6 +98,9 @@ pub fn train<E: QEnvironment>(
             } else {
                 0.0
             },
+            steps,
+            train_steps: loss_n as usize,
+            counters: env.counters().since(&counters_at_start),
         });
     }
 }
