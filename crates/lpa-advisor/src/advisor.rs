@@ -141,6 +141,16 @@ impl Advisor {
         }
     }
 
+    /// Fault-layer counters of the online backend (its own retries,
+    /// fallbacks and invalidations merged with the cluster's execution-side
+    /// view); `None` for offline advisors.
+    pub fn online_fault_accounting(&self) -> Option<lpa_cluster::FaultAccounting> {
+        match self.env.backend() {
+            RewardBackend::Cluster(b) => Some(b.fault_accounting()),
+            RewardBackend::CostModel { .. } => None,
+        }
+    }
+
     /// Snapshot the trained policy for persistence (the environment —
     /// schema, workload, reward backend — is reconstructed by the caller
     /// at load time; only the learned part is stored).

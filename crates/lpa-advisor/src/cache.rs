@@ -17,11 +17,21 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// One cached measurement: the runtime plus the health of the epoch it was
+/// taken in. Entries measured under active faults are kept (a degraded
+/// estimate beats re-running a query on a degraded cluster) but tagged, so
+/// the online backend can invalidate them once the cluster recovers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedRuntime {
+    pub seconds: f64,
+    pub degraded: bool,
+}
+
 /// Runtime cache with hit/miss counters.
 #[derive(Debug, Default)]
 pub struct RuntimeCache {
     interner: KeyInterner,
-    map: BTreeMap<(u32, InternedKey), f64>,
+    map: BTreeMap<(u32, InternedKey), CachedRuntime>,
     pub hits: u64,
     pub misses: u64,
 }
@@ -33,7 +43,12 @@ impl RuntimeCache {
 
     /// Cached runtime of `query` under the states `p` gives its `tables`,
     /// counting a hit or miss.
-    pub fn lookup(&mut self, query: usize, p: &Partitioning, tables: &[TableId]) -> Option<f64> {
+    pub fn lookup(
+        &mut self,
+        query: usize,
+        p: &Partitioning,
+        tables: &[TableId],
+    ) -> Option<CachedRuntime> {
         let key = self.key(query, p, tables);
         match self.map.get(&key) {
             Some(v) => {
@@ -52,12 +67,44 @@ impl RuntimeCache {
     /// buffer; the map itself is not modified.
     pub fn peek(&mut self, query: usize, p: &Partitioning, tables: &[TableId]) -> Option<f64> {
         let key = self.key(query, p, tables);
-        self.map.get(&key).copied()
+        self.map.get(&key).map(|v| v.seconds)
     }
 
+    /// Record a healthy measurement.
     pub fn store(&mut self, query: usize, p: &Partitioning, tables: &[TableId], seconds: f64) {
+        self.store_tagged(
+            query,
+            p,
+            tables,
+            CachedRuntime {
+                seconds,
+                degraded: false,
+            },
+        );
+    }
+
+    /// Record a measurement together with its epoch health.
+    pub fn store_tagged(
+        &mut self,
+        query: usize,
+        p: &Partitioning,
+        tables: &[TableId],
+        value: CachedRuntime,
+    ) {
         let key = self.key(query, p, tables);
-        self.map.insert(key, seconds);
+        self.map.insert(key, value);
+    }
+
+    /// Drop one entry (degraded-epoch invalidation on recovery). Returns
+    /// whether an entry existed.
+    pub fn invalidate(&mut self, query: usize, p: &Partitioning, tables: &[TableId]) -> bool {
+        let key = self.key(query, p, tables);
+        self.map.remove(&key).is_some()
+    }
+
+    /// Number of entries tagged as measured under active faults.
+    pub fn degraded_entries(&self) -> usize {
+        self.map.values().filter(|v| v.degraded).count()
     }
 
     pub fn len(&self) -> usize {
@@ -105,10 +152,43 @@ mod tests {
         let mut c = RuntimeCache::default();
         assert_eq!(c.lookup(0, &p, &tables), None);
         c.store(0, &p, &tables, 1.5);
-        assert_eq!(c.lookup(0, &p, &tables), Some(1.5));
+        assert_eq!(
+            c.lookup(0, &p, &tables),
+            Some(CachedRuntime {
+                seconds: 1.5,
+                degraded: false
+            })
+        );
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_entries_tag_and_invalidate() {
+        let s = ssb();
+        let p = Partitioning::initial(&s);
+        let tables = [TableId(0)];
+        let mut c = RuntimeCache::default();
+        c.store_tagged(
+            0,
+            &p,
+            &tables,
+            CachedRuntime {
+                seconds: 2.0,
+                degraded: true,
+            },
+        );
+        c.store(1, &p, &tables, 1.0);
+        assert_eq!(c.degraded_entries(), 1);
+        assert!(c
+            .lookup(0, &p, &tables)
+            .map(|v| v.degraded)
+            .unwrap_or(false));
+        assert!(c.invalidate(0, &p, &tables));
+        assert!(!c.invalidate(0, &p, &tables), "already gone");
+        assert_eq!(c.degraded_entries(), 0);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -290,7 +290,18 @@ impl QEnvironment for AdvisorEnv {
     fn counters(&self) -> EnvCounters {
         let mut c = match &self.backend {
             RewardBackend::CostModel(engine) => engine.stats,
-            RewardBackend::Cluster(_) => EnvCounters::default(),
+            RewardBackend::Cluster(online) => {
+                // Fault-layer activity (merged cluster + backend view)
+                // flows into per-episode training stats.
+                let fa = online.fault_accounting();
+                EnvCounters {
+                    queries_failed: fa.queries_failed,
+                    fault_retries: fa.retries,
+                    fault_failovers: fa.failovers,
+                    fault_fallbacks: fa.fallbacks,
+                    ..EnvCounters::default()
+                }
+            }
         };
         let sets = self.action_sets.borrow();
         c.action_cache_hits = sets.hits;

@@ -31,9 +31,9 @@ pub mod online;
 
 pub use accounting::CostAccounting;
 pub use advisor::{Advisor, Suggestion};
-pub use cache::{shared_cache, RuntimeCache, SharedRuntimeCache};
+pub use cache::{shared_cache, CachedRuntime, RuntimeCache, SharedRuntimeCache};
 pub use committee::Committee;
 pub use delta::{DeltaCostEngine, RecostMode};
 pub use env::{AdvisorEnv, EnvState, RewardBackend};
 pub use explain::{Explanation, QueryDelta};
-pub use online::{shared_cluster, OnlineBackend, OnlineOptimizations, SharedCluster};
+pub use online::{shared_cluster, OnlineBackend, OnlineOptimizations, RetryPolicy, SharedCluster};

@@ -3,10 +3,12 @@
 //! caching, lazy repartitioning, timeouts).
 
 use crate::accounting::CostAccounting;
-use crate::cache::SharedRuntimeCache;
-use lpa_cluster::Cluster;
+use crate::cache::{CachedRuntime, SharedRuntimeCache};
+use lpa_cluster::{Cluster, FaultAccounting, QueryOutcome};
+use lpa_costmodel::NetworkCostModel;
 use lpa_partition::Partitioning;
-use lpa_workload::{FrequencyVector, Workload};
+use lpa_schema::Schema;
+use lpa_workload::{FrequencyVector, Query, Workload};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -37,6 +39,38 @@ impl Default for OnlineOptimizations {
     }
 }
 
+/// Bounded-retry policy for failed measurements. Backoff is charged in
+/// *simulated* seconds via [`Cluster::advance_clock`] — no wall time — so
+/// waiting out a fault window genuinely moves the schedule forward.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt.
+    pub max_retries: u32,
+    /// Simulated seconds waited before the first retry.
+    pub backoff_seconds: f64,
+    /// Backoff growth per retry (exponential).
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_seconds: 0.05,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+/// Cost-model stand-in used when a measurement ultimately fails: the
+/// model's full-scale estimate replaces `S_j · c_sample` in the reward sum,
+/// so one dead query cannot poison a whole episode.
+#[derive(Debug)]
+struct CostModelFallback {
+    model: NetworkCostModel,
+    schema: Schema,
+}
+
 /// Rewards from actual execution on the sampled cluster.
 #[derive(Debug)]
 pub struct OnlineBackend {
@@ -51,6 +85,11 @@ pub struct OnlineBackend {
     best_reward: f64,
     /// Ledger-only shadow of what eager deployment would have done.
     eager_shadow: Option<Partitioning>,
+    retry: RetryPolicy,
+    fallback: Option<CostModelFallback>,
+    /// Training-side fault counters (retries, fallbacks, invalidations);
+    /// [`Self::fault_accounting`] merges them with the cluster's view.
+    faults: FaultAccounting,
 }
 
 impl OnlineBackend {
@@ -68,7 +107,30 @@ impl OnlineBackend {
             accounting: CostAccounting::default(),
             best_reward: f64::NEG_INFINITY,
             eager_shadow: None,
+            retry: RetryPolicy::default(),
+            fallback: None,
+            faults: FaultAccounting::default(),
         }
+    }
+
+    /// Override the retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Provide a cost model (with the *full* cluster's schema) to estimate
+    /// rewards for queries whose measurement keeps failing. Without one, a
+    /// dead query is charged at its timeout bound instead.
+    pub fn with_fallback(mut self, model: NetworkCostModel, schema: Schema) -> Self {
+        self.fallback = Some(CostModelFallback { model, schema });
+        self
+    }
+
+    /// Fault-layer counters: the backend's own (retries, fallbacks, cache
+    /// invalidations) merged with the cluster's execution-side view.
+    pub fn fault_accounting(&self) -> FaultAccounting {
+        self.faults.merged(&self.cluster.lock().fault_accounting())
     }
 
     /// Measure the per-query scale factors: run the whole workload once on
@@ -142,11 +204,22 @@ impl OnlineBackend {
             let s = self.scale.get(j).copied().unwrap_or(1.0);
 
             if self.opts.runtime_cache {
-                if let Some(t) = self.cache.lock().lookup(j, partitioning, &q.tables) {
-                    self.accounting.cached_query_seconds += t;
-                    self.accounting.queries_cached += 1;
-                    total += f * s * t;
-                    continue;
+                let hit = self.cache.lock().lookup(j, partitioning, &q.tables);
+                match hit {
+                    // A degraded-epoch entry is only trusted while the
+                    // cluster is still unhealthy; once it recovers, drop
+                    // the entry and re-measure under clean conditions.
+                    Some(entry) if entry.degraded && !cluster.fault_state().any_fault() => {
+                        self.cache.lock().invalidate(j, partitioning, &q.tables);
+                        self.faults.cache_invalidations += 1;
+                    }
+                    Some(entry) => {
+                        self.accounting.cached_query_seconds += entry.seconds;
+                        self.accounting.queries_cached += 1;
+                        total += f * s * entry.seconds;
+                        continue;
+                    }
+                    None => {}
                 }
             }
 
@@ -162,36 +235,111 @@ impl OnlineBackend {
             };
             self.accounting.lazy_repartition_seconds += cluster.deploy(&target);
 
-            // Execute fully to learn the true runtime; apply the timeout
-            // bound to the *charged* time (Section 4.2, Timeouts: a query
-            // exceeding -r*/(S_i·f_i) cannot belong to an optimal
-            // partitioning, so a real system would abort it there).
-            let t = cluster.run_query(q, None).seconds();
-            self.accounting.queries_executed += 1;
-            self.accounting.executed_query_seconds_full += t;
+            // Execute fully to learn the true runtime, retrying failed
+            // attempts with deterministic simulated-time backoff; apply
+            // the timeout bound to the *charged* time (Section 4.2,
+            // Timeouts: a query exceeding -r*/(S_i·f_i) cannot belong to
+            // an optimal partitioning, so a real system would abort it
+            // there).
             let limit = if self.opts.timeouts && self.best_reward.is_finite() {
                 -self.best_reward / (s * f)
             } else {
                 f64::INFINITY
             };
-            if t > limit {
-                self.accounting.timeout_saved_seconds += t - limit;
-                self.accounting.timeouts_hit += 1;
-                self.accounting.actual_query_seconds += limit;
-            } else {
-                self.accounting.actual_query_seconds += t;
+            let outcome = Self::measure_with_retries(self.retry, &mut self.faults, &mut cluster, q);
+            match outcome {
+                QueryOutcome::Completed {
+                    seconds: t,
+                    degraded,
+                    ..
+                } => {
+                    self.accounting.queries_executed += 1;
+                    self.accounting.executed_query_seconds_full += t;
+                    if t > limit {
+                        self.accounting.timeout_saved_seconds += t - limit;
+                        self.accounting.timeouts_hit += 1;
+                        self.accounting.actual_query_seconds += limit;
+                    } else {
+                        self.accounting.actual_query_seconds += t;
+                    }
+                    // Record unconditionally: with caching disabled the
+                    // entry is never read for rewards, but
+                    // committee/inference probes and the ledger still use
+                    // it. Degraded epochs are tagged for invalidation on
+                    // recovery.
+                    self.cache.lock().store_tagged(
+                        j,
+                        partitioning,
+                        &q.tables,
+                        CachedRuntime {
+                            seconds: t,
+                            degraded,
+                        },
+                    );
+                    total += f * s * t;
+                }
+                QueryOutcome::TimedOut { limit: spent } => {
+                    // Unreachable with an unlimited budget, but handled
+                    // for completeness: charge what was spent, cache
+                    // nothing (the full runtime is unknown).
+                    self.accounting.queries_executed += 1;
+                    self.accounting.actual_query_seconds += spent;
+                    total += f * s * spent;
+                }
+                QueryOutcome::Failed { .. } => {
+                    // Retries exhausted: fall back to the cost model's
+                    // full-scale estimate (replacing S_j · c_sample), or —
+                    // without a model — charge the timeout bound as a
+                    // pessimistic stand-in. Nothing is cached; the next
+                    // visit re-measures.
+                    self.faults.fallbacks += 1;
+                    match &self.fallback {
+                        Some(fb) => {
+                            total += f * fb.model.query_cost(&fb.schema, q, partitioning);
+                        }
+                        None => {
+                            let bound = if limit.is_finite() { limit } else { 0.0 };
+                            total += f * s * bound;
+                        }
+                    }
+                }
             }
-            // Record unconditionally: with caching disabled the entry is
-            // never read for rewards, but committee/inference probes and
-            // the ledger still use it.
-            self.cache.lock().store(j, partitioning, &q.tables, t);
-            total += f * s * t;
         }
         let r = -total;
         if r > self.best_reward {
             self.best_reward = r;
         }
         r
+    }
+
+    /// Run one query, retrying failures up to the policy's bound. Backoff
+    /// advances the *simulated* clock, so the fault schedule moves to later
+    /// windows and a transient storm can genuinely pass. On a fault-free
+    /// cluster the first attempt always completes and this is exactly one
+    /// `run_query` call — bit-identical to the unhardened path.
+    fn measure_with_retries(
+        retry: RetryPolicy,
+        faults: &mut FaultAccounting,
+        cluster: &mut Cluster,
+        q: &Query,
+    ) -> QueryOutcome {
+        let mut backoff = retry.backoff_seconds.max(0.0);
+        let mut attempts_left = retry.max_retries;
+        loop {
+            let out = cluster.run_query(q, None);
+            match out {
+                QueryOutcome::Completed { .. } | QueryOutcome::TimedOut { .. } => return out,
+                QueryOutcome::Failed { .. } => {
+                    if attempts_left == 0 {
+                        return out;
+                    }
+                    attempts_left -= 1;
+                    faults.retries += 1;
+                    cluster.advance_clock(backoff);
+                    backoff *= retry.backoff_multiplier.max(1.0);
+                }
+            }
+        }
     }
 }
 

@@ -49,11 +49,13 @@ fn executor_replay() -> u64 {
                 QueryOutcome::Completed {
                     seconds,
                     output_rows,
+                    degraded: _,
                 } => {
                     fp = fnv(fp, seconds.to_bits());
                     fp = fnv(fp, output_rows);
                 }
                 QueryOutcome::TimedOut { .. } => unreachable!("no budget set"),
+                QueryOutcome::Failed { .. } => unreachable!("no fault plan installed"),
             }
         }
     }

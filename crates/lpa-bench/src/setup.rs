@@ -1,9 +1,11 @@
 //! Benchmark instances, cluster construction and advisor training at
 //! simulator scale.
 
-use lpa_advisor::{shared_cluster, Advisor, OnlineBackend, OnlineOptimizations, SharedCluster};
+use lpa_advisor::{
+    shared_cluster, Advisor, OnlineBackend, OnlineOptimizations, RetryPolicy, SharedCluster,
+};
 use lpa_baselines::SchemaClass;
-use lpa_cluster::{Cluster, ClusterConfig, EngineKind, EngineProfile, HardwareProfile};
+use lpa_cluster::{Cluster, ClusterConfig, EngineKind, EngineProfile, FaultPlan, HardwareProfile};
 use lpa_costmodel::{CostParams, NetworkCostModel};
 use lpa_partition::Partitioning;
 use lpa_rl::DqnConfig;
@@ -224,6 +226,43 @@ pub fn refine_online(
         lpa_advisor::cache::shared_cache(),
         scale_factors,
         opts,
+    );
+    advisor.refine_online(backend, scale.online_episodes);
+    shared
+}
+
+/// Like [`refine_online`], but with a fault plan installed on the sampled
+/// cluster and the degraded-mode machinery armed: bounded retries with
+/// simulated-time backoff plus the cost-model fallback for measurements
+/// the storm refuses to complete. Scale factors are measured before the
+/// plan is installed (clear weather), exactly as the chaos suite does.
+pub fn refine_online_with_faults(
+    advisor: &mut Advisor,
+    full: &mut Cluster,
+    bench: Benchmark,
+    opts: OnlineOptimizations,
+    plan: FaultPlan,
+    hw: HardwareProfile,
+) -> SharedCluster {
+    let scale = bench.scale();
+    let mut sample = full.sampled(scale.sample_fraction);
+    let uniform = advisor.env.workload.uniform_frequencies();
+    let p_offline = advisor.suggest(&uniform).partitioning;
+    let workload = advisor.env.workload.clone();
+    let scale_factors =
+        OnlineBackend::compute_scale_factors(full, &mut sample, &workload, &p_offline);
+    sample.set_fault_plan(plan);
+    let shared = shared_cluster(sample);
+    let backend = OnlineBackend::new(
+        shared.clone(),
+        lpa_advisor::cache::shared_cache(),
+        scale_factors,
+        opts,
+    )
+    .with_retry_policy(RetryPolicy::default())
+    .with_fallback(
+        NetworkCostModel::new(cost_params(hw)),
+        advisor.env.schema.clone(),
     );
     advisor.refine_online(backend, scale.online_episodes);
     shared

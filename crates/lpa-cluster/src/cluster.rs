@@ -4,6 +4,7 @@
 use crate::datagen::Database;
 use crate::engine::EngineProfile;
 use crate::executor::{layout_table, Executor, Layout};
+use crate::faults::{ClusterHealth, FailReason, FaultAccounting, FaultPlan, FaultState};
 use crate::hardware::HardwareProfile;
 use crate::optimizer::OptimizerEstimator;
 use lpa_partition::Partitioning;
@@ -40,11 +41,15 @@ pub enum QueryOutcome {
     Completed {
         seconds: f64,
         output_rows: u64,
+        /// True when any fault was active during execution — the measured
+        /// runtime is real but not representative of a healthy cluster.
+        degraded: bool,
     },
     /// Aborted by the caller-supplied timeout; `limit` seconds were spent.
-    TimedOut {
-        limit: f64,
-    },
+    TimedOut { limit: f64 },
+    /// Aborted by the fault layer; `seconds` were spent before the failure
+    /// was detected.
+    Failed { reason: FailReason, seconds: f64 },
 }
 
 impl QueryOutcome {
@@ -53,6 +58,7 @@ impl QueryOutcome {
         match self {
             Self::Completed { seconds, .. } => *seconds,
             Self::TimedOut { limit } => *limit,
+            Self::Failed { seconds, .. } => *seconds,
         }
     }
 
@@ -60,6 +66,26 @@ impl QueryOutcome {
         match self {
             Self::Completed { seconds, .. } => Some(*seconds),
             Self::TimedOut { .. } => None,
+            Self::Failed { .. } => None,
+        }
+    }
+
+    /// True when the execution produced a healthy, representative
+    /// measurement (completed with no active fault).
+    pub fn is_clean(&self) -> bool {
+        match self {
+            Self::Completed { degraded, .. } => !degraded,
+            Self::TimedOut { .. } => false,
+            Self::Failed { .. } => false,
+        }
+    }
+
+    /// The failure reason, when the fault layer aborted the execution.
+    pub fn failure(&self) -> Option<FailReason> {
+        match self {
+            Self::Completed { .. } => None,
+            Self::TimedOut { .. } => None,
+            Self::Failed { reason, .. } => Some(*reason),
         }
     }
 }
@@ -81,6 +107,9 @@ pub struct Cluster {
     growth: Vec<f64>,
     queries_executed: u64,
     tables_repartitioned: u64,
+    /// Deterministic fault schedule (inert by default).
+    faults: FaultPlan,
+    fault_accounting: FaultAccounting,
 }
 
 impl Cluster {
@@ -104,6 +133,46 @@ impl Cluster {
             growth: vec![1.0; n_tables],
             queries_executed: 0,
             tables_repartitioned: 0,
+            faults: FaultPlan::none(),
+            fault_accounting: FaultAccounting::default(),
+        }
+    }
+
+    /// The same cluster under a fault schedule (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Install a fault schedule on a running cluster.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The fault state active at the current simulated clock.
+    pub fn fault_state(&self) -> FaultState {
+        self.faults
+            .state_at(self.clock_seconds, self.config.hardware.nodes)
+    }
+
+    /// Cumulative fault-layer counters (execution-side view).
+    pub fn fault_accounting(&self) -> FaultAccounting {
+        self.fault_accounting
+    }
+
+    /// Snapshot of cluster health at the current simulated clock.
+    pub fn health(&self) -> ClusterHealth {
+        let state = self.fault_state();
+        ClusterHealth {
+            nodes: self.config.hardware.nodes,
+            nodes_down: state.nodes_down(),
+            stragglers: state.stragglers(),
+            degraded_links: state.degraded_links(),
+            accounting: self.fault_accounting,
         }
     }
 
@@ -219,7 +288,48 @@ impl Cluster {
 
     /// Execute one query against the deployed partitioning, charging the
     /// clock. With a timeout, execution aborts once the budget is spent.
+    /// Faults scheduled for the current simulated instant apply: transient
+    /// errors and unreachable unreplicated shards abort with
+    /// [`QueryOutcome::Failed`]; stragglers and degraded links inflate the
+    /// charged time and mark the completion degraded.
     pub fn run_query(&mut self, query: &Query, timeout: Option<f64>) -> QueryOutcome {
+        let faults = self.fault_state();
+        self.queries_executed += 1;
+
+        // Transient error: the connection dies before any real work; only
+        // the per-query overhead is charged. Deterministic in (seed,
+        // window, execution number), so a retry after backoff re-rolls.
+        if self
+            .faults
+            .transient_failure(self.clock_seconds, self.queries_executed)
+        {
+            let seconds = self.config.engine.query_overhead;
+            self.clock_seconds += seconds;
+            self.fault_accounting.queries_failed += 1;
+            self.fault_accounting.transient_failures += 1;
+            return QueryOutcome::Failed {
+                reason: FailReason::Transient,
+                seconds,
+            };
+        }
+
+        // Replica-aware failover: a crashed node takes its unreplicated
+        // shards with it, so any query touching a partitioned table fails
+        // until recovery; queries over replicated tables read the copies
+        // on surviving nodes.
+        if faults.nodes_down() > 0 {
+            if let Some(node) = self.unreachable_shard(query, &faults) {
+                let seconds = self.config.engine.query_overhead;
+                self.clock_seconds += seconds;
+                self.fault_accounting.queries_failed += 1;
+                self.fault_accounting.node_down_failures += 1;
+                return QueryOutcome::Failed {
+                    reason: FailReason::NodeDown { node },
+                    seconds,
+                };
+            }
+        }
+
         let plan = self
             .optimizer
             .plan(&self.schema, query, &self.deployed, self.stats_epoch);
@@ -229,14 +339,22 @@ impl Cluster {
             engine: &self.config.engine,
             hw: &self.config.hardware,
             layouts: &self.layouts,
+            faults: &faults,
         };
-        self.queries_executed += 1;
         match exec.execute(query, &plan, timeout) {
             Some(r) => {
                 self.clock_seconds += r.seconds;
+                let degraded = faults.any_fault();
+                if degraded {
+                    self.fault_accounting.degraded_completions += 1;
+                }
+                if faults.nodes_down() > 0 {
+                    self.fault_accounting.failovers += 1;
+                }
                 QueryOutcome::Completed {
                     seconds: r.seconds,
                     output_rows: r.output_rows,
+                    degraded,
                 }
             }
             None => {
@@ -244,9 +362,23 @@ impl Cluster {
                 // limit degrades to an instant timeout rather than a panic.
                 let limit = timeout.unwrap_or(0.0);
                 self.clock_seconds += limit;
+                self.fault_accounting.timeouts += 1;
                 QueryOutcome::TimedOut { limit }
             }
         }
+    }
+
+    /// First down node whose loss makes the query unservable: any scanned
+    /// table that is partitioned (not replicated) has exactly one copy of
+    /// each shard, so a single down node cuts it.
+    fn unreachable_shard(&self, query: &Query, faults: &FaultState) -> Option<usize> {
+        let node = faults.down.iter().position(|d| *d)?;
+        for t in &query.tables {
+            if matches!(self.layouts[t.0], Layout::Hashed { .. }) {
+                return Some(node);
+            }
+        }
+        None
     }
 
     /// Run the whole workload once, returning the frequency-weighted total
@@ -302,10 +434,15 @@ impl Cluster {
     pub fn sampled(&self, fraction: f64) -> Cluster {
         assert!(fraction > 0.0 && fraction <= 1.0);
         let factors: Vec<f64> = self.growth.iter().map(|g| g * fraction).collect();
-        Cluster::new(
+        let mut sample = Cluster::new(
             self.base_schema.clone().scaled_per_table(&factors),
             self.config,
-        )
+        );
+        // The sample inherits the fault schedule, rescaled to its faster
+        // clock so per-query fault density is preserved rather than
+        // silently dropped.
+        sample.faults = self.faults.rescaled(fraction);
+        sample
     }
 }
 
@@ -349,7 +486,9 @@ mod tests {
                     "got {output_rows}, expected ≈{expected}"
                 );
             }
-            _ => panic!("no timeout expected"),
+            QueryOutcome::TimedOut { .. } | QueryOutcome::Failed { .. } => {
+                panic!("expected completion")
+            }
         }
     }
 
@@ -404,6 +543,105 @@ mod tests {
         let out = c.run_query(&w.queries()[0], Some(1e-9));
         assert!(matches!(out, QueryOutcome::TimedOut { .. }));
         assert!(out.completed().is_none());
+        // Cluster-level accounting sees the abort (service reports used to
+        // under-count because only the online backend tracked timeouts).
+        assert_eq!(c.fault_accounting().timeouts, 1);
+        c.run_query(&w.queries()[0], Some(1e-9));
+        assert_eq!(c.fault_accounting().timeouts, 2);
+    }
+
+    #[test]
+    fn sampled_cluster_inherits_rescaled_fault_plan() {
+        let (mut c, _) = micro_cluster();
+        let plan = crate::faults::FaultPlan::storm(21);
+        c.set_fault_plan(plan);
+        let sample = c.sampled(0.25);
+        let carried = sample.fault_plan();
+        assert_eq!(carried.seed, plan.seed);
+        assert_eq!(carried.crash_rate, plan.crash_rate);
+        assert!(
+            (carried.window_seconds - plan.window_seconds * 0.25).abs() < 1e-15,
+            "sample windows must shrink with the sample's clock"
+        );
+        // Regression: before the chaos layer, `sampled` dropped all state
+        // it did not explicitly copy — an inert plan must stay inert too.
+        let inert = Cluster::new(c.schema().clone(), *c.config()).sampled(0.5);
+        assert!(inert.fault_plan().is_inert());
+    }
+
+    #[test]
+    fn replicated_tables_survive_node_loss_partitioned_fail() {
+        let (mut c, w) = micro_cluster();
+        let schema = c.schema().clone();
+        // Crash every node the plan can (one deterministic survivor stays).
+        let mut plan = crate::faults::FaultPlan::storm(5);
+        plan.crash_rate = 1.0;
+        plan.transient_rate = 0.0;
+        c.set_fault_plan(plan);
+        assert!(c.fault_state().nodes_down() > 0);
+
+        // All tables partitioned (initial deployment): the query fails.
+        let q = &w.queries()[0];
+        let out = c.run_query(q, None);
+        assert!(
+            matches!(
+                out.failure(),
+                Some(crate::faults::FailReason::NodeDown { .. })
+            ),
+            "partitioned tables must be unservable while a node is down, got {out:?}"
+        );
+        assert!(c.fault_accounting().node_down_failures >= 1);
+
+        // Replicate every table the query touches: it now fails over.
+        let mut target = Partitioning::initial(&schema);
+        for t in 0..schema.tables().len() {
+            target = lpa_partition::Action::Replicate { table: TableId(t) }
+                .apply(&schema, &target)
+                .unwrap_or(target);
+        }
+        c.deploy(&target);
+        let out = c.run_query(q, None);
+        match out {
+            QueryOutcome::Completed {
+                seconds, degraded, ..
+            } => {
+                assert!(seconds > 0.0);
+                assert!(degraded, "completion under faults must be flagged");
+            }
+            QueryOutcome::TimedOut { .. } | QueryOutcome::Failed { .. } => {
+                panic!("replicated query should fail over, got {out:?}")
+            }
+        }
+        assert!(c.fault_accounting().failovers >= 1);
+        assert!(c.health().degraded_measurements() >= 1);
+    }
+
+    #[test]
+    fn straggler_inflates_runtime_deterministically() {
+        let (mut healthy, w) = micro_cluster();
+        let q = &w.queries()[0];
+        let base = healthy.run_query(q, None).seconds();
+
+        let (mut slow, _) = micro_cluster();
+        let mut plan = crate::faults::FaultPlan::storm(11);
+        plan.crash_rate = 0.0;
+        plan.transient_rate = 0.0;
+        plan.link_degrade_rate = 0.0;
+        plan.straggle_rate = 1.0;
+        plan.straggle_factor = 8.0;
+        slow.set_fault_plan(plan);
+        let out = slow.run_query(q, None);
+        let degraded_secs = out.seconds();
+        assert!(
+            degraded_secs > base,
+            "straggling nodes must slow the query: {degraded_secs} vs {base}"
+        );
+        assert!(!out.is_clean());
+
+        // Same plan, same clock → same inflated runtime.
+        let (mut slow2, _) = micro_cluster();
+        slow2.set_fault_plan(plan);
+        assert_eq!(slow2.run_query(q, None).seconds(), degraded_secs);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::datagen::Database;
 use crate::engine::{splitmix64, EngineProfile};
+use crate::faults::FaultState;
 use crate::hardware::HardwareProfile;
 use lpa_costmodel::{JoinStrategy, QueryPlan};
 use lpa_par::Pool;
@@ -105,6 +106,12 @@ pub struct Executor<'a> {
     pub engine: &'a EngineProfile,
     pub hw: &'a HardwareProfile,
     pub layouts: &'a [Layout],
+    /// Active fault state. On a healthy cluster this is the nominal state
+    /// (nothing down, all multipliers exactly 1.0), and every charge below
+    /// is bit-identical to the fault-free arithmetic: `x * 1.0` is an exact
+    /// identity for finite doubles, and the weighted maxima reduce to the
+    /// unweighted ones.
+    pub faults: &'a FaultState,
 }
 
 impl<'a> Executor<'a> {
@@ -189,10 +196,24 @@ impl<'a> Executor<'a> {
         })
     }
 
-    /// Fraction of a table's rows on its most loaded node.
+    /// Straggler multiplier of work every live node performs in full (e.g.
+    /// scanning a replicated table): the step is as slow as the slowest
+    /// node that is still up.
+    fn replicated_slowdown(&self) -> f64 {
+        self.faults
+            .work_mult
+            .iter()
+            .zip(&self.faults.down)
+            .filter(|(_, down)| !**down)
+            .map(|(m, _)| *m)
+            .fold(1.0, f64::max)
+    }
+
+    /// Fraction of a table's rows on its most loaded node, weighted by the
+    /// per-node work multipliers (a straggler makes its shard "heavier").
     fn max_shard_fraction(&self, t: TableId) -> f64 {
         match &self.layouts[t.0] {
-            Layout::Replicated => 1.0,
+            Layout::Replicated => self.replicated_slowdown(),
             Layout::Hashed { node, .. } => {
                 if node.is_empty() {
                     1.0 / self.hw.nodes as f64
@@ -227,7 +248,26 @@ impl<'a> Executor<'a> {
                 *total += part;
             }
         }
-        counts.iter().max().copied().unwrap_or(0) as f64 / assignment.len() as f64
+        // Weighted straggler maximum: counts are exact in f64 (≤ 2^53) and
+        // int→float conversion is monotonic, so with all multipliers at 1.0
+        // this equals the plain integer max — bit-for-bit.
+        let max_weighted = counts
+            .iter()
+            .enumerate()
+            .map(|(node, &c)| c as f64 * self.node_work_mult(node))
+            .fold(0.0, f64::max);
+        max_weighted / assignment.len() as f64
+    }
+
+    /// Work multiplier of a node (1.0 when the fault state does not cover
+    /// it, e.g. hand-built executors in tests).
+    fn node_work_mult(&self, node: usize) -> f64 {
+        self.faults.work_mult.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// Network receive-time multiplier of a node.
+    fn node_net_mult(&self, node: usize) -> f64 {
+        self.faults.net_mult.get(node).copied().unwrap_or(1.0)
     }
 
     /// Deterministic predicate filter: row ids of `t` surviving the query's
@@ -563,15 +603,29 @@ impl<'a> Executor<'a> {
         let mut seconds = 0.0;
         if shuffled {
             seconds += self.engine.shuffle_overhead;
-            let max_in = net_bytes_per_node.iter().cloned().fold(0.0, f64::max);
+            // A degraded link inflates the receive time of its node; with
+            // all multipliers at 1.0 this is the plain byte maximum.
+            let max_in = net_bytes_per_node
+                .iter()
+                .enumerate()
+                .map(|(node, &b)| b * self.node_net_mult(node))
+                .fold(0.0, f64::max);
             seconds += max_in / self.hw.net_bandwidth;
         }
-        let max_work = (0..groups)
-            .map(|g| per_node_build[g] + per_node_probe[g] + per_node_out[g])
-            .max()
-            .unwrap_or(0) as f64;
         // A single-group join (both sides everywhere) runs on one node's
-        // worth of compute but produces a replicated result.
+        // worth of compute but produces a replicated result; it executes on
+        // the first live node, so it inherits that node's multiplier.
+        let max_work = (0..groups)
+            .map(|g| {
+                let node = if both_everywhere {
+                    self.faults.first_up()
+                } else {
+                    g
+                };
+                (per_node_build[g] + per_node_probe[g] + per_node_out[g]) as f64
+                    * self.node_work_mult(node)
+            })
+            .fold(0.0, f64::max);
         seconds += max_work * self.hw.cpu_tuple_cost * query.cpu_factor;
 
         let result_replicated = both_everywhere;

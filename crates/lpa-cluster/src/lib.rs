@@ -38,11 +38,13 @@ pub mod cluster;
 pub mod datagen;
 pub mod engine;
 pub mod executor;
+pub mod faults;
 pub mod hardware;
 pub mod optimizer;
 
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use datagen::{Database, TableData};
 pub use engine::{EngineKind, EngineProfile};
+pub use faults::{ClusterHealth, FailReason, FaultAccounting, FaultPlan, FaultState};
 pub use hardware::HardwareProfile;
 pub use optimizer::OptimizerEstimator;

@@ -22,13 +22,17 @@
 //!   outside `crates/lpa-par`. Ad-hoc threads bypass the deterministic
 //!   chunk-ordered schedule (and its nested-parallelism guard), so results
 //!   would depend on the thread count; go through `lpa_par::Pool`.
+//! - **L007** — no non-exhaustive handling of `QueryOutcome` (wildcard `_`
+//!   match arms, `if let Completed`). The fault layer's contract is that
+//!   every `Failed` query is *seen* — counted, retried, or replaced by the
+//!   cost-model fallback — never silently dropped from the reward.
 
 use crate::lexer::{Tok, TokKind};
 
 /// A single finding, pre-waiver.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Diagnostic {
-    /// Rule id: "L001".."L006", or "W000" for waiver-hygiene findings.
+    /// Rule id: "L001".."L007", or "W000" for waiver-hygiene findings.
     pub rule: &'static str,
     pub rel_path: String,
     pub line: u32,
@@ -285,11 +289,35 @@ pub fn l003(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
 
 /// L004: wildcard `_` arm in a `match` whose patterns name the `Action` enum.
 pub fn l004(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    wildcard_match_rule(
+        rel_path,
+        tokens,
+        in_test,
+        "L004",
+        "Action",
+        "wildcard `_` arm in a match over `Action`: a newly added action variant would be silently ignored; list every variant",
+    )
+}
+
+/// Flag wildcard `_` arms in every `match` whose patterns name `enum_name`.
+fn wildcard_match_rule(
+    rel_path: &str,
+    tokens: &[Tok],
+    in_test: &[bool],
+    rule: &'static str,
+    enum_name: &str,
+    message: &str,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if t.kind == TokKind::Ident && t.text == "match" && !in_test[i] {
             if let Some((open, close)) = match_block_extent(tokens, i) {
-                analyze_match_arms(rel_path, tokens, open, close, &mut out);
+                let scan = scan_match_arms(tokens, open, close, enum_name);
+                if scan.mentions_enum {
+                    for line in scan.wildcard_arms {
+                        out.push(diag(rule, rel_path, line, message.to_string()));
+                    }
+                }
             }
         }
     }
@@ -327,16 +355,18 @@ fn match_block_extent(tokens: &[Tok], kw: usize) -> Option<(usize, usize)> {
     None
 }
 
-/// Walk arms of one match block (pattern `=>` body `,`), flagging `_`-only
-/// patterns when any pattern in the block names `Action`.
-fn analyze_match_arms(
-    rel_path: &str,
-    tokens: &[Tok],
-    open: usize,
-    close: usize,
-    out: &mut Vec<Diagnostic>,
-) {
-    let mut mentions_action = false;
+/// What one `match` block's arms contain, relative to a target enum.
+struct MatchArmScan {
+    /// Some pattern in the block names the target enum.
+    mentions_enum: bool,
+    /// Lines of `_`-only (or `_ if guard`) arms.
+    wildcard_arms: Vec<u32>,
+}
+
+/// Walk arms of one match block (pattern `=>` body `,`), recording `_`-only
+/// patterns and whether any pattern names `enum_name`.
+fn scan_match_arms(tokens: &[Tok], open: usize, close: usize, enum_name: &str) -> MatchArmScan {
+    let mut mentions_enum = false;
     let mut wildcard_arms: Vec<u32> = Vec::new();
     let mut j = open + 1;
     while j < close {
@@ -366,9 +396,9 @@ fn analyze_match_arms(
             .collect();
         if pattern
             .iter()
-            .any(|t| t.kind == TokKind::Ident && t.text == "Action")
+            .any(|t| t.kind == TokKind::Ident && t.text == enum_name)
         {
-            mentions_action = true;
+            mentions_enum = true;
         }
         // `_` alone (ignoring a leading `|`) is the wildcard arm. A guard
         // (`_ if cond`) still silently swallows variants, so flag it too.
@@ -414,15 +444,9 @@ fn analyze_match_arms(
             }
         }
     }
-    if mentions_action {
-        for line in wildcard_arms {
-            out.push(diag(
-                "L004",
-                rel_path,
-                line,
-                "wildcard `_` arm in a match over `Action`: a newly added action variant would be silently ignored; list every variant".to_string(),
-            ));
-        }
+    MatchArmScan {
+        mentions_enum,
+        wildcard_arms,
     }
 }
 
@@ -547,6 +571,67 @@ pub fn l006(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
     out
 }
 
+/// L007: non-exhaustive handling of `QueryOutcome`. Two shapes:
+///
+/// 1. a wildcard `_` arm in a `match` over `QueryOutcome` — a `Failed`
+///    query (or a future outcome variant) would be silently swallowed;
+/// 2. `if let` / `while let` destructuring a `QueryOutcome` variant — the
+///    untaken variants (typically `Failed`) vanish without a trace.
+///
+/// Degraded-mode training depends on every failure being *seen*: counted in
+/// `FaultAccounting`, retried, or replaced by the cost-model fallback. Use
+/// the `seconds()` / `completed()` / `failure()` accessors or match all
+/// three variants.
+pub fn l007(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    let mut out = wildcard_match_rule(
+        rel_path,
+        tokens,
+        in_test,
+        "L007",
+        "QueryOutcome",
+        "wildcard `_` arm in a match over `QueryOutcome`: a `Failed` query would be silently swallowed; handle every variant (count, retry or fall back)",
+    );
+    // `if let`/`while let` over a QueryOutcome pattern: scan the pattern
+    // tokens between `let` and the `=` at depth 0.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        if t.text != "if" && t.text != "while" {
+            continue;
+        }
+        let Some(let_idx) = next_sig(tokens, i).filter(|&j| tokens[j].is_ident("let")) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut j = let_idx + 1;
+        while j < tokens.len() {
+            let u = &tokens[j];
+            if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                depth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && u.is_punct('=') {
+                break;
+            } else if u.kind == TokKind::Ident && u.text == "QueryOutcome" {
+                out.push(diag(
+                    "L007",
+                    rel_path,
+                    t.line,
+                    format!(
+                        "`{} let` over `QueryOutcome` drops the untaken variants — a `Failed` query would vanish unseen; match all variants or use the accessors",
+                        t.text
+                    ),
+                ));
+                break;
+            }
+            j += 1;
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
 /// Run every rule over one file's token stream.
 pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
     let in_test = test_regions(tokens);
@@ -558,6 +643,7 @@ pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic
         out.extend(l004(rel_path, tokens, &in_test));
         out.extend(l005(rel_path, tokens, &in_test));
         out.extend(l006(rel_path, tokens, &in_test));
+        out.extend(l007(rel_path, tokens, &in_test));
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out

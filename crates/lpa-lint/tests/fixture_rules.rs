@@ -147,6 +147,35 @@ fn l006_exempts_lpa_par_and_test_like_code() {
 }
 
 #[test]
+fn l007_fixture_flags_nonexhaustive_query_outcome_handling() {
+    let report = lint_as_lib("l007_queryoutcome.rs");
+    let l007: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L007")
+        .collect();
+    // Three wildcard arms + one `if let` + one `while let`.
+    assert_eq!(l007.len(), 5, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics.len(), l007.len());
+    let src = fixture("l007_queryoutcome.rs");
+    for d in &l007 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING L007"),
+            "line {} not marked: {text}",
+            d.line
+        );
+    }
+}
+
+#[test]
+fn l007_is_exempt_in_test_like_code() {
+    let src = fixture("l007_queryoutcome.rs");
+    let report = lint_source("tests/chaos.rs", &src, FileKind::TestLike).expect("lexes");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
 fn false_positive_fixture_is_clean() {
     let report = lint_as_lib("false_positives.rs");
     assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);

@@ -1,0 +1,72 @@
+//! Fixture: non-exhaustive handling of `QueryOutcome` (L007). Linted under
+//! a costmodel path.
+
+pub enum QueryOutcome {
+    Completed { seconds: f64, output_rows: u64, degraded: bool },
+    TimedOut { limit: f64 },
+    Failed { seconds: f64 },
+}
+
+pub fn wildcard_swallows_failures(o: &QueryOutcome) -> f64 {
+    match o {
+        QueryOutcome::Completed { seconds, .. } => *seconds,
+        _ => 0.0, // FINDING L007
+    }
+}
+
+pub fn guarded_wildcard(o: &QueryOutcome, strict: bool) -> f64 {
+    match o {
+        QueryOutcome::Completed { seconds, .. } => *seconds,
+        _ if strict => f64::NAN, // FINDING L007: guard still swallows variants
+        _ => 0.0, // FINDING L007
+    }
+}
+
+pub fn if_let_drops_failed(o: &QueryOutcome) -> f64 {
+    let mut total = 0.0;
+    if let QueryOutcome::Completed { seconds, .. } = o { // FINDING L007
+        total += seconds;
+    }
+    total
+}
+
+pub fn while_let_drops_failed(mut next: impl FnMut() -> QueryOutcome) -> f64 {
+    let mut total = 0.0;
+    while let QueryOutcome::Completed { seconds, .. } = next() { // FINDING L007
+        total += seconds;
+    }
+    total
+}
+
+pub fn exhaustive_is_fine(o: &QueryOutcome) -> f64 {
+    match o {
+        QueryOutcome::Completed { seconds, .. } => *seconds,
+        QueryOutcome::TimedOut { limit } => *limit,
+        QueryOutcome::Failed { seconds } => *seconds,
+    }
+}
+
+pub fn positional_underscore_is_fine(o: &QueryOutcome) -> bool {
+    // `_`-bindings inside a variant pattern are not wildcard arms.
+    match o {
+        QueryOutcome::Completed { seconds: _, .. } => true,
+        QueryOutcome::TimedOut { limit: _ } => false,
+        QueryOutcome::Failed { seconds: _ } => false,
+    }
+}
+
+pub fn unrelated_if_let(v: Option<u32>) -> u32 {
+    // `if let` over other types stays legal.
+    if let Some(n) = v {
+        n
+    } else {
+        0
+    }
+}
+
+pub fn unrelated_wildcard(n: u32) -> &'static str {
+    match n {
+        0 => "zero",
+        _ => "many",
+    }
+}

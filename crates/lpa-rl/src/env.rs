@@ -25,6 +25,14 @@ pub struct EnvCounters {
     pub action_cache_hits: u64,
     /// Action-set cache misses (distinct partitionings enumerated).
     pub action_cache_misses: u64,
+    /// Query executions aborted by the fault layer (online backends).
+    pub queries_failed: u64,
+    /// Measurement retries after failed executions.
+    pub fault_retries: u64,
+    /// Completions that survived node loss by reading replicas.
+    pub fault_failovers: u64,
+    /// Measurements that fell back to the cost-model estimate.
+    pub fault_fallbacks: u64,
 }
 
 impl EnvCounters {
@@ -52,7 +60,19 @@ impl EnvCounters {
             action_cache_misses: self
                 .action_cache_misses
                 .saturating_sub(earlier.action_cache_misses),
+            queries_failed: self.queries_failed.saturating_sub(earlier.queries_failed),
+            fault_retries: self.fault_retries.saturating_sub(earlier.fault_retries),
+            fault_failovers: self.fault_failovers.saturating_sub(earlier.fault_failovers),
+            fault_fallbacks: self.fault_fallbacks.saturating_sub(earlier.fault_fallbacks),
         }
+    }
+
+    /// Any fault-layer activity in this (delta of) counters.
+    pub fn any_fault_activity(&self) -> bool {
+        self.queries_failed > 0
+            || self.fault_retries > 0
+            || self.fault_failovers > 0
+            || self.fault_fallbacks > 0
     }
 
     /// Fraction of reward-cache lookups served from the cache.

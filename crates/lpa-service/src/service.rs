@@ -63,6 +63,10 @@ pub struct WindowReport {
     pub events: Vec<ServiceEvent>,
     pub deployed: Partitioning,
     pub mix_used: Option<FrequencyVector>,
+    /// Cluster health at window close: active faults plus cumulative
+    /// fault-layer counters (degraded measurements, failovers, timeouts) so
+    /// operators can tell representative windows from stormy ones.
+    pub health: lpa_cluster::ClusterHealth,
 }
 
 /// The advisor wired into a production database.
@@ -92,6 +96,11 @@ impl PartitioningService {
 
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Mutable cluster access (fault-plan installation, bulk updates).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
     }
 
     pub fn advisor(&self) -> &Advisor {
@@ -158,6 +167,7 @@ impl PartitioningService {
                 events,
                 deployed: self.cluster.deployed().clone(),
                 mix_used: None,
+                health: self.cluster.health(),
             };
         };
 
@@ -189,6 +199,7 @@ impl PartitioningService {
             events,
             deployed: self.cluster.deployed().clone(),
             mix_used,
+            health: self.cluster.health(),
         }
     }
 }
@@ -237,6 +248,24 @@ mod tests {
         let r = s.end_window();
         assert_eq!(r.events, vec![ServiceEvent::NoTraffic]);
         assert!(r.mix_used.is_none());
+        // No fault plan → healthy report with zeroed counters.
+        assert!(r.health.healthy());
+        assert_eq!(r.health.degraded_measurements(), 0);
+    }
+
+    #[test]
+    fn window_report_surfaces_cluster_health_under_faults() {
+        let mut s = service(0);
+        let mut plan = lpa_cluster::FaultPlan::storm(13);
+        plan.crash_rate = 1.0; // guaranteed visible degradation
+        s.cluster_mut().set_fault_plan(plan);
+        for _ in 0..5 {
+            s.observe_sql(Q1_SQL);
+        }
+        let r = s.end_window();
+        assert!(!r.health.healthy(), "storm must show up in the report");
+        assert!(r.health.nodes_down >= 1);
+        assert_eq!(r.health.nodes, 4);
     }
 
     #[test]

@@ -114,6 +114,16 @@ fn report(r: lpa::service::WindowReport) {
             ),
         }
     }
+    if !r.health.healthy() || r.health.degraded_measurements() > 0 {
+        println!(
+            "  → health: {}/{} nodes down, {} stragglers, {} degraded links, {} degraded measurements",
+            r.health.nodes_down,
+            r.health.nodes,
+            r.health.stragglers,
+            r.health.degraded_links,
+            r.health.degraded_measurements()
+        );
+    }
 }
 
 /// Round-trip the policy through JSON (stand-in for writing it to object

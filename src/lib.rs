@@ -78,7 +78,10 @@ pub mod prelude {
         Suggestion,
     };
     pub use lpa_baselines::{heuristic_a, heuristic_b, SchemaClass};
-    pub use lpa_cluster::{Cluster, ClusterConfig, EngineProfile, HardwareProfile};
+    pub use lpa_cluster::{
+        Cluster, ClusterConfig, EngineProfile, FaultAccounting, FaultPlan, HardwareProfile,
+        QueryOutcome,
+    };
     pub use lpa_costmodel::{CostParams, NetworkCostModel};
     pub use lpa_partition::{Action, Partitioning, StateEncoder, TableState};
     pub use lpa_rl::DqnConfig;

@@ -16,6 +16,7 @@ fn outcome_rows(o: QueryOutcome) -> u64 {
     match o {
         QueryOutcome::Completed { output_rows, .. } => output_rows,
         QueryOutcome::TimedOut { .. } => panic!("unexpected timeout"),
+        QueryOutcome::Failed { .. } => panic!("unexpected failure"),
     }
 }
 
@@ -88,7 +89,9 @@ fn tpcch_results_placement_independent_across_key_layouts() {
         .iter()
         .map(|q| match cluster.run_query(q, None) {
             QueryOutcome::Completed { output_rows, .. } => output_rows,
-            _ => panic!("unexpected timeout"),
+            QueryOutcome::TimedOut { .. } | QueryOutcome::Failed { .. } => {
+                panic!("expected completion")
+            }
         })
         .collect();
     // District co-partitioning via the edge.
@@ -106,7 +109,9 @@ fn tpcch_results_placement_independent_across_key_layouts() {
         .iter()
         .map(|q| match cluster.run_query(q, None) {
             QueryOutcome::Completed { output_rows, .. } => output_rows,
-            _ => panic!("unexpected timeout"),
+            QueryOutcome::TimedOut { .. } | QueryOutcome::Failed { .. } => {
+                panic!("expected completion")
+            }
         })
         .collect();
     assert_eq!(base, co_rows);

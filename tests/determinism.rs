@@ -68,8 +68,13 @@ fn executor_runtimes_are_bit_identical_across_thread_counts() {
                         QueryOutcome::Completed {
                             seconds,
                             output_rows,
-                        } => results.push((seconds.to_bits(), output_rows)),
+                            degraded,
+                        } => {
+                            assert!(!degraded, "no fault plan installed");
+                            results.push((seconds.to_bits(), output_rows));
+                        }
                         QueryOutcome::TimedOut { .. } => panic!("unexpected timeout"),
+                        QueryOutcome::Failed { .. } => panic!("unexpected failure"),
                     }
                 }
             }
