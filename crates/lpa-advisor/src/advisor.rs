@@ -64,10 +64,40 @@ impl Advisor {
         train(&mut self.agent, &mut self.env, episodes, on_episode);
     }
 
+    /// Train episodes `start..episodes` with a post-episode observer — the
+    /// checkpoint hook. The observer fires at the episode boundary (after
+    /// the ε decay), where agent + environment are a complete resumable
+    /// state; resuming a run killed after episode `k` means calling this
+    /// with `start = k + 1` on the restored state.
+    pub fn train_episodes_from(
+        &mut self,
+        start: usize,
+        episodes: usize,
+        on_episode: impl FnMut(&EpisodeStats),
+        mut after_episode: impl FnMut(usize, &DqnAgent<AdvisorEnv>, &AdvisorEnv),
+    ) {
+        lpa_rl::train_from(
+            &mut self.agent,
+            &mut self.env,
+            start,
+            episodes,
+            on_episode,
+            |ep, agent, env| after_episode(ep, agent, env),
+        );
+    }
+
     /// Phase 2 (Section 4.2): refine online against measured runtimes on
     /// the sampled cluster. Exploration restarts at the ε the offline phase
     /// would have reached after half its episodes.
     pub fn refine_online(&mut self, backend: OnlineBackend, episodes: usize) {
+        self.begin_online_refinement(backend);
+        train(&mut self.agent, &mut self.env, episodes, |_| {});
+    }
+
+    /// The prologue of [`Self::refine_online`] without the training loop —
+    /// lets checkpointing hosts drive the episodes themselves through
+    /// [`Self::train_episodes_from`].
+    pub fn begin_online_refinement(&mut self, backend: OnlineBackend) {
         let warm = self.cfg.epsilon_after(self.cfg.episodes / 2);
         self.agent.set_epsilon(warm);
         // Measured rewards live on a different scale than the cost model's
@@ -75,7 +105,6 @@ impl Advisor {
         self.agent.clear_buffer();
         self.env
             .set_backend(RewardBackend::Cluster(Box::new(backend)));
-        train(&mut self.agent, &mut self.env, episodes, |_| {});
     }
 
     /// Inference (Section 6): greedy rollout from `s_0`, return the state
@@ -169,6 +198,15 @@ impl Advisor {
         );
         let cfg = snapshot.cfg.clone();
         let agent = DqnAgent::restore(snapshot);
+        Self { env, agent, cfg }
+    }
+
+    /// Rebuild an advisor from a fully reconstructed environment and agent —
+    /// the checkpoint restore path, where (unlike [`Self::from_snapshot`])
+    /// the agent carries its optimizer moments, replay buffer and RNG
+    /// stream, so training can continue bit-identically.
+    pub fn from_parts(env: AdvisorEnv, agent: DqnAgent<AdvisorEnv>) -> Self {
+        let cfg = agent.config().clone();
         Self { env, agent, cfg }
     }
 }

@@ -107,6 +107,42 @@ impl RuntimeCache {
         self.map.values().filter(|v| v.degraded).count()
     }
 
+    /// Drop every degraded-tagged entry, returning how many were removed.
+    /// Used when restoring a checkpoint taken mid-outage onto a cluster
+    /// whose fault window has passed: recovery-time invalidation never ran
+    /// for those entries, so they would poison healthy-epoch rewards.
+    pub fn drop_degraded(&mut self) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, v| !v.degraded);
+        before - self.map.len()
+    }
+
+    /// Every `(query, key) → runtime` entry in key order plus the interner,
+    /// for checkpointing (degraded tags included).
+    pub fn entries(&self) -> Vec<((u32, InternedKey), CachedRuntime)> {
+        self.map.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// The interner backing the keys.
+    pub fn interner(&self) -> &KeyInterner {
+        &self.interner
+    }
+
+    /// Rebuild a cache from checkpointed parts.
+    pub fn from_parts(
+        interner: KeyInterner,
+        entries: Vec<((u32, InternedKey), CachedRuntime)>,
+        hits: u64,
+        misses: u64,
+    ) -> Self {
+        Self {
+            interner,
+            map: entries.into_iter().collect(),
+            hits,
+            misses,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.map.len()
     }

@@ -94,6 +94,50 @@ impl DeltaCostEngine {
         self.cache.len()
     }
 
+    /// Memoized `(query, interned key) → cost` entries in key order, for
+    /// checkpointing.
+    pub fn memo_entries(&self) -> Vec<((u32, InternedKey), f64)> {
+        self.cache.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// The interner backing the memo keys (its id assignment is
+    /// first-seen-order state the checkpoint must carry).
+    pub fn interner(&self) -> &KeyInterner {
+        &self.interner
+    }
+
+    /// The partitioning whose per-query costs are currently tracked.
+    pub fn tracked(&self) -> Option<&Partitioning> {
+        self.current.as_ref()
+    }
+
+    /// `c(q_j, tracked)` per query (valid when [`Self::tracked`] is set).
+    pub fn cost_vector(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Re-apply checkpointed state onto a freshly built engine (same model
+    /// and mode). The inverted indexes are *not* part of the state — they
+    /// are a pure function of (schema, workload) and rebuild lazily on the
+    /// next reward.
+    pub fn restore_state(
+        &mut self,
+        interner: KeyInterner,
+        memo: Vec<((u32, InternedKey), f64)>,
+        costs: Vec<f64>,
+        current: Option<Partitioning>,
+        stats: EnvCounters,
+    ) {
+        self.interner = interner;
+        self.cache = memo.into_iter().collect();
+        self.costs = costs;
+        self.current = current;
+        self.stats = stats;
+        self.table_queries.clear();
+        self.edge_queries.clear();
+        self.indexed_queries = 0;
+    }
+
     /// (Re)build the inverted indexes when the workload gains queries.
     /// Index rebuilds keep the memo cache — query indices are stable, so
     /// existing entries stay valid.

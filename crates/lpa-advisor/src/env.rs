@@ -60,6 +60,22 @@ impl RewardBackend {
         }
     }
 
+    /// Mutable access to the online backend (checkpoint restore).
+    pub fn as_online_mut(&mut self) -> Option<&mut OnlineBackend> {
+        match self {
+            Self::Cluster(b) => Some(b),
+            Self::CostModel { .. } => None,
+        }
+    }
+
+    /// Mutable access to the offline delta engine (checkpoint restore).
+    pub fn as_cost_model_mut(&mut self) -> Option<&mut DeltaCostEngine> {
+        match self {
+            Self::CostModel(engine) => Some(engine),
+            Self::Cluster(_) => None,
+        }
+    }
+
     fn reward(
         &mut self,
         schema: &Schema,
@@ -146,6 +162,38 @@ impl AdvisorEnv {
         env
     }
 
+    /// Construct an environment from checkpointed state without deriving a
+    /// fresh reward normalization. [`Self::new`] executes the workload once
+    /// against the backend to fix `reward_scale`; on the restore path that
+    /// side effect would perturb the cluster clock and caches that were
+    /// just put back into their recorded state, so the captured scale and
+    /// RNG words are installed directly instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_restore(
+        schema: Schema,
+        workload: Workload,
+        backend: RewardBackend,
+        sampler: MixSampler,
+        allow_compound: bool,
+        reward_scale: f64,
+        rng_state: [u64; 4],
+    ) -> Self {
+        let encoder = StateEncoder::new(&schema, workload.slots());
+        let s0 = Partitioning::initial(&schema);
+        Self {
+            encoder,
+            sampler,
+            backend,
+            rng: StdRng::from_state(rng_state),
+            s0,
+            allow_compound,
+            schema,
+            workload,
+            reward_scale,
+            action_sets: RefCell::new(ActionSetCache::new()),
+        }
+    }
+
     /// Fix the normalization constant from the initial state's cost under
     /// a uniform mix. For the online backend this executes the workload
     /// once on the sampled cluster — cheap, and the runtime cache keeps
@@ -175,6 +223,32 @@ impl AdvisorEnv {
         let old = std::mem::replace(&mut self.backend, backend);
         self.recompute_reward_scale();
         old
+    }
+
+    /// Install a backend together with a previously captured normalization
+    /// constant, bit-for-bit. Unlike [`Self::set_backend`] this does *not*
+    /// re-derive the scale — re-deriving would execute the workload against
+    /// the backend, perturbing cluster clocks and caches that a checkpoint
+    /// restore has just put back into their recorded state.
+    pub fn restore_backend(&mut self, backend: RewardBackend, reward_scale: f64) {
+        self.backend = backend;
+        self.reward_scale = reward_scale;
+    }
+
+    /// The current mix sampler (checkpoint capture; includes cursor state
+    /// for cycling samplers).
+    pub fn sampler(&self) -> &MixSampler {
+        &self.sampler
+    }
+
+    /// Raw words of the environment's episode-mix RNG.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore the episode-mix RNG to previously captured raw words.
+    pub fn set_rng_state(&mut self, s: [u64; 4]) {
+        self.rng = StdRng::from_state(s);
     }
 
     pub fn backend(&self) -> &RewardBackend {

@@ -36,4 +36,7 @@ pub use committee::Committee;
 pub use delta::{DeltaCostEngine, RecostMode};
 pub use env::{AdvisorEnv, EnvState, RewardBackend};
 pub use explain::{Explanation, QueryDelta};
-pub use online::{shared_cluster, OnlineBackend, OnlineOptimizations, RetryPolicy, SharedCluster};
+pub use online::{
+    shared_cluster, OnlineBackend, OnlineOptimizations, OnlineResumeState, RetryPolicy,
+    SharedCluster,
+};

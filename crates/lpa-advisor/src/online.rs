@@ -71,6 +71,20 @@ struct CostModelFallback {
     schema: Schema,
 }
 
+/// The checkpointable portion of an [`OnlineBackend`]: everything mutable
+/// except the shared cluster and cache (captured separately) and the
+/// cost-model fallback (pure configuration, re-attached on restore).
+#[derive(Clone, Debug)]
+pub struct OnlineResumeState {
+    pub scale: Vec<f64>,
+    pub opts: OnlineOptimizations,
+    pub accounting: CostAccounting,
+    pub best_reward: f64,
+    pub eager_shadow: Option<Partitioning>,
+    pub retry: RetryPolicy,
+    pub faults: FaultAccounting,
+}
+
 /// Rewards from actual execution on the sampled cluster.
 #[derive(Debug)]
 pub struct OnlineBackend {
@@ -153,6 +167,33 @@ impl OnlineBackend {
                 (cf / cs).max(1e-6)
             })
             .collect()
+    }
+
+    /// Capture the backend's own mutable state for checkpointing. The
+    /// backend-side fault ledger is included *unmerged* (the cluster's view
+    /// is checkpointed with the cluster).
+    pub fn resume_state(&self) -> OnlineResumeState {
+        OnlineResumeState {
+            scale: self.scale.clone(),
+            opts: self.opts,
+            accounting: self.accounting,
+            best_reward: self.best_reward,
+            eager_shadow: self.eager_shadow.clone(),
+            retry: self.retry,
+            faults: self.faults,
+        }
+    }
+
+    /// Re-apply checkpointed state (the cluster/cache handles and any
+    /// fallback are supplied by the caller, who rebuilt them).
+    pub fn restore_resume_state(&mut self, st: OnlineResumeState) {
+        self.scale = st.scale;
+        self.opts = st.opts;
+        self.accounting = st.accounting;
+        self.best_reward = st.best_reward;
+        self.eager_shadow = st.eager_shadow;
+        self.retry = st.retry;
+        self.faults = st.faults;
     }
 
     pub fn cache(&self) -> SharedRuntimeCache {

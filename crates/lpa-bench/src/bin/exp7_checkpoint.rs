@@ -1,0 +1,170 @@
+//! Experiment 7 — the price of crash safety (`lpa-store`).
+//!
+//! Checkpointing is only free to *recommend* if it is nearly free to
+//! *take*: this experiment measures the snapshot size of a real offline
+//! training session on the microbenchmark, the cost of one durable
+//! checkpoint write (encode + temp file + fsync + rename) and of one
+//! verified load (read + CRC + decode), and the end-to-end training-loop
+//! overhead at `checkpoint_every ∈ {0, 10, 100}` episodes. The three
+//! training runs are bit-identical by construction (writing a checkpoint
+//! consumes no randomness) — asserted here over the final Q-network — so
+//! the only thing the cadence changes is wall-clock time.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_advisor::{Advisor, AdvisorEnv, RewardBackend};
+use lpa_bench::{bar, figure, save_json};
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_rl::DqnConfig;
+use lpa_store::{
+    capture_advisor, train_checkpointed, Checkpoint, CheckpointStore, SessionSnapshot,
+};
+use lpa_workload::MixSampler;
+use serde_json::json;
+use std::time::Instant;
+
+const EPISODES: usize = 100;
+const CADENCES: [usize; 3] = [0, 10, 100];
+const IO_REPS: u32 = 25;
+
+fn cfg() -> DqnConfig {
+    DqnConfig {
+        batch_size: 16,
+        hidden: vec![32, 16],
+        ..DqnConfig::simulation(EPISODES, 8)
+    }
+    .with_seed(0x000C_4AF7)
+}
+
+fn fresh_advisor() -> Advisor {
+    let schema = lpa_schema::microbench::schema(0.05).unwrap();
+    let workload = lpa_workload::microbench::workload(&schema).unwrap();
+    let env = AdvisorEnv::new(
+        schema,
+        workload.clone(),
+        RewardBackend::cost_model(NetworkCostModel::new(CostParams::standard())),
+        MixSampler::uniform(&workload),
+        true,
+        cfg().seed,
+    );
+    Advisor::untrained(env, cfg())
+}
+
+fn q_bits(advisor: &Advisor) -> Vec<u32> {
+    let snap = advisor.snapshot();
+    let mut bits = Vec::new();
+    for layer in snap.q.layers() {
+        bits.extend(layer.w.data().iter().map(|v| v.to_bits()));
+        bits.extend(layer.b.iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+fn main() {
+    figure(
+        "Exp. 7",
+        "crash-safe checkpointing — snapshot size, I/O cost, train-loop overhead",
+    );
+
+    let dir = std::env::temp_dir().join(format!("lpa-exp7-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Training-loop overhead per cadence (identical trajectories).
+    let mut runs = Vec::new();
+    let mut reference_bits: Option<Vec<u32>> = None;
+    let mut baseline_s = 0.0f64;
+    for every in CADENCES {
+        let mut store = CheckpointStore::open(dir.join(format!("every-{every}"))).unwrap();
+        let mut advisor = fresh_advisor();
+        let t0 = Instant::now();
+        let report = train_checkpointed(&mut advisor, &mut store, 0, EPISODES, every, |_| {});
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(report.write_failures, 0, "no write may fail");
+        let bits = q_bits(&advisor);
+        match &reference_bits {
+            None => {
+                reference_bits = Some(bits);
+                baseline_s = elapsed;
+            }
+            Some(r) => assert_eq!(
+                r, &bits,
+                "checkpointing must not perturb training (every={every})"
+            ),
+        }
+        let overhead = if every == 0 {
+            0.0
+        } else {
+            (elapsed / baseline_s - 1.0) * 100.0
+        };
+        bar(
+            &format!(
+                "train {EPISODES} episodes, every={every} ({} ckpts)",
+                report.written
+            ),
+            elapsed,
+            "s",
+        );
+        runs.push(json!({
+            "checkpoint_every": every,
+            "checkpoints_written": report.written,
+            "train_seconds": elapsed,
+            "overhead_pct_vs_none": overhead,
+        }));
+    }
+
+    // Snapshot size + raw I/O cost on the fully trained session.
+    let mut advisor = fresh_advisor();
+    let mut store = CheckpointStore::open(dir.join("io")).unwrap();
+    train_checkpointed(&mut advisor, &mut store, 0, EPISODES, 0, |_| {});
+    let snap = capture_advisor(EPISODES as u64 - 1, &advisor);
+    let bytes = lpa_store::encode_checkpoint(&Checkpoint::Session(snap));
+    bar("snapshot size", bytes.len() as f64 / 1024.0, "KiB");
+
+    let schema = lpa_schema::microbench::schema(0.05).unwrap();
+    let mut write_s = Vec::new();
+    let mut load_s = Vec::new();
+    for _ in 0..IO_REPS {
+        let snap = capture_advisor(EPISODES as u64 - 1, &advisor);
+        let ck = Checkpoint::Session(snap);
+        let t0 = Instant::now();
+        store.save(&ck).unwrap();
+        write_s.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let (_, loaded) = store.load_latest(&schema).unwrap().unwrap();
+        load_s.push(t0.elapsed().as_secs_f64());
+        // Keep the decoder honest: the loaded checkpoint re-encodes to the
+        // same bytes that went to disk.
+        let reloaded: SessionSnapshot = loaded.into_session().unwrap();
+        assert_eq!(
+            lpa_store::encode_checkpoint(&Checkpoint::Session(reloaded)),
+            bytes
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let write_ms = mean(&write_s) * 1e3;
+    let load_ms = mean(&load_s) * 1e3;
+    bar(
+        &format!("durable write (capture+encode+fsync, n={IO_REPS})"),
+        write_ms,
+        "ms",
+    );
+    bar(
+        &format!("verified load (read+CRC+decode, n={IO_REPS})"),
+        load_ms,
+        "ms",
+    );
+
+    save_json(
+        "exp7_checkpoint",
+        &json!({
+            "episodes": EPISODES,
+            "snapshot_bytes": bytes.len(),
+            "write_ms_mean": write_ms,
+            "load_ms_mean": load_ms,
+            "io_reps": IO_REPS,
+            "runs": runs,
+            "bitwise_identical_across_cadences": true,
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

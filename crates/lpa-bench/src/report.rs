@@ -50,8 +50,11 @@ pub fn save_json(name: &str, value: &Value) {
     }
     let path = dir.join(format!("{name}.json"));
     if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = fs::write(&path, s);
-        println!("  [saved {}]", path.display());
+        // Atomic write: a result file read by EXPERIMENTS.md tooling should
+        // never be observable half-written.
+        if lpa_store::atomic_write(&path, s.as_bytes()).is_ok() {
+            println!("  [saved {}]", path.display());
+        }
     }
 }
 

@@ -90,6 +90,22 @@ impl QueryOutcome {
     }
 }
 
+/// The checkpointable portion of a [`Cluster`]: captured by
+/// [`Cluster::resume_state`] and re-applied by
+/// [`Cluster::restore_resume_state`] onto a cluster rebuilt from the same
+/// base schema + config.
+#[derive(Clone, Debug)]
+pub struct ClusterResumeState {
+    pub deployed: Partitioning,
+    pub clock_seconds: f64,
+    pub stats_epoch: u64,
+    pub growth: Vec<f64>,
+    pub queries_executed: u64,
+    pub tables_repartitioned: u64,
+    pub faults: FaultPlan,
+    pub fault_accounting: FaultAccounting,
+}
+
 /// A simulated distributed database cluster holding generated data sharded
 /// by the currently deployed partitioning.
 #[derive(Debug)]
@@ -426,6 +442,50 @@ impl Cluster {
         self.db = Database::generate(&self.schema, self.config.seed);
         self.layouts = Self::compute_layouts(&self.schema, &self.db, &self.config, &self.deployed);
         self.stats_epoch += 1;
+    }
+
+    /// The mutable state a checkpoint must carry to resume this cluster
+    /// bit-identically. Everything else (generated rows, layouts, the
+    /// optimizer) is a pure function of `(base schema, config, growth,
+    /// deployed)` and is regenerated on restore.
+    pub fn resume_state(&self) -> ClusterResumeState {
+        ClusterResumeState {
+            deployed: self.deployed.clone(),
+            clock_seconds: self.clock_seconds,
+            stats_epoch: self.stats_epoch,
+            growth: self.growth.clone(),
+            queries_executed: self.queries_executed,
+            tables_repartitioned: self.tables_repartitioned,
+            faults: self.faults,
+            fault_accounting: self.fault_accounting,
+        }
+    }
+
+    /// Apply checkpointed state onto a cluster freshly built over the same
+    /// base schema and config. Regenerates data, layouts and statistics;
+    /// `Err` (never panics: this is the recovery path) when the state does
+    /// not fit the schema.
+    pub fn restore_resume_state(&mut self, st: ClusterResumeState) -> Result<(), String> {
+        if st.growth.len() != self.base_schema.tables().len() {
+            return Err(format!(
+                "growth vector has {} entries for {} tables",
+                st.growth.len(),
+                self.base_schema.tables().len()
+            ));
+        }
+        self.growth = st.growth;
+        self.schema = self.base_schema.clone().scaled_per_table(&self.growth);
+        st.deployed.check(&self.schema)?;
+        self.db = Database::generate(&self.schema, self.config.seed);
+        self.deployed = st.deployed;
+        self.layouts = Self::compute_layouts(&self.schema, &self.db, &self.config, &self.deployed);
+        self.clock_seconds = st.clock_seconds;
+        self.stats_epoch = st.stats_epoch;
+        self.queries_executed = st.queries_executed;
+        self.tables_repartitioned = st.tables_repartitioned;
+        self.faults = st.faults;
+        self.fault_accounting = st.fault_accounting;
+        Ok(())
     }
 
     /// A fresh cluster over a sample of the data (`fraction` of the rows),

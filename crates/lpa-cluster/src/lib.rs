@@ -42,7 +42,7 @@ pub mod faults;
 pub mod hardware;
 pub mod optimizer;
 
-pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
+pub use cluster::{Cluster, ClusterConfig, ClusterResumeState, QueryOutcome};
 pub use datagen::{Database, TableData};
 pub use engine::{EngineKind, EngineProfile};
 pub use faults::{ClusterHealth, FailReason, FaultAccounting, FaultPlan, FaultState};

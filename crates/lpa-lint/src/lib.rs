@@ -7,7 +7,7 @@
 //! the training signal silently. This crate walks every `.rs` file in the
 //! workspace with a from-scratch lexer (no external dependencies, in the
 //! spirit of the hand-written `lpa-sql` lexer) and enforces rules
-//! L001–L007; see [`rules`] for the catalogue.
+//! L001–L008; see [`rules`] for the catalogue.
 //!
 //! Violations are waivable per line with a mandatory justification:
 //!
@@ -108,7 +108,7 @@ fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Dia
         let reason = rest[close + 1..].trim().to_string();
         let known = matches!(
             rule.as_str(),
-            "L001" | "L002" | "L003" | "L004" | "L005" | "L006" | "L007"
+            "L001" | "L002" | "L003" | "L004" | "L005" | "L006" | "L007" | "L008"
         );
         if !known {
             bad.push(Diagnostic {

@@ -26,13 +26,18 @@
 //!   match arms, `if let Completed`). The fault layer's contract is that
 //!   every `Failed` query is *seen* — counted, retried, or replaced by the
 //!   cost-model fallback — never silently dropped from the reward.
+//! - **L008** — no raw durable-state writes (`fs::write`, `File::create`,
+//!   `fs::rename`) outside `crates/lpa-store`. A bare write is not atomic:
+//!   a crash mid-write leaves a torn file that a later resume would read as
+//!   a checkpoint. All persistence goes through `lpa-store`'s
+//!   temp-file + fsync + rename discipline.
 
 use crate::lexer::{Tok, TokKind};
 
 /// A single finding, pre-waiver.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Diagnostic {
-    /// Rule id: "L001".."L007", or "W000" for waiver-hygiene findings.
+    /// Rule id: "L001".."L008", or "W000" for waiver-hygiene findings.
     pub rule: &'static str,
     pub rel_path: String,
     pub line: u32,
@@ -69,6 +74,11 @@ const SIMULATED_TIME_SCOPE: &[&str] = &["crates/lpa-cluster/src/", "crates/lpa-c
 /// The one crate allowed to touch `std::thread` directly (L006): the
 /// deterministic pool wraps it for everyone else.
 const THREAD_EXEMPT_SCOPE: &[&str] = &["crates/lpa-par/"];
+
+/// The one crate allowed to touch the raw filesystem write API (L008): the
+/// durable-state layer wraps it in atomic temp-file + fsync + rename for
+/// everyone else.
+const STORE_EXEMPT_SCOPE: &[&str] = &["crates/lpa-store/"];
 
 fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| rel_path.contains(s))
@@ -632,6 +642,51 @@ pub fn l007(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
     out
 }
 
+/// L008: raw `fs::write` / `fs::rename` / `File::create` outside
+/// `crates/lpa-store`. A bare write is torn by a crash mid-write; a bare
+/// rename can publish a file whose contents never reached disk. Durable
+/// state must go through `lpa_store`'s atomic write (temp file + fsync +
+/// rename + directory fsync) so a resume never reads a half-written
+/// checkpoint.
+pub fn l008(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if in_scope(rel_path, STORE_EXEMPT_SCOPE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        // `fs :: write|rename` and `File :: create` (covers
+        // `std::fs::write(..)`, a `use std::fs;` alias, and
+        // `std::fs::File::create(..)` via the trailing `File` ident).
+        let targets: &[&str] = match t.text.as_str() {
+            "fs" => &["write", "rename"],
+            "File" => &["create"],
+            _ => continue,
+        };
+        let c1 = next_sig(tokens, i).filter(|&j| tokens[j].is_punct(':'));
+        let c2 = c1
+            .and_then(|j| next_sig(tokens, j))
+            .filter(|&j| tokens[j].is_punct(':'));
+        let Some(target) = c2.and_then(|j| next_sig(tokens, j)).map(|j| &tokens[j]) else {
+            continue;
+        };
+        if target.kind == TokKind::Ident && targets.contains(&target.text.as_str()) {
+            out.push(diag(
+                "L008",
+                rel_path,
+                t.line,
+                format!(
+                    "`{}::{}` outside lpa-store: a raw write is torn by a crash mid-write; persist through `lpa_store`'s atomic temp-file + fsync + rename",
+                    t.text, target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Run every rule over one file's token stream.
 pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
     let in_test = test_regions(tokens);
@@ -644,6 +699,7 @@ pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic
         out.extend(l005(rel_path, tokens, &in_test));
         out.extend(l006(rel_path, tokens, &in_test));
         out.extend(l007(rel_path, tokens, &in_test));
+        out.extend(l008(rel_path, tokens, &in_test));
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out

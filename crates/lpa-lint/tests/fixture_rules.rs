@@ -176,6 +176,41 @@ fn l007_is_exempt_in_test_like_code() {
 }
 
 #[test]
+fn l008_fixture_flags_raw_fs_writes() {
+    let report = lint_as_lib("l008_raw_fs.rs");
+    let l008: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L008")
+        .collect();
+    assert_eq!(l008.len(), 6, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics.len(), l008.len());
+    // The waived write is suppressed, not reported.
+    assert_eq!(report.suppressed, 1);
+    let src = fixture("l008_raw_fs.rs");
+    for d in &l008 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING L008"),
+            "line {} not marked: {text}",
+            d.line
+        );
+    }
+}
+
+#[test]
+fn l008_exempts_lpa_store_and_test_like_code() {
+    let src = fixture("l008_raw_fs.rs");
+    // Inside the durable-state crate the rule never fires (the waiver then
+    // suppresses nothing, which is the only finding left).
+    let report = lint_source("crates/lpa-store/src/store.rs", &src, FileKind::Lib).expect("lexes");
+    assert_eq!(rules(&report), vec!["W000"], "{:?}", report.diagnostics);
+    // Test-like files (tests/, benches/, bins) are exempt like all rules.
+    let report = lint_source("tests/resume.rs", &src, FileKind::TestLike).expect("lexes");
+    assert_eq!(rules(&report), vec!["W000"], "{:?}", report.diagnostics);
+}
+
+#[test]
 fn false_positive_fixture_is_clean() {
     let report = lint_as_lib("false_positives.rs");
     assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);

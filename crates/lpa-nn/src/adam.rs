@@ -51,6 +51,55 @@ impl Adam {
         self.t += 1;
     }
 
+    /// Shared Adam step counter `t` (number of `begin_step` calls so far).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Per-layer moment vectors `(mw, vw, mb, vb)`, in layer order. Exposed
+    /// for checkpointing: the optimizer cannot be resumed bit-identically
+    /// without its moments.
+    #[allow(clippy::type_complexity)]
+    pub fn layer_moments(&self) -> Vec<(&[f32], &[f32], &[f32], &[f32])> {
+        self.state
+            .iter()
+            .map(|s| {
+                (
+                    s.mw.as_slice(),
+                    s.vw.as_slice(),
+                    s.mb.as_slice(),
+                    s.vb.as_slice(),
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuild an optimizer from checkpointed state. `moments` holds one
+    /// `(mw, vw, mb, vb)` tuple per layer, exactly as captured by
+    /// [`Adam::layer_moments`]; `t` is [`Adam::step_count`].
+    #[allow(clippy::type_complexity)]
+    pub fn from_raw_state(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u64,
+        moments: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)>,
+    ) -> Self {
+        let state = moments
+            .into_iter()
+            .map(|(mw, vw, mb, vb)| LayerState { mw, vw, mb, vb })
+            .collect();
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            state,
+        }
+    }
+
     /// Apply gradients to one layer.
     pub fn step_layer(&mut self, idx: usize, layer: &mut Dense, dw: &Matrix, db: &[f32]) {
         assert!(self.t > 0, "call begin_step first");

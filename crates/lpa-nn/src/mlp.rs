@@ -37,6 +37,20 @@ impl Mlp {
         &self.layers
     }
 
+    /// Rebuild a network from checkpointed layers (weights restored
+    /// bit-exactly; consecutive layer dims must chain).
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "layer dims must chain"
+            );
+        }
+        Self { layers }
+    }
+
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(Dense::param_count).sum()
     }

@@ -91,6 +91,37 @@ impl KeyInterner {
         self.intern_scratch()
     }
 
+    /// Dump every `(packed key, id)` pair in key order, for checkpointing.
+    /// Ids are first-seen-order and therefore *not* reconstructible from a
+    /// key list alone — the exact pairs must be persisted.
+    pub fn entries(&self) -> Vec<(&[u32], u32)> {
+        self.ids.iter().map(|(k, &v)| (k.as_ref(), v)).collect()
+    }
+
+    /// Rebuild an interner from checkpointed `(packed key, id)` pairs.
+    /// `Err` if the ids are not a permutation of `0..n` (a corrupt dump
+    /// would otherwise silently alias future keys).
+    pub fn from_entries(entries: Vec<(Vec<u32>, u32)>) -> Result<Self, String> {
+        let n = entries.len() as u32;
+        let mut seen = vec![false; entries.len()];
+        for (_, id) in &entries {
+            if *id >= n || seen[*id as usize] {
+                return Err(format!("interner ids are not a permutation of 0..{n}"));
+            }
+            seen[*id as usize] = true;
+        }
+        let mut ids = BTreeMap::new();
+        for (k, id) in entries {
+            if ids.insert(k.into_boxed_slice(), id).is_some() {
+                return Err("duplicate interner key".to_string());
+            }
+        }
+        Ok(Self {
+            ids,
+            scratch: Vec::new(),
+        })
+    }
+
     /// Key for a whole partitioning *including* edge activation flags —
     /// the action-set cache keys on this, because `valid_actions` depends
     /// on which tables are pinned by active edges.

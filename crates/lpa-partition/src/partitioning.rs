@@ -60,6 +60,20 @@ impl Partitioning {
         }
     }
 
+    /// Build from explicit table states *and* edge flags — the checkpoint
+    /// restore path, which must reproduce mid-episode states where edges
+    /// are active. `Err` (never panics: runs on the recovery path) if the
+    /// lengths are inconsistent or the edge/table invariant is violated.
+    pub fn from_parts(
+        schema: &Schema,
+        tables: Vec<TableState>,
+        edges: Vec<bool>,
+    ) -> Result<Self, String> {
+        let p = Self { tables, edges };
+        p.check(schema)?;
+        Ok(p)
+    }
+
     pub fn table_state(&self, t: TableId) -> TableState {
         self.tables[t.0]
     }

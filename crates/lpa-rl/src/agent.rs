@@ -194,6 +194,51 @@ impl<E: QEnvironment> DqnAgent<E> {
         &mut self.rng
     }
 
+    /// Target network (read access for checkpointing).
+    pub fn target_network(&self) -> &Mlp {
+        &self.target
+    }
+
+    /// Optimizer (read access for checkpointing: Adam moments are part of
+    /// the bit-identical resume contract).
+    pub fn optimizer(&self) -> &Adam {
+        &self.opt
+    }
+
+    /// Replay buffer (read access for checkpointing).
+    pub fn buffer(&self) -> &ReplayBuffer<E::State, E::Action> {
+        &self.buffer
+    }
+
+    /// Raw policy-RNG state words, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild an agent from fully checkpointed parts — unlike
+    /// [`DqnAgent::restore`], this resumes training bit-identically:
+    /// optimizer moments, replay contents and the RNG stream all continue
+    /// exactly where they left off.
+    pub fn from_raw_parts(
+        cfg: DqnConfig,
+        q: Mlp,
+        target: Mlp,
+        opt: Adam,
+        epsilon: f64,
+        buffer: ReplayBuffer<E::State, E::Action>,
+        rng_state: [u64; 4],
+    ) -> Self {
+        Self {
+            q,
+            target,
+            opt,
+            cfg,
+            epsilon,
+            buffer,
+            rng: StdRng::from_state(rng_state),
+        }
+    }
+
     /// Serializable snapshot of the trained policy (networks + ε + config).
     /// The replay buffer is transient and not included.
     pub fn snapshot(&self) -> AgentSnapshot {

@@ -48,6 +48,37 @@ impl<S: Clone, A: Clone> ReplayBuffer<S, A> {
         }
     }
 
+    /// Configured capacity (the ring wraps once `len` reaches it).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ring-head position — the slot the next overwrite lands in. Part of
+    /// the buffer's resumable state: restoring items without the head would
+    /// shift which transitions future pushes evict.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Stored transitions in slot order (not insertion order once wrapped).
+    pub fn items(&self) -> &[Transition<S, A>] {
+        &self.items
+    }
+
+    /// Rebuild a buffer from checkpointed parts, exactly as captured by
+    /// [`ReplayBuffer::capacity`] / [`ReplayBuffer::items`] /
+    /// [`ReplayBuffer::head`].
+    pub fn from_parts(capacity: usize, items: Vec<Transition<S, A>>, head: usize) -> Self {
+        assert!(capacity > 0);
+        assert!(items.len() <= capacity);
+        assert!(head < capacity.max(1));
+        Self {
+            capacity,
+            items,
+            head,
+        }
+    }
+
     /// Uniform sample without replacement (or everything, if fewer stored).
     pub fn sample<R: Rng>(&self, rng: &mut R, batch: usize) -> Vec<&Transition<S, A>> {
         if self.items.len() <= batch {

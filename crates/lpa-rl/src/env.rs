@@ -33,6 +33,14 @@ pub struct EnvCounters {
     pub fault_failovers: u64,
     /// Measurements that fell back to the cost-model estimate.
     pub fault_fallbacks: u64,
+    /// Checkpoints durably written by the training loop.
+    pub checkpoints_written: u64,
+    /// Checkpoint files rejected as corrupt (CRC, length or framing).
+    pub checkpoint_corruptions_detected: u64,
+    /// Successful checkpoint restores.
+    pub checkpoint_restores: u64,
+    /// Restores that had to fall back to the last-good checkpoint.
+    pub checkpoint_fallbacks: u64,
 }
 
 impl EnvCounters {
@@ -64,6 +72,18 @@ impl EnvCounters {
             fault_retries: self.fault_retries.saturating_sub(earlier.fault_retries),
             fault_failovers: self.fault_failovers.saturating_sub(earlier.fault_failovers),
             fault_fallbacks: self.fault_fallbacks.saturating_sub(earlier.fault_fallbacks),
+            checkpoints_written: self
+                .checkpoints_written
+                .saturating_sub(earlier.checkpoints_written),
+            checkpoint_corruptions_detected: self
+                .checkpoint_corruptions_detected
+                .saturating_sub(earlier.checkpoint_corruptions_detected),
+            checkpoint_restores: self
+                .checkpoint_restores
+                .saturating_sub(earlier.checkpoint_restores),
+            checkpoint_fallbacks: self
+                .checkpoint_fallbacks
+                .saturating_sub(earlier.checkpoint_fallbacks),
         }
     }
 

@@ -21,4 +21,4 @@ pub use agent::{AgentSnapshot, DqnAgent};
 pub use buffer::{ReplayBuffer, Transition};
 pub use config::{DqnConfig, QLoss};
 pub use env::{EnvCounters, QEnvironment};
-pub use train::{rollout, train, EpisodeStats, Trajectory};
+pub use train::{rollout, train, train_from, EpisodeStats, Trajectory};

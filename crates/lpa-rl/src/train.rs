@@ -55,11 +55,29 @@ pub fn train<E: QEnvironment>(
     agent: &mut DqnAgent<E>,
     env: &mut E,
     episodes: usize,
+    on_episode: impl FnMut(&EpisodeStats),
+) {
+    train_from(agent, env, 0, episodes, on_episode, |_, _, _| {});
+}
+
+/// [`train`] with an explicit starting episode and a post-episode hook.
+///
+/// The hook fires after each episode's ε decay, when the agent sits at an
+/// episode boundary — the checkpoint granularity: a resumed run restarted
+/// with `start_episode = k + 1` from state captured at episode `k` replays
+/// the remaining episodes bit-identically (the loop consumes no RNG or env
+/// state between the hook and the next episode's `reset`).
+pub fn train_from<E: QEnvironment>(
+    agent: &mut DqnAgent<E>,
+    env: &mut E,
+    start_episode: usize,
+    episodes: usize,
     mut on_episode: impl FnMut(&EpisodeStats),
+    mut after_episode: impl FnMut(usize, &DqnAgent<E>, &E),
 ) {
     let tmax = agent.config().tmax;
     let train_every = agent.config().train_every.max(1);
-    for episode in 0..episodes {
+    for episode in start_episode..episodes {
         let counters_at_start = env.counters();
         let mut state = env.reset();
         let mut total_reward = 0.0;
@@ -102,6 +120,7 @@ pub fn train<E: QEnvironment>(
             train_steps: loss_n as usize,
             counters: env.counters().since(&counters_at_start),
         });
+        after_episode(episode, agent, env);
     }
 }
 

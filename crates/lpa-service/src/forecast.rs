@@ -36,6 +36,50 @@ impl FrequencyForecaster {
         self.windows_seen
     }
 
+    /// `(alpha, beta)` smoothing factors (checkpoint capture).
+    pub fn factors(&self) -> (f64, f64) {
+        (self.alpha, self.beta)
+    }
+
+    /// Per-slot smoothed levels (checkpoint capture).
+    pub fn level(&self) -> &[f64] {
+        &self.level
+    }
+
+    /// Per-slot smoothed trends (checkpoint capture).
+    pub fn trend(&self) -> &[f64] {
+        &self.trend
+    }
+
+    /// Rebuild a forecaster from checkpointed parts, bit-for-bit. `Err`
+    /// (never panics: runs on the recovery path) on inconsistent shapes or
+    /// out-of-range factors.
+    pub fn from_parts(
+        alpha: f64,
+        beta: f64,
+        level: Vec<f64>,
+        trend: Vec<f64>,
+        windows_seen: u64,
+    ) -> Result<Self, String> {
+        if !(0.0..=1.0).contains(&alpha) || !(0.0..=1.0).contains(&beta) {
+            return Err(format!("smoothing factors out of range: {alpha}, {beta}"));
+        }
+        if level.len() != trend.len() {
+            return Err(format!(
+                "level slots {} != trend slots {}",
+                level.len(),
+                trend.len()
+            ));
+        }
+        Ok(Self {
+            alpha,
+            beta,
+            level,
+            trend,
+            windows_seen,
+        })
+    }
+
     /// Fold in one observed window.
     pub fn update(&mut self, observed: &FrequencyVector) {
         assert_eq!(observed.len(), self.level.len(), "slot count");

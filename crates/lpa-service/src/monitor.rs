@@ -151,6 +151,47 @@ impl WorkloadMonitor {
         self.pending.clear();
     }
 
+    /// Raw per-slot counts of the current window (checkpoint capture).
+    pub fn window_counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Pending new queries in a deterministic order (by name, then count) —
+    /// the checkpoint capture path. Unlike [`Self::pending_queries`] the
+    /// order does not depend on hash-map iteration, so re-encoding a
+    /// restored monitor yields identical bytes.
+    pub fn pending_snapshot(&self) -> Vec<(Query, u64)> {
+        let mut v: Vec<(Query, u64)> = self.pending.values().cloned().collect();
+        v.sort_by(|(a, na), (b, nb)| a.name.cmp(&b.name).then(na.cmp(nb)));
+        v
+    }
+
+    /// Restore the window state captured by a checkpoint. The monitor must
+    /// already be indexed against the same (restored) workload, so the
+    /// count vector lengths have to line up.
+    pub fn restore_window(
+        &mut self,
+        counts: Vec<f64>,
+        observed_in_window: u64,
+        pending: Vec<(Query, u64)>,
+    ) -> Result<(), String> {
+        if counts.len() != self.counts.len() {
+            return Err(format!(
+                "window count slots {} != monitor slots {}",
+                counts.len(),
+                self.counts.len()
+            ));
+        }
+        self.counts = counts;
+        self.observed_in_window = observed_in_window;
+        self.pending.clear();
+        for (q, n) in pending {
+            let sig = signature(&self.schema, &self.buckets, &q);
+            self.pending.insert(sig, (q, n));
+        }
+        Ok(())
+    }
+
     /// Start a new decision window.
     pub fn reset_window(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0.0);

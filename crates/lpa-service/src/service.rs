@@ -111,6 +111,53 @@ impl PartitioningService {
         &self.monitor
     }
 
+    pub fn forecaster(&self) -> &FrequencyForecaster {
+        &self.forecaster
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Borrow every component at once (checkpoint capture by the
+    /// durable-state layer).
+    pub fn parts(
+        &self,
+    ) -> (
+        &Advisor,
+        &Cluster,
+        &WorkloadMonitor,
+        &FrequencyForecaster,
+        &ServiceConfig,
+    ) {
+        (
+            &self.advisor,
+            &self.cluster,
+            &self.monitor,
+            &self.forecaster,
+            &self.cfg,
+        )
+    }
+
+    /// Reassemble a service from restored components — the checkpoint
+    /// restore path. Unlike [`Self::new`] the monitor and forecaster keep
+    /// their mid-window state instead of starting fresh.
+    pub fn from_parts(
+        advisor: Advisor,
+        cluster: Cluster,
+        monitor: WorkloadMonitor,
+        forecaster: FrequencyForecaster,
+        cfg: ServiceConfig,
+    ) -> Self {
+        Self {
+            advisor,
+            cluster,
+            monitor,
+            forecaster,
+            cfg,
+        }
+    }
+
     /// Ingest one observed SQL statement.
     pub fn observe_sql(&mut self, sql: &str) -> Observation {
         self.monitor.observe(sql)

@@ -1,0 +1,183 @@
+//! Corruption-injection harness: every way a checkpoint file can go bad on
+//! disk must be *detected* (CRC / length / tag checks), *rejected* (a
+//! `StoreError`, never a panic — this is the recovery path, lint L001
+//! applies to the library code behind it), and *recovered from* (the store
+//! falls back to the last good file, and says so in its counters).
+//!
+//! Faults injected: truncation at every prefix length, a bit flip at every
+//! bit of the file, a torn rename (stray `*.tmp` left mid-write), and a
+//! corrupt newest checkpoint with a healthy predecessor.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_advisor::Advisor;
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_rl::DqnConfig;
+use lpa_store::{
+    capture_advisor, decode_checkpoint, encode_checkpoint, Checkpoint, CheckpointStore, StoreError,
+};
+use lpa_workload::MixSampler;
+use std::path::PathBuf;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lpa-store-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but real checkpoint: trained weights, replay transitions, memo
+/// entries — enough structure that every decoder runs.
+fn fixture() -> (lpa_schema::Schema, Vec<u8>, Checkpoint) {
+    let schema = lpa_schema::microbench::schema(0.05).unwrap();
+    let workload = lpa_workload::microbench::workload(&schema).unwrap();
+    let cfg = DqnConfig {
+        batch_size: 8,
+        hidden: vec![12],
+        ..DqnConfig::simulation(4, 3)
+    }
+    .with_seed(11);
+    let advisor = Advisor::train_offline(
+        schema.clone(),
+        workload.clone(),
+        NetworkCostModel::new(CostParams::standard()),
+        MixSampler::uniform(&workload),
+        cfg,
+        true,
+    );
+    let ck = Checkpoint::Session(capture_advisor(3, &advisor));
+    let bytes = encode_checkpoint(&ck);
+    (schema, bytes, ck)
+}
+
+#[test]
+fn truncation_at_every_length_is_detected() {
+    let (schema, bytes, _) = fixture();
+    assert!(decode_checkpoint(&bytes, &schema).is_ok(), "fixture valid");
+    for len in 0..bytes.len() {
+        match decode_checkpoint(&bytes[..len], &schema) {
+            Err(StoreError::Corrupt(_)) | Err(StoreError::Incompatible(_)) => {}
+            Err(StoreError::Io(e)) => panic!("truncation at {len} surfaced as io: {e}"),
+            Ok(_) => panic!("truncation at {len} decoded successfully"),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let (schema, bytes, _) = fixture();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 1 << bit;
+            assert!(
+                decode_checkpoint(&evil, &schema).is_err(),
+                "flip of byte {byte} bit {bit} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn appended_garbage_is_detected() {
+    let (schema, mut bytes, _) = fixture();
+    bytes.push(0);
+    assert!(decode_checkpoint(&bytes, &schema).is_err());
+}
+
+#[test]
+fn torn_rename_leaves_the_store_usable() {
+    let (schema, bytes, ck) = fixture();
+    let dir = test_dir("torn");
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    store.save(&ck).unwrap();
+    // Simulate a crash mid-`atomic_write`: a later checkpoint's temp file
+    // exists (partially written) but was never renamed into place.
+    std::fs::write(dir.join("ckpt-00000009.lpa.tmp"), &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(store.list().len(), 1, "stray .tmp must not be listed");
+    let (seq, loaded) = store.load_latest(&schema).unwrap().unwrap();
+    assert_eq!(seq, 3);
+    assert_eq!(loaded.kind_name(), "session");
+    let c = store.counters();
+    assert_eq!(c.checkpoint_corruptions_detected, 0);
+    assert_eq!(c.checkpoint_restores, 1);
+    assert_eq!(c.checkpoint_fallbacks, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_newest_falls_back_to_last_good() {
+    let (schema, _, ck) = fixture();
+    let dir = test_dir("fallback");
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let good = store.save(&ck).unwrap();
+    // A "later" checkpoint that got hit by a bit flip on disk.
+    let mut evil = encode_checkpoint(&ck);
+    let mid = evil.len() / 2;
+    evil[mid] ^= 0x10;
+    lpa_store::atomic_write(&dir.join("ckpt-00000007.lpa"), &evil).unwrap();
+    assert_eq!(store.list().len(), 2);
+
+    let (seq, loaded) = store.load_latest(&schema).unwrap().unwrap();
+    assert_eq!(seq, 3, "must fall back past the corrupt seq 7");
+    assert_eq!(loaded.kind_name(), "session");
+    assert_eq!(good, dir.join("ckpt-00000003.lpa"));
+    let c = store.counters();
+    assert_eq!(c.checkpoint_corruptions_detected, 1);
+    assert_eq!(c.checkpoint_restores, 1);
+    assert_eq!(c.checkpoint_fallbacks, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_checkpoints_corrupt_means_clean_none() {
+    let (schema, bytes, _) = fixture();
+    let dir = test_dir("allbad");
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    for seq in [1u64, 2] {
+        let mut evil = bytes.clone();
+        evil[10] ^= 0xFF;
+        lpa_store::atomic_write(&dir.join(format!("ckpt-{seq:08}.lpa")), &evil).unwrap();
+    }
+    let loaded = store.load_latest(&schema).unwrap();
+    assert!(
+        loaded.is_none(),
+        "no valid checkpoint must mean None, not a panic"
+    );
+    assert_eq!(store.counters().checkpoint_corruptions_detected, 2);
+    assert_eq!(store.counters().checkpoint_restores, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_prunes_oldest_but_keeps_a_fallback() {
+    let (schema, _, _) = fixture();
+    let schema2 = schema.clone();
+    let workload = lpa_workload::microbench::workload(&schema2).unwrap();
+    let cfg = DqnConfig {
+        batch_size: 8,
+        hidden: vec![12],
+        ..DqnConfig::simulation(2, 2)
+    }
+    .with_seed(13);
+    let advisor = Advisor::train_offline(
+        schema2.clone(),
+        workload.clone(),
+        NetworkCostModel::new(CostParams::standard()),
+        MixSampler::uniform(&workload),
+        cfg,
+        true,
+    );
+    let dir = test_dir("retention");
+    let mut store = CheckpointStore::open(&dir).unwrap().with_keep(2);
+    for seq in 0..5u64 {
+        store
+            .save(&Checkpoint::Session(capture_advisor(seq, &advisor)))
+            .unwrap();
+    }
+    let listed: Vec<u64> = store.list().into_iter().map(|(s, _)| s).collect();
+    assert_eq!(listed, vec![3, 4], "keep=2 retains exactly the newest two");
+    assert_eq!(store.counters().checkpoints_written, 5);
+    assert!(store.load_latest(&schema).unwrap().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

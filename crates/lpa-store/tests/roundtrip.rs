@@ -1,0 +1,232 @@
+//! Bit-level round-trip tests for every codec leaf: encode → decode →
+//! encode must reproduce the exact byte stream, and the decoded value must
+//! be bit-identical to the original — `f32::to_bits` equality, not
+//! approximate equality. Resume correctness reduces to these leaves: if
+//! any one of them loses a bit, the differential resume test diverges.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_advisor::{Advisor, EnvState};
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_nn::{Adam, Matrix, Mlp};
+use lpa_partition::{Action, KeyInterner, Partitioning};
+use lpa_rl::{DqnConfig, ReplayBuffer, Transition};
+use lpa_store::codec::{ByteReader, ByteWriter};
+use lpa_store::snapshot::{
+    put_adam, put_buffer, put_interner, put_mlp, put_rng, take_adam, take_buffer, take_interner,
+    take_mlp, take_rng,
+};
+use lpa_store::{decode_checkpoint, encode_checkpoint, Checkpoint, SessionSnapshot};
+use lpa_workload::{MixSampler, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn encode_with(f: impl FnOnce(&mut ByteWriter)) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    f(&mut w);
+    w.into_inner()
+}
+
+fn micro() -> (lpa_schema::Schema, Workload) {
+    let schema = lpa_schema::microbench::schema(0.05).unwrap();
+    let workload = lpa_workload::microbench::workload(&schema).unwrap();
+    (schema, workload)
+}
+
+fn mlp_bits(m: &Mlp) -> Vec<u32> {
+    let mut bits = Vec::new();
+    for layer in m.layers() {
+        bits.extend(layer.w.data().iter().map(|v| v.to_bits()));
+        bits.extend(layer.b.iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// A trained (net, optimizer) pair whose moments and step counter are all
+/// non-trivial — fresh zeroed state would round-trip even through a lossy
+/// codec.
+fn trained_net() -> (Mlp, Adam) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut net = Mlp::new(&[6, 12, 8, 1], &mut rng);
+    let mut adam = Adam::new(1e-3, net.layers());
+    for _ in 0..7 {
+        let x: Vec<f32> = (0..4 * 6)
+            .map(|_| rng.gen_range(-1.0f64..1.0) as f32)
+            .collect();
+        let y: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0f64..1.0) as f32).collect();
+        net.train_mse(&Matrix::from_vec(4, 6, x), &y, &mut adam);
+    }
+    (net, adam)
+}
+
+#[test]
+fn mlp_round_trips_bit_exactly() {
+    let (net, _) = trained_net();
+    let bytes = encode_with(|w| put_mlp(w, &net));
+    let mut r = ByteReader::new(&bytes);
+    let back = take_mlp(&mut r).unwrap();
+    r.finish().unwrap();
+    assert_eq!(
+        mlp_bits(&back),
+        mlp_bits(&net),
+        "weights must not lose a bit"
+    );
+    let again = encode_with(|w| put_mlp(w, &back));
+    assert_eq!(again, bytes, "re-encode must be byte-identical");
+}
+
+#[test]
+fn adam_round_trips_bit_exactly() {
+    let (_, adam) = trained_net();
+    assert!(adam.step_count() > 0, "fixture must have stepped");
+    let bytes = encode_with(|w| put_adam(w, &adam));
+    let mut r = ByteReader::new(&bytes);
+    let back = take_adam(&mut r).unwrap();
+    r.finish().unwrap();
+    assert_eq!(back.step_count(), adam.step_count());
+    assert_eq!(back.lr.to_bits(), adam.lr.to_bits());
+    for ((mw, vw, mb, vb), (mw2, vw2, mb2, vb2)) in
+        adam.layer_moments().into_iter().zip(back.layer_moments())
+    {
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(mw), bits(mw2));
+        assert_eq!(bits(vw), bits(vw2));
+        assert_eq!(bits(mb), bits(mb2));
+        assert_eq!(bits(vb), bits(vb2));
+    }
+    let again = encode_with(|w| put_adam(w, &back));
+    assert_eq!(again, bytes);
+}
+
+#[test]
+fn replay_buffer_round_trips_including_ring_head() {
+    let (schema, workload) = micro();
+    let p0 = Partitioning::initial(&schema);
+    let actions = lpa_partition::valid_actions(&schema, &p0);
+    let freqs = workload.uniform_frequencies();
+    let transition = |i: usize| {
+        let a = actions[i % actions.len()];
+        let p1 = a.apply(&schema, &p0).unwrap();
+        Transition {
+            state: EnvState {
+                partitioning: p0.clone(),
+                freqs: freqs.clone(),
+            },
+            action: a,
+            reward: 0.25 * i as f64 - 1.5,
+            next_state: EnvState {
+                partitioning: p1,
+                freqs: freqs.clone(),
+            },
+        }
+    };
+    // Overfill a capacity-3 ring so the head has wrapped to a non-zero slot.
+    let mut buf: ReplayBuffer<EnvState, Action> = ReplayBuffer::new(3);
+    for i in 0..5 {
+        buf.push(transition(i));
+    }
+    assert_ne!(buf.head(), 0, "fixture must exercise a wrapped ring");
+    let bytes = encode_with(|w| put_buffer(w, &buf));
+    let mut r = ByteReader::new(&bytes);
+    let back = take_buffer(&mut r, &schema).unwrap();
+    r.finish().unwrap();
+    assert_eq!(back.capacity(), buf.capacity());
+    assert_eq!(back.head(), buf.head());
+    assert_eq!(back.items().len(), buf.items().len());
+    for (a, b) in buf.items().iter().zip(back.items()) {
+        assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+        assert_eq!(a.action, b.action);
+        assert_eq!(a.state.partitioning, b.state.partitioning);
+        assert_eq!(a.next_state.partitioning, b.next_state.partitioning);
+    }
+    let again = encode_with(|w| put_buffer(w, &back));
+    assert_eq!(again, bytes);
+}
+
+#[test]
+fn key_interner_round_trips_with_ids_preserved() {
+    let (schema, workload) = micro();
+    let mut interner = KeyInterner::default();
+    let mut p = Partitioning::initial(&schema);
+    // Intern state keys and per-query keys over a few layouts so ids,
+    // insertion order, and multi-table keys are all represented.
+    for step in 0..4 {
+        interner.state_key(&p);
+        for q in workload.queries() {
+            interner.query_key(&p, &q.tables);
+        }
+        let actions = lpa_partition::valid_actions(&schema, &p);
+        p = actions[step % actions.len()].apply(&schema, &p).unwrap();
+    }
+    assert!(!interner.entries().is_empty());
+    let bytes = encode_with(|w| put_interner(w, &interner));
+    let mut r = ByteReader::new(&bytes);
+    let mut back = take_interner(&mut r).unwrap();
+    r.finish().unwrap();
+    // Every key must map to the same dense id — an aliased id would point
+    // cached rewards at the wrong partitioning after resume.
+    assert_eq!(back.entries(), interner.entries());
+    let again = encode_with(|w| put_interner(w, &back));
+    assert_eq!(again, bytes);
+    // And the restored interner must keep assigning fresh ids after the
+    // persisted ones, not collide with them.
+    let before = back.entries().len();
+    let actions = lpa_partition::valid_actions(&schema, &p);
+    let p_next = actions[0].apply(&schema, &p).unwrap();
+    interner.state_key(&p_next);
+    back.state_key(&p_next);
+    assert_eq!(back.entries(), interner.entries());
+    assert_eq!(back.entries().len(), before + 1);
+}
+
+#[test]
+fn rng_state_round_trips_and_resumes_the_stream() {
+    let mut rng = StdRng::seed_from_u64(0xFEED_5EED);
+    // Burn some draws so the state is deep into the stream.
+    for _ in 0..100 {
+        let _: f64 = rng.gen_range(0.0..1.0);
+    }
+    let state = rng.state();
+    let bytes = encode_with(|w| put_rng(w, &state));
+    let mut r = ByteReader::new(&bytes);
+    let back = take_rng(&mut r).unwrap();
+    r.finish().unwrap();
+    assert_eq!(back, state);
+    let again = encode_with(|w| put_rng(w, &back));
+    assert_eq!(again, bytes);
+    // The restored generator must produce the exact same future stream.
+    let mut resumed = StdRng::from_state(back);
+    for _ in 0..50 {
+        let a: u64 = rng.gen();
+        let b: u64 = resumed.gen();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn full_session_checkpoint_round_trips_byte_identically() {
+    let (schema, workload) = micro();
+    let cfg = DqnConfig {
+        batch_size: 8,
+        hidden: vec![16],
+        ..DqnConfig::simulation(6, 4)
+    }
+    .with_seed(5);
+    let mut advisor = Advisor::train_offline(
+        schema.clone(),
+        workload.clone(),
+        NetworkCostModel::new(CostParams::standard()),
+        MixSampler::uniform(&workload),
+        cfg,
+        true,
+    );
+    // Touch the suggest path too so the backend has a tracked partitioning.
+    let _ = advisor.suggest(&workload.uniform_frequencies());
+    let snap = SessionSnapshot::capture(5, advisor.agent(), &advisor.env);
+    let bytes = encode_checkpoint(&Checkpoint::Session(snap));
+    let back = decode_checkpoint(&bytes, &schema).unwrap();
+    assert_eq!(back.kind_name(), "session");
+    assert_eq!(back.sequence(), 5);
+    let again = encode_checkpoint(&back);
+    assert_eq!(again, bytes, "decode → encode must reproduce the file");
+}

@@ -132,6 +132,14 @@ impl FrequencyVector {
         Self::from_counts(&counts, slots)
     }
 
+    /// Rebuild from raw (already-normalized) entries, bit-for-bit — the
+    /// checkpoint restore path. Unlike [`Self::from_counts`] nothing is
+    /// re-normalized, so the restored vector is byte-identical to the one
+    /// captured.
+    pub fn from_raw(values: Vec<f64>) -> Self {
+        Self(values)
+    }
+
     pub fn as_slice(&self) -> &[f64] {
         &self.0
     }

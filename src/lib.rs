@@ -53,6 +53,7 @@
 //! | [`baselines`] | heuristics, minimum-optimizer designer, neural cost model |
 //! | [`sql`] | SQL frontend: parse observed statements into join graphs |
 //! | [`service`] | workload monitoring, forecasting, repartition controller |
+//! | [`store`] | crash-safe checkpointing: atomic writes, CRC framing, bit-identical resume |
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -69,6 +70,7 @@ pub use lpa_rl as rl;
 pub use lpa_schema as schema;
 pub use lpa_service as service;
 pub use lpa_sql as sql;
+pub use lpa_store as store;
 pub use lpa_workload as workload;
 
 /// The most common imports for building and querying an advisor.

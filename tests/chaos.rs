@@ -388,3 +388,153 @@ fn fault_plan_schedules_follow_their_seed() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing under faults (lpa-store integration).
+// ---------------------------------------------------------------------------
+
+/// A plan that is *always* degrading (every node straggles in every
+/// window): any runtime measured under it is tagged degraded, and
+/// `FaultState::any_fault()` is true at every clock — the "snapshot taken
+/// mid-outage" fixture.
+fn permanent_outage(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        straggle_rate: 1.0,
+        straggle_factor: 2.0,
+        ..FaultPlan::none()
+    }
+}
+
+/// Online advisor refined entirely inside a permanent outage, so its
+/// runtime cache holds degraded-tagged entries and the fault is still
+/// active at capture time.
+fn mid_outage_advisor() -> (Schema, Workload, Advisor) {
+    let (schema, workload, mut full) = micro_cluster(0.02);
+    let mut advisor = Advisor::train_offline(
+        schema.clone(),
+        workload.clone(),
+        NetworkCostModel::new(CostParams::standard()),
+        MixSampler::uniform(&workload),
+        quick_cfg(12, 4),
+        true,
+    );
+    let mut sample = full.sampled(0.25);
+    let mix = workload.uniform_frequencies();
+    let p_off = advisor.suggest(&mix).partitioning;
+    let scale = OnlineBackend::compute_scale_factors(&mut full, &mut sample, &workload, &p_off);
+    sample.set_fault_plan(permanent_outage(storm_seed()));
+    let backend = OnlineBackend::new(
+        shared_cluster(sample),
+        shared_cache(),
+        scale,
+        OnlineOptimizations::default(),
+    );
+    advisor.refine_online(backend, 6);
+    (schema, workload, advisor)
+}
+
+fn degraded_entries_of(advisor: &Advisor) -> usize {
+    match advisor.env.backend() {
+        RewardBackend::Cluster(b) => b.cache().lock().degraded_entries(),
+        RewardBackend::CostModel(_) => panic!("online advisor expected"),
+    }
+}
+
+/// Regression for the degraded-entry invalidation gap: the lookup path only
+/// drops a degraded cache entry when it observes a recovery *event* (a
+/// lookup while the fault state is healthy). A snapshot taken mid-outage
+/// and restored after the outage was resolved out-of-band (the fault plan
+/// replaced) never sees that event — restore itself must drop the entries,
+/// and count them as invalidations.
+#[test]
+fn restore_after_outage_resolution_drops_degraded_cache_entries() {
+    use lpa::store::{capture_advisor, restore_online, OnlineTemplate};
+    let (schema, workload, advisor) = mid_outage_advisor();
+    let degraded_before = degraded_entries_of(&advisor);
+    assert!(
+        degraded_before > 0,
+        "fixture must cache degraded measurements"
+    );
+    let invalidations_before = advisor
+        .online_fault_accounting()
+        .unwrap()
+        .cache_invalidations;
+
+    let template = |plan: Option<FaultPlan>| {
+        let (_, _, full) = micro_cluster(0.02);
+        OnlineTemplate {
+            schema: schema.clone(),
+            workload: workload.clone(),
+            cluster: full.sampled(0.25),
+            fallback: None,
+            fault_plan_override: plan,
+        }
+    };
+
+    // Outage resolved while the trainer was down: override with the inert
+    // plan. Every degraded entry must be gone and accounted for.
+    let resolved = restore_online(
+        capture_advisor(5, &advisor),
+        template(Some(FaultPlan::none())),
+    )
+    .unwrap();
+    assert_eq!(degraded_entries_of(&resolved), 0);
+    assert_eq!(
+        resolved
+            .online_fault_accounting()
+            .unwrap()
+            .cache_invalidations,
+        invalidations_before + degraded_before as u64,
+        "dropped entries must be counted as invalidations"
+    );
+
+    // Outage still ongoing (no override): mid-outage resume keeps the
+    // entries — they are still valid under the active fault, and dropping
+    // them would break bit-identical resume.
+    let still_down = restore_online(capture_advisor(5, &advisor), template(None)).unwrap();
+    assert_eq!(degraded_entries_of(&still_down), degraded_before);
+    assert_eq!(
+        still_down
+            .online_fault_accounting()
+            .unwrap()
+            .cache_invalidations,
+        invalidations_before
+    );
+}
+
+/// Cross-leg handoff writer: under the CI resume leg, write a partially
+/// trained offline session into `LPA_CKPT_HANDOFF_DIR`. The resume leg
+/// (`tests/resume.rs::handoff_checkpoint_from_chaos_leg_resumes_bitwise`)
+/// restores it in a separate process and checks bitwise reproduction.
+#[test]
+fn chaos_leg_writes_handoff_checkpoint() {
+    use lpa::store::{train_checkpointed, CheckpointStore};
+    let Ok(dir) = std::env::var("LPA_CKPT_HANDOFF_DIR") else {
+        return; // only meaningful under the CI resume leg
+    };
+    let schema = lpa::schema::microbench::schema(0.05).unwrap();
+    let workload = lpa::workload::microbench::workload(&schema).unwrap();
+    let cfg = DqnConfig {
+        batch_size: 8,
+        hidden: vec![16, 8],
+        ..DqnConfig::simulation(12, 4)
+    }
+    .with_seed(lpa::par::derive_stream(storm_seed(), 7));
+    let env = AdvisorEnv::new(
+        schema.clone(),
+        workload.clone(),
+        RewardBackend::cost_model(NetworkCostModel::new(CostParams::standard())),
+        MixSampler::uniform(&workload),
+        true,
+        cfg.seed,
+    );
+    let mut advisor = Advisor::untrained(env, cfg);
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let report = train_checkpointed(&mut advisor, &mut store, 0, 8, 3, |_| {});
+    assert_eq!(
+        report.written, 2,
+        "expected checkpoints at episodes 2 and 5"
+    );
+    assert_eq!(report.write_failures, 0);
+}
