@@ -116,12 +116,23 @@ impl Advisor {
         // The rollout leaves the initial state's reward unknown; fill it in
         // so "change nothing" can win.
         let p0 = self.env.initial_partitioning().clone();
-        traj.rewards[0] = self.env.reward_of(&p0, freqs);
+        let r0 = self.env.reward_of(&p0, freqs);
+        traj.rewards[0] = r0;
         let i = traj.best_index();
-        let suggestion = Suggestion {
-            partitioning: traj.states[i].partitioning.clone(),
-            reward: traj.rewards[i],
-            step: i,
+        let suggestion = match (traj.states.get(i), traj.rewards.get(i)) {
+            (Some(s), Some(&r)) => Suggestion {
+                partitioning: s.partitioning.clone(),
+                reward: r,
+                step: i,
+            },
+            // A rollout always holds at least the initial state; if it ever
+            // did not, suggest "change nothing" rather than panic
+            // mid-inference.
+            _ => Suggestion {
+                partitioning: p0,
+                reward: r0,
+                step: 0,
+            },
         };
         self.env.set_sampler(prev);
         suggestion

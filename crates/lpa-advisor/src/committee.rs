@@ -109,7 +109,9 @@ impl Committee {
         for _ in 0..pool_target * refs.len() {
             let f = base.sample(&mut rng);
             let s = Self::assign(naive, &refs, &f);
-            pools[s].push(f);
+            if let Some(pool) = pools.get_mut(s) {
+                pool.push(f);
+            }
             if pools.iter().all(|p| p.len() >= pool_target) {
                 break;
             }
@@ -164,7 +166,13 @@ impl Committee {
     /// expert.
     pub fn suggest(&mut self, naive: &mut Advisor, freqs: &FrequencyVector) -> Suggestion {
         let i = Self::assign(naive, &self.references, freqs);
-        self.experts[i].suggest(freqs)
+        match self.experts.get_mut(i) {
+            Some(expert) => expert.suggest(freqs),
+            // `assign` indexes the references, which are built one-to-one
+            // with the experts; fall back to the naive advisor if that
+            // invariant ever breaks rather than panic during serving.
+            None => naive.suggest(freqs),
+        }
     }
 
     pub fn len(&self) -> usize {

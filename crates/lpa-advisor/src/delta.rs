@@ -182,7 +182,9 @@ impl DeltaCostEngine {
 
     /// Memoized cost of query `j` under `p`.
     fn cost_of(&mut self, schema: &Schema, workload: &Workload, j: usize, p: &Partitioning) -> f64 {
-        let q = &workload.queries()[j];
+        let Some(q) = workload.queries().get(j) else {
+            return 0.0;
+        };
         let key = (j as u32, self.interner.query_key(p, &q.tables));
         if let Some(&c) = self.cache.get(&key) {
             self.stats.reward_cache_hits += 1;
@@ -212,7 +214,10 @@ impl DeltaCostEngine {
     fn recost_scratch(&mut self, schema: &Schema, workload: &Workload, p: &Partitioning) {
         for i in 0..self.scratch.len() {
             let j = self.scratch[i];
-            self.costs[j] = self.cost_of(schema, workload, j, p);
+            let c = self.cost_of(schema, workload, j, p);
+            if let Some(slot) = self.costs.get_mut(j) {
+                *slot = c;
+            }
         }
         self.stats.queries_recosted += self.scratch.len() as u64;
     }

@@ -171,10 +171,9 @@ impl NeuralCostAdvisor {
                 let table = self.schema.table(lpa_schema::TableId(t));
                 let attrs: Vec<_> = table.partitionable_attrs().collect();
                 let choice = self.rng.gen_range(0..=attrs.len());
-                if choice == attrs.len() {
-                    TableState::Replicated
-                } else {
-                    TableState::PartitionedBy(attrs[choice])
+                match attrs.get(choice) {
+                    Some(&a) => TableState::PartitionedBy(a),
+                    None => TableState::Replicated,
                 }
             })
             .collect();

@@ -141,18 +141,22 @@ impl<'a> Generator<'a> {
             Domain::Fixed(d) => self.sample_domain(tag, rows, d.max(1), attr.skew),
             Domain::Inherited { via, parent_attr } => {
                 self.materialize(t, via);
-                let parent = match table.attributes[via.0].domain {
-                    Domain::ForeignKey(p) => p,
-                    _ => unreachable!("validated schema"),
-                };
-                self.materialize(parent, parent_attr);
-                let fk = self.columns[t.0][via.0].clone().unwrap_or_default();
-                let parent_col = self.columns[parent.0][parent_attr.0]
-                    .as_deref()
-                    .unwrap_or(&[]);
-                fk.iter()
-                    .map(|&r| parent_col.get(r as usize).copied().unwrap_or(0))
-                    .collect()
+                match table.attributes[via.0].domain {
+                    Domain::ForeignKey(parent) => {
+                        self.materialize(parent, parent_attr);
+                        let fk = self.columns[t.0][via.0].clone().unwrap_or_default();
+                        let parent_col = self.columns[parent.0][parent_attr.0]
+                            .as_deref()
+                            .unwrap_or(&[]);
+                        fk.iter()
+                            .map(|&r| parent_col.get(r as usize).copied().unwrap_or(0))
+                            .collect()
+                    }
+                    // Schema validation rejects `Inherited` via a non-FK
+                    // attribute; degrade to a constant column rather than
+                    // aborting generation mid-episode.
+                    _ => vec![0u64; rows],
+                }
             }
         };
         self.columns[t.0][a.0] = Some(col);

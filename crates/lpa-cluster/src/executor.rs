@@ -164,7 +164,9 @@ impl<'a> Executor<'a> {
         let mut inter = self.seed_inter(query, start);
 
         for step in &plan.steps {
-            let join = &query.joins[step.join_index];
+            let Some(join) = query.joins.get(step.join_index) else {
+                continue;
+            };
             let right_table = step.table;
             // Cycle-closure steps never appear (the planner consumes them
             // silently), so each step introduces `right_table`.
@@ -295,7 +297,9 @@ impl<'a> Executor<'a> {
                 (rows.iter().map(|&r| node[r as usize]).collect(), false)
             }
         };
-        slots[slot] = rows;
+        if let Some(seed_slot) = slots.get_mut(slot) {
+            *seed_slot = rows;
+        }
         for (s, v) in slots.iter_mut().enumerate() {
             if s != slot {
                 *v = Vec::new();
@@ -314,7 +318,10 @@ impl<'a> Executor<'a> {
     fn inter_values(&self, query: &Query, inter: &Inter, attr: AttrRef) -> Vec<u64> {
         let slot = slot_of(query, attr.table);
         let col = self.db.column(attr.table, attr.attr);
-        inter.slots[slot].iter().map(|&r| col[r as usize]).collect()
+        let Some(rows) = inter.slots.get(slot) else {
+            return Vec::new();
+        };
+        rows.iter().map(|&r| col[r as usize]).collect()
     }
 
     /// Execute one join step; returns (seconds, bytes over network, result).

@@ -210,15 +210,17 @@ impl NetworkCostModel {
         p: &Partitioning,
         seed: usize,
     ) -> Option<(f64, TableId, Vec<PlanStep>)> {
-        let (ta, tb) = query.joins[seed].tables();
+        let seed_join = query.joins.get(seed)?;
+        let (ta, tb) = seed_join.tables();
         let left = self.base_side(schema, query, p, ta);
         let right = self.base_side(schema, query, p, tb);
-        let (step, inter) =
-            self.join_sides(schema, query, &left, &right, &query.joins[seed], seed, tb);
+        let (step, inter) = self.join_sides(schema, query, &left, &right, seed_join, seed, tb);
         let mut steps = vec![step];
         let mut inter = inter;
         let mut used = vec![false; query.joins.len()];
-        used[seed] = true;
+        if let Some(slot) = used.get_mut(seed) {
+            *slot = true;
+        }
         let mut total: f64 = steps[0].net_seconds + steps[0].cpu_seconds;
 
         loop {

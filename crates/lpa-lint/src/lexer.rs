@@ -233,7 +233,7 @@ impl<'a> Lexer<'a> {
             Some(b'"' | b'#') => {
                 if self.peek(0) == Some(b'"') {
                     // Raw with zero hashes or plain byte string.
-                    if self.src[self.pos - 1] == b'b' {
+                    if self.src.get(self.pos.wrapping_sub(1)) == Some(&b'b') {
                         self.string_literal(line).map(Some)
                     } else {
                         self.raw_string(line, 0).map(Some)

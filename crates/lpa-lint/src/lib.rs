@@ -5,9 +5,22 @@
 //! flags — hash-order iteration feeding an encoder, a stray `Instant::now()`
 //! in the cost model, an `unwrap()` that aborts a training episode — corrupt
 //! the training signal silently. This crate walks every `.rs` file in the
-//! workspace with a from-scratch lexer (no external dependencies, in the
-//! spirit of the hand-written `lpa-sql` lexer) and enforces rules
-//! L001–L008; see [`rules`] for the catalogue.
+//! workspace and enforces rules L001–L012; see [`rules`] for the token-level
+//! catalogue (L001–L008) and [`callgraph`]/[`dataflow`] for the structural
+//! rules (L009–L012).
+//!
+//! The pipeline has two phases:
+//!
+//! 1. **Per file** (fanned out over [`lpa_par::Pool::par_map`], which
+//!    preserves index order, so output is bit-identical for any
+//!    `LPA_THREADS`): lex, run the token rules, collect waivers, and parse
+//!    the file with the built-in recursive-descent Rust-subset parser
+//!    ([`parser`]).
+//! 2. **Workspace-wide** (serial, deterministic): build a symbol table over
+//!    all parsed files ([`symbols`]), derive the call graph
+//!    ([`callgraph`]), and run the structural rules — L009
+//!    panic-reachability, L010 float-reduction-order, L011 determinism
+//!    taint, L012 alias-resolved path rules ([`dataflow`]).
 //!
 //! Violations are waivable per line with a mandatory justification:
 //!
@@ -22,8 +35,13 @@
 #![deny(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod ast;
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
 
 pub use rules::Diagnostic;
@@ -65,6 +83,83 @@ impl WorkspaceReport {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
+
+    /// Render the report as a single JSON document. Hand-rolled (the crate
+    /// is dependency-free beyond `lpa-par`), with full string escaping; key
+    /// order and array order are deterministic — diagnostics are already
+    /// sorted by `(file, line, rule, message)` when this is called via
+    /// [`lint_workspace`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"files_scanned\": ");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\n  \"suppressed\": ");
+        s.push_str(&self.suppressed.to_string());
+        s.push_str(",\n  \"clean\": ");
+        s.push_str(if self.is_clean() { "true" } else { "false" });
+        s.push_str(",\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"rule\": ");
+            json_string(&mut s, d.rule);
+            s.push_str(", \"file\": ");
+            json_string(&mut s, &d.rel_path);
+            s.push_str(", \"line\": ");
+            s.push_str(&d.line.to_string());
+            s.push_str(", \"message\": ");
+            json_string(&mut s, &d.message);
+            s.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"rule\": ");
+            json_string(&mut s, &w.rule);
+            s.push_str(", \"file\": ");
+            json_string(&mut s, &w.rel_path);
+            s.push_str(", \"line\": ");
+            s.push_str(&w.line.to_string());
+            s.push_str(", \"reason\": ");
+            json_string(&mut s, &w.reason);
+            s.push('}');
+        }
+        if !self.waivers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Append `text` to `out` as a JSON string literal (RFC 8259 escaping).
+fn json_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let n = c as u32;
+                for shift in [4u32, 0] {
+                    let digit = (n >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Minimum justification length — long enough that "ok" or "todo" cannot
@@ -104,11 +199,22 @@ fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Dia
             });
             continue;
         };
-        let rule = rest[..close].trim().to_string();
-        let reason = rest[close + 1..].trim().to_string();
+        let rule = rest.get(..close).unwrap_or("").trim().to_string();
+        let reason = rest.get(close + 1..).unwrap_or("").trim().to_string();
         let known = matches!(
             rule.as_str(),
-            "L001" | "L002" | "L003" | "L004" | "L005" | "L006" | "L007" | "L008"
+            "L001"
+                | "L002"
+                | "L003"
+                | "L004"
+                | "L005"
+                | "L006"
+                | "L007"
+                | "L008"
+                | "L009"
+                | "L010"
+                | "L011"
+                | "L012"
         );
         if !known {
             bad.push(Diagnostic {
@@ -140,35 +246,109 @@ fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Dia
     (waivers, bad)
 }
 
-/// Lint a single source text. `kind` controls whether the library rule set
-/// applies. This is the pure core used by both the CLI and the fixture tests.
-pub fn lint_source(
-    rel_path: &str,
-    source: &str,
-    kind: FileKind,
-) -> Result<FileReport, lexer::LexError> {
-    let tokens = lexer::tokenize(source)?;
-    let raw = rules::run_all(rel_path, &tokens, kind == FileKind::Lib);
-    let (waivers, mut diagnostics) = parse_waivers(rel_path, &tokens);
+/// Phase-1 output for one file: token-rule findings (pre-waiver), waivers,
+/// hygiene diagnostics (never waivable), and the parsed AST when the file
+/// parses.
+#[derive(Debug)]
+struct FileAnalysis {
+    rel_path: String,
+    raw: Vec<Diagnostic>,
+    hygiene: Vec<Diagnostic>,
+    waivers: Vec<Waiver>,
+    parsed: Option<symbols::ParsedFile>,
+}
+
+/// Lex + token rules + waivers + parse for one source text. Pure; safe to
+/// run from worker threads.
+fn analyze_source(rel_path: &str, source: &str, kind: FileKind) -> FileAnalysis {
+    let mut analysis = FileAnalysis {
+        rel_path: rel_path.to_string(),
+        raw: Vec::new(),
+        hygiene: Vec::new(),
+        waivers: Vec::new(),
+        parsed: None,
+    };
+    let tokens = match lexer::tokenize(source) {
+        Ok(t) => t,
+        Err(e) => {
+            analysis.hygiene.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: e.line,
+                message: format!("lexer error: {}", e.message),
+            });
+            return analysis;
+        }
+    };
+    analysis.raw = rules::run_all(rel_path, &tokens, kind == FileKind::Lib);
+    let (waivers, bad) = parse_waivers(rel_path, &tokens);
+    analysis.waivers = waivers;
+    analysis.hygiene.extend(bad);
+    match parser::parse_file(&tokens) {
+        Ok(ast) => {
+            analysis.parsed = Some(symbols::ParsedFile {
+                rel_path: rel_path.to_string(),
+                kind,
+                ast,
+            });
+        }
+        Err(e) => {
+            analysis.hygiene.push(Diagnostic {
+                rule: "W000",
+                rel_path: rel_path.to_string(),
+                line: e.line,
+                message: format!(
+                    "parse error (file skipped by structural rules): {}",
+                    e.message
+                ),
+            });
+        }
+    }
+    analysis
+}
+
+/// Phase 2: symbol table → call graph → L009–L012 over every parsed file.
+fn structural_diagnostics(parsed: &[symbols::ParsedFile]) -> Vec<Diagnostic> {
+    let table = symbols::build(parsed);
+    let graph = callgraph::build(&table);
+    let mut out = callgraph::l009(&table, &graph);
+    out.extend(dataflow::l010(&table));
+    out.extend(dataflow::l011(&table, &graph));
+    out.extend(dataflow::l012(&table));
+    out
+}
+
+/// Match raw findings against waivers and flag unused waivers. `raw` must
+/// contain every waivable finding for the file (token and structural).
+fn finish_file(analysis: FileAnalysis, structural: Vec<Diagnostic>) -> FileReport {
+    let FileAnalysis {
+        raw,
+        hygiene,
+        waivers,
+        ..
+    } = analysis;
+    let mut diagnostics = hygiene;
     let mut suppressed = 0usize;
     let mut used = vec![false; waivers.len()];
-    for d in raw {
+    for d in raw.into_iter().chain(structural) {
         let hit = waivers
             .iter()
             .position(|w| w.rule == d.rule && (w.line == d.line || w.line + 1 == d.line));
         match hit {
             Some(i) => {
-                used[i] = true;
+                if let Some(slot) = used.get_mut(i) {
+                    *slot = true;
+                }
                 suppressed += 1;
             }
             None => diagnostics.push(d),
         }
     }
-    for (w, used) in waivers.iter().zip(&used) {
-        if !used {
+    for (w, was_used) in waivers.iter().zip(&used) {
+        if !was_used {
             diagnostics.push(Diagnostic {
                 rule: "W000",
-                rel_path: rel_path.to_string(),
+                rel_path: w.rel_path.clone(),
                 line: w.line,
                 message: format!(
                     "waiver for {} suppresses nothing; remove it or move it onto the offending line",
@@ -177,52 +357,105 @@ pub fn lint_source(
             });
         }
     }
-    diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    Ok(FileReport {
+    diagnostics.sort_by(|a, b| {
+        (a.line, a.rule, a.message.as_str()).cmp(&(b.line, b.rule, b.message.as_str()))
+    });
+    FileReport {
         diagnostics,
         waivers,
         suppressed,
-    })
+    }
+}
+
+/// Lint a single source text. `kind` controls whether the library rule set
+/// applies. This is the pure core used by both the CLI and the fixture
+/// tests. Structural rules (L009–L012) run over the file in isolation — a
+/// one-file workspace — so cross-file paths resolve only within it.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    kind: FileKind,
+) -> Result<FileReport, lexer::LexError> {
+    // Preserve the historical contract: a lex failure is an `Err`, not a
+    // diagnostic, when linting a single buffer directly.
+    lexer::tokenize(source)?;
+    let analysis = analyze_source(rel_path, source, kind);
+    let structural = match &analysis.parsed {
+        Some(p) => structural_diagnostics(std::slice::from_ref(p)),
+        None => Vec::new(),
+    };
+    Ok(finish_file(analysis, structural))
 }
 
 /// Lint every `.rs` file under `root`. I/O or lex failures become
 /// diagnostics rather than aborting the run, so one unreadable file cannot
-/// mask findings elsewhere.
+/// mask findings elsewhere. Phase 1 fans out per file over
+/// [`lpa_par::Pool::current`]; results are in index order, so the report is
+/// bit-identical for any `LPA_THREADS`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
     let files = walk::workspace_files(root)?;
-    let mut report = WorkspaceReport::default();
-    for f in &files {
-        report.files_scanned += 1;
-        let source = match std::fs::read_to_string(&f.abs_path) {
-            Ok(s) => s,
-            Err(e) => {
-                report.diagnostics.push(Diagnostic {
+    let pool = lpa_par::Pool::current();
+    let analyses: Vec<FileAnalysis> =
+        pool.par_map(&files, |_, f| match std::fs::read_to_string(&f.abs_path) {
+            Ok(source) => analyze_source(&f.rel_path, &source, f.kind),
+            Err(e) => FileAnalysis {
+                rel_path: f.rel_path.clone(),
+                raw: Vec::new(),
+                hygiene: vec![Diagnostic {
                     rule: "W000",
                     rel_path: f.rel_path.clone(),
                     line: 0,
                     message: format!("unreadable file: {e}"),
-                });
-                continue;
-            }
-        };
-        match lint_source(&f.rel_path, &source, f.kind) {
-            Ok(fr) => {
-                report.diagnostics.extend(fr.diagnostics);
-                report.waivers.extend(fr.waivers);
-                report.suppressed += fr.suppressed;
-            }
-            Err(e) => {
-                report.diagnostics.push(Diagnostic {
-                    rule: "W000",
-                    rel_path: f.rel_path.clone(),
-                    line: e.line,
-                    message: format!("lexer error: {}", e.message),
-                });
-            }
-        }
+                }],
+                waivers: Vec::new(),
+                parsed: None,
+            },
+        });
+
+    let mut analyses = analyses;
+    let parsed: Vec<symbols::ParsedFile> = analyses
+        .iter_mut()
+        .filter_map(|a| a.parsed.take())
+        .collect();
+    let mut structural = structural_diagnostics(&parsed);
+    structural.sort_by(|a, b| {
+        (a.rel_path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.rel_path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+
+    let mut report = WorkspaceReport {
+        files_scanned: analyses.len(),
+        ..WorkspaceReport::default()
+    };
+    for a in analyses {
+        let mine: Vec<Diagnostic> = structural
+            .iter()
+            .filter(|d| d.rel_path == a.rel_path)
+            .cloned()
+            .collect();
+        let fr = finish_file(a, mine);
+        report.diagnostics.extend(fr.diagnostics);
+        report.waivers.extend(fr.waivers);
+        report.suppressed += fr.suppressed;
     }
     report.diagnostics.sort_by(|a, b| {
-        (a.rel_path.clone(), a.line, a.rule).cmp(&(b.rel_path.clone(), b.line, b.rule))
+        (a.rel_path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.rel_path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    report.waivers.sort_by(|a, b| {
+        (a.rel_path.as_str(), a.line, a.rule.as_str()).cmp(&(
+            b.rel_path.as_str(),
+            b.line,
+            b.rule.as_str(),
+        ))
     });
     Ok(report)
 }

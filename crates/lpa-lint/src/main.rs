@@ -1,15 +1,35 @@
-//! CLI entry point: `cargo run -p lpa-lint [workspace-root]`.
+//! CLI entry point: `cargo run -p lpa-lint [--json] [workspace-root]`.
 //!
-//! Prints one `file:line: RULE message` per finding and exits non-zero if
-//! any unwaived diagnostic remains.
+//! Default mode prints one `file:line: RULE message` per finding and exits
+//! non-zero if any unwaived diagnostic remains. `--json` prints the whole
+//! report as a single JSON document instead (same exit-code contract), for
+//! CI consumers and editor integrations.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
+struct Cli {
+    json: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Cli {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root = Some(PathBuf::from(arg));
+        }
     }
+    Cli {
+        json,
+        root: root.unwrap_or_else(default_root),
+    }
+}
+
+fn default_root() -> PathBuf {
     // When run via `cargo run -p lpa-lint`, CARGO_MANIFEST_DIR points at
     // crates/lpa-lint; the workspace root is two levels up. Fall back to the
     // current directory when invoked as a bare binary.
@@ -25,14 +45,22 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
-    let report = match lpa_lint::lint_workspace(&root) {
+    let cli = parse_args();
+    let report = match lpa_lint::lint_workspace(&cli.root) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("lpa-lint: cannot walk {}: {e}", root.display());
+            eprintln!("lpa-lint: cannot walk {}: {e}", cli.root.display());
             return ExitCode::from(2);
         }
     };
+    if cli.json {
+        print!("{}", report.to_json());
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for d in &report.diagnostics {
         println!("{d}");
     }

@@ -57,7 +57,7 @@ impl std::fmt::Display for Diagnostic {
 /// Paths (relative, `/`-separated, substring match) whose code feeds state
 /// encodings, rewards, or cost accounting — the determinism-critical set for
 /// L002/L005.
-const DETERMINISM_SCOPE: &[&str] = &[
+pub(crate) const DETERMINISM_SCOPE: &[&str] = &[
     "crates/lpa-costmodel/src/",
     "crates/lpa-partition/src/encoder.rs",
     "crates/lpa-partition/src/fingerprint.rs",
@@ -80,7 +80,7 @@ const THREAD_EXEMPT_SCOPE: &[&str] = &["crates/lpa-par/"];
 /// everyone else.
 const STORE_EXEMPT_SCOPE: &[&str] = &["crates/lpa-store/"];
 
-fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
+pub(crate) fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| rel_path.contains(s))
 }
 

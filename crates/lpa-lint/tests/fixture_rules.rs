@@ -30,15 +30,30 @@ fn rules(report: &lpa_lint::FileReport) -> Vec<&str> {
 #[test]
 fn l001_fixture_finds_unwrap_expect_panic_outside_tests() {
     let report = lint_as_lib("l001_violations.rs");
-    assert_eq!(rules(&report), vec!["L001", "L001", "L001"]);
+    let l001: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L001")
+        .collect();
+    assert_eq!(l001.len(), 3, "{:?}", report.diagnostics);
+    // The same panicky sites are also reachable from public functions, so
+    // the structural pass may add L009 findings — but nothing else.
+    assert!(
+        rules(&report).iter().all(|r| *r == "L001" || *r == "L009"),
+        "{:?}",
+        report.diagnostics
+    );
     // The waived unwrap is suppressed, the cfg(test) module is exempt.
     assert_eq!(report.suppressed, 1);
     assert_eq!(report.waivers.len(), 1);
-    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
     let src = fixture("l001_violations.rs");
-    for line in lines {
-        let text = src.lines().nth(line as usize - 1).unwrap_or("");
-        assert!(text.contains("FINDING"), "line {line} not marked: {text}");
+    for d in &l001 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING"),
+            "line {} not marked: {text}",
+            d.line
+        );
     }
 }
 
@@ -72,7 +87,15 @@ fn l002_l003_fixture_finds_hash_collections_and_wall_clock() {
     // Two `use` lines plus two signature mentions; Instant and SystemTime.
     assert_eq!(l002, 4);
     assert_eq!(l003, 2);
-    assert_eq!(report.diagnostics.len(), l002 + l003);
+    // The dataflow pass may independently flag the same hash-map iteration
+    // and wall-clock reads (L010/L011); no other rules belong here.
+    assert!(
+        rules(&report)
+            .iter()
+            .all(|r| matches!(*r, "L002" | "L003" | "L010" | "L011")),
+        "{:?}",
+        report.diagnostics
+    );
 }
 
 #[test]
@@ -120,7 +143,13 @@ fn l006_fixture_flags_direct_thread_use() {
         .filter(|d| d.rule == "L006")
         .collect();
     assert_eq!(l006.len(), 4, "{:?}", report.diagnostics);
-    assert_eq!(report.diagnostics.len(), l006.len());
+    // Thread APIs are also L011 taint sources inside determinism sinks;
+    // nothing beyond L006/L011 should fire on this fixture.
+    assert!(
+        rules(&report).iter().all(|r| matches!(*r, "L006" | "L011")),
+        "{:?}",
+        report.diagnostics
+    );
     // The waived spawn is suppressed, not reported.
     assert_eq!(report.suppressed, 1);
     let src = fixture("l006_threads.rs");
@@ -184,7 +213,13 @@ fn l008_fixture_flags_raw_fs_writes() {
         .filter(|d| d.rule == "L008")
         .collect();
     assert_eq!(l008.len(), 6, "{:?}", report.diagnostics);
-    assert_eq!(report.diagnostics.len(), l008.len());
+    // The structural pass re-detects the same raw fs calls alias-free
+    // (L012); nothing beyond L008/L012 should fire on this fixture.
+    assert!(
+        rules(&report).iter().all(|r| matches!(*r, "L008" | "L012")),
+        "{:?}",
+        report.diagnostics
+    );
     // The waived write is suppressed, not reported.
     assert_eq!(report.suppressed, 1);
     let src = fixture("l008_raw_fs.rs");

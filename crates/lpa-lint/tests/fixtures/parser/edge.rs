@@ -1,0 +1,81 @@
+//! Edge-case grammar coverage: item macros, attributes, nested modules,
+//! raw strings, turbofish, struct literals with shorthand and spread.
+
+#![allow(dead_code)]
+
+macro_rules! count {
+    ($($x:expr),*) => {
+        [$($x),*].len()
+    };
+}
+
+#[derive(Default)]
+pub struct Config {
+    pub threads: usize,
+    pub label: String,
+}
+
+pub fn build(threads: usize) -> Config {
+    let label = String::from("run");
+    Config { threads, label }
+}
+
+pub fn rebuild(base: &Config) -> Config {
+    Config {
+        threads: base.threads + 1,
+        ..Config::default()
+    }
+}
+
+pub fn parse_list(raw: &str) -> Vec<u64> {
+    raw.split(',')
+        .filter_map(|tok| tok.trim().parse::<u64>().ok())
+        .collect::<Vec<u64>>()
+}
+
+pub fn banner() -> &'static str {
+    r#"header: "quoted" value"#
+}
+
+pub mod outer {
+    pub mod deeper {
+        pub fn depth() -> u32 {
+            2
+        }
+    }
+
+    pub fn via() -> u32 {
+        deeper::depth()
+    }
+}
+
+pub fn shadowing(x: u64) -> u64 {
+    let x = x + 1;
+    let x = x * 2;
+    {
+        let x = x - 1;
+        x
+    }
+}
+
+pub fn labelled_loops(grid: &[Vec<u8>]) -> Option<(usize, usize)> {
+    'rows: for (r, row) in grid.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if *cell == 0 {
+                continue 'rows;
+            }
+            if *cell == 9 {
+                return Some((r, c));
+            }
+        }
+    }
+    None
+}
+
+pub fn arithmetic() -> f64 {
+    let a = 1.5e3_f64;
+    let b = 0x1F as f64;
+    let c = 0b1010 as f64;
+    let d = 0o17 as f64;
+    a + b - c * d / 2.0
+}

@@ -1,0 +1,80 @@
+//! Expression and statement grammar coverage: matches, let-else, if-let,
+//! while-let, loops, closures, chains, indexing, ranges, casts.
+
+pub fn classify(x: i64) -> &'static str {
+    match x {
+        0 => "zero",
+        1 | 2 | 3 => "small",
+        n if n < 0 => "negative",
+        _ => "large",
+    }
+}
+
+pub fn fold_costs(costs: &[f64], limit: usize) -> f64 {
+    let mut total = 0.0;
+    for (i, c) in costs.iter().enumerate() {
+        if i >= limit {
+            break;
+        }
+        total += c * 0.5 + 1.0;
+    }
+    total
+}
+
+pub fn first_even(xs: &[u32]) -> Option<u32> {
+    let found = xs.iter().copied().filter(|x| x % 2 == 0).min()?;
+    Some(found + 1)
+}
+
+pub fn drain_queue(queue: &mut Vec<String>) -> usize {
+    let mut n = 0;
+    while let Some(item) = queue.pop() {
+        if item.is_empty() {
+            continue;
+        }
+        n += 1;
+    }
+    n
+}
+
+pub fn pick(flag: bool, a: u64, b: u64) -> u64 {
+    let choice = if flag { a } else { b };
+    let shifted = (choice << 2) | 1;
+    shifted.min(a.max(b))
+}
+
+pub fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for slot in v.iter_mut() {
+            *slot /= norm;
+        }
+    }
+}
+
+pub fn window_ids(base: usize, len: usize) -> Vec<usize> {
+    (base..base + len).rev().collect()
+}
+
+pub fn lookup(table: &[u64], key: usize) -> u64 {
+    let Some(&value) = table.get(key) else {
+        return 0;
+    };
+    value
+}
+
+pub fn apply_twice<F: Fn(u64) -> u64>(f: F, x: u64) -> u64 {
+    let once = f(x);
+    f(once)
+}
+
+pub fn scale(xs: &[f64]) -> Vec<f64> {
+    let factor = 2.0f64;
+    xs.iter().map(move |x| x * factor).collect()
+}
+
+pub fn byte_view(s: &str) -> (usize, u8) {
+    let bytes = s.as_bytes();
+    let head = bytes.first().copied().unwrap_or(b'\0');
+    (bytes.len(), head)
+}

@@ -1,0 +1,76 @@
+//! Generic grammar coverage: type params, lifetimes, where clauses,
+//! nested generic types, trait objects, impl-trait.
+
+use std::collections::BTreeMap;
+
+pub struct Ring<T> {
+    items: Vec<T>,
+    head: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            items: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    pub fn extend_from(&mut self, other: &[T])
+    where
+        T: PartialEq,
+    {
+        for item in other {
+            self.items.push(item.clone());
+        }
+    }
+}
+
+pub fn max_by_key<'a, T, K, F>(items: &'a [T], key: F) -> Option<&'a T>
+where
+    F: Fn(&T) -> K,
+    K: PartialOrd,
+{
+    let mut best: Option<(&T, K)> = None;
+    for item in items {
+        let k = key(item);
+        let replace = match &best {
+            Some((_, bk)) => k > *bk,
+            None => true,
+        };
+        if replace {
+            best = Some((item, k));
+        }
+    }
+    best.map(|(item, _)| item)
+}
+
+pub fn summarize(counts: &BTreeMap<String, Vec<(u32, f64)>>) -> Vec<String> {
+    counts
+        .iter()
+        .map(|(name, entries)| format!("{name}:{}", entries.len()))
+        .collect()
+}
+
+pub fn boxed_source(flag: bool) -> Box<dyn Fn(u64) -> u64> {
+    if flag {
+        Box::new(|x| x + 1)
+    } else {
+        Box::new(|x| x * 2)
+    }
+}
+
+pub fn evens(limit: u64) -> impl Iterator<Item = u64> {
+    (0..limit).filter(|x| x % 2 == 0)
+}
+
+pub struct Tagged<'a, T> {
+    pub tag: &'a str,
+    pub value: T,
+}
+
+impl<'a, T: core::fmt::Debug> Tagged<'a, T> {
+    pub fn describe(&self) -> String {
+        format!("{}={:?}", self.tag, self.value)
+    }
+}

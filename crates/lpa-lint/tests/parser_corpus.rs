@@ -1,0 +1,204 @@
+//! Parser regression corpus and robustness properties.
+//!
+//! Golden tests: every `tests/fixtures/parser/*.rs` fixture is lexed,
+//! parsed and dumped with [`lpa_lint::ast::File::dump`]; the s-expression
+//! must match the committed `*.ast` golden byte-for-byte. Regenerate after
+//! an intentional grammar change with:
+//!
+//! ```text
+//! LPA_UPDATE_GOLDEN=1 cargo test -p lpa-lint --test parser_corpus
+//! ```
+//!
+//! Property tests: the parser must never panic — not on arbitrary token
+//! soup, not on truncated fixtures, not on byte-mutated fixtures. It may
+//! reject them (`Err`), but a recursive-descent parser that indexes or
+//! recurses carelessly dies here.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lpa_lint::lexer::{tokenize, Tok, TokKind};
+use lpa_lint::parser::parse_file;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("parser")
+}
+
+fn corpus_sources() -> Vec<(PathBuf, String)> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "parser corpus unexpectedly small: {files:?}"
+    );
+    files
+        .into_iter()
+        .map(|p| {
+            let src = fs::read_to_string(&p).expect("fixture readable");
+            (p, src)
+        })
+        .collect()
+}
+
+#[test]
+fn golden_ast_dumps_are_stable() {
+    let update = std::env::var_os("LPA_UPDATE_GOLDEN").is_some();
+    for (path, src) in corpus_sources() {
+        let toks = tokenize(&src).unwrap_or_else(|e| panic!("{}: lex: {e}", path.display()));
+        let file = parse_file(&toks).unwrap_or_else(|e| panic!("{}: parse: {e}", path.display()));
+        let dump = file.dump();
+        let golden_path = path.with_extension("ast");
+        if update {
+            fs::write(&golden_path, &dump).expect("write golden");
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{} missing — run with LPA_UPDATE_GOLDEN=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            dump,
+            golden,
+            "AST dump drifted for {} — if intentional, regenerate with LPA_UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_dumps_mention_every_item() {
+    // Sanity check that the dump is not trivially empty: each fixture's
+    // top-level fn/struct names all appear in its dump.
+    for (path, src) in corpus_sources() {
+        let toks = tokenize(&src).expect("lexes");
+        let file = parse_file(&toks).expect("parses");
+        let dump = file.dump();
+        for line in src.lines() {
+            let trimmed = line.trim_start();
+            let Some(rest) = trimmed.strip_prefix("pub fn ") else {
+                continue;
+            };
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            assert!(
+                dump.contains(&format!("(fn {name}")),
+                "{}: `{name}` absent from dump",
+                path.display()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Never-panics properties.
+// ---------------------------------------------------------------------------
+
+const IDENT_POOL: &[&str] = &[
+    "fn", "pub", "struct", "enum", "impl", "match", "let", "if", "else", "while", "for", "in",
+    "use", "mod", "const", "static", "trait", "where", "return", "move", "mut", "ref", "as", "dyn",
+    "unsafe", "x", "foo", "HashMap", "self", "Self", "crate", "super", "type", "loop", "break",
+    "continue", "_",
+];
+
+const PUNCT_POOL: &[char] = &[
+    '{', '}', '(', ')', '[', ']', '<', '>', ':', ';', ',', '.', '=', '+', '-', '*', '/', '%', '&',
+    '|', '!', '?', '#', '@', '^', '~', '$',
+];
+
+fn random_tokens(rng: &mut StdRng) -> Vec<Tok> {
+    let len = rng.gen_range(0..200usize);
+    (0..len)
+        .map(|i| {
+            let line = (i / 8 + 1) as u32;
+            match rng.gen_range(0..10u32) {
+                0..=4 => Tok {
+                    kind: TokKind::Ident,
+                    text: IDENT_POOL[rng.gen_range(0..IDENT_POOL.len())].to_string(),
+                    line,
+                },
+                5..=7 => Tok {
+                    kind: TokKind::Punct,
+                    text: PUNCT_POOL[rng.gen_range(0..PUNCT_POOL.len())].to_string(),
+                    line,
+                },
+                8 => Tok {
+                    kind: TokKind::Int,
+                    text: format!("{}", rng.gen_range(0..1000u32)),
+                    line,
+                },
+                _ => Tok {
+                    kind: TokKind::Literal,
+                    text: "\"s\"".to_string(),
+                    line,
+                },
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_token_streams() {
+    for case in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0xA57_0000 + case);
+        let toks = random_tokens(&mut rng);
+        // Ok or Err are both fine; a panic fails the test.
+        let _ = parse_file(&toks);
+    }
+}
+
+#[test]
+fn parser_never_panics_on_truncated_fixtures() {
+    for (path, src) in corpus_sources() {
+        let toks = tokenize(&src).expect("lexes");
+        let mut rng = StdRng::seed_from_u64(0x7A0C);
+        for _ in 0..64 {
+            let cut = rng.gen_range(0..toks.len() + 1);
+            let _ = parse_file(&toks[..cut]);
+        }
+        // Also drop a random window from the middle: unbalanced delimiters.
+        for _ in 0..64 {
+            let a = rng.gen_range(0..toks.len());
+            let b = rng.gen_range(a..toks.len());
+            let mut cut: Vec<Tok> = toks[..a].to_vec();
+            cut.extend_from_slice(&toks[b..]);
+            let _ = parse_file(&cut);
+        }
+        let _ = path;
+    }
+}
+
+#[test]
+fn parser_never_panics_on_byte_mutated_fixtures() {
+    for (p, src) in corpus_sources() {
+        let bytes = src.as_bytes();
+        let mut rng = StdRng::seed_from_u64(0xB17E);
+        for _ in 0..128 {
+            let mut mutated = bytes.to_vec();
+            let flips = rng.gen_range(1..6usize);
+            for _ in 0..flips {
+                let i = rng.gen_range(0..mutated.len());
+                mutated[i] = rng.gen_range(0x20..0x7Fu8);
+            }
+            // Mutation may break UTF-8 boundaries only for ASCII sources;
+            // the fixtures are ASCII so from_utf8 always succeeds.
+            let text = String::from_utf8(mutated).expect("fixtures are ASCII");
+            if let Ok(toks) = tokenize(&text) {
+                let _ = parse_file(&toks);
+            }
+        }
+        let _ = p;
+    }
+}

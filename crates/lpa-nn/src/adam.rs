@@ -103,7 +103,10 @@ impl Adam {
     /// Apply gradients to one layer.
     pub fn step_layer(&mut self, idx: usize, layer: &mut Dense, dw: &Matrix, db: &[f32]) {
         assert!(self.t > 0, "call begin_step first");
-        let s = &mut self.state[idx];
+        debug_assert!(idx < self.state.len(), "unknown layer index");
+        let Some(s) = self.state.get_mut(idx) else {
+            return;
+        };
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         update(

@@ -75,11 +75,15 @@ impl Matrix {
     }
 
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data.get(r * self.cols + c).copied().unwrap_or(0.0)
     }
 
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        self.data[r * self.cols + c] = v;
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        if let Some(slot) = self.data.get_mut(r * self.cols + c) {
+            *slot = v;
+        }
     }
 }
 

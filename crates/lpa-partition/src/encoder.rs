@@ -16,6 +16,16 @@ use serde::{Deserialize, Serialize};
 /// Number of action kinds (partition / replicate / activate / deactivate).
 const ACTION_KINDS: usize = 4;
 
+/// Write `v` at offset `i`, ignoring out-of-range offsets. Layout
+/// invariants are asserted against the buffer length on entry to each
+/// encode method; a stale offset must degrade the encoding, not abort the
+/// training episode.
+fn put(out: &mut [f32], i: usize, v: f32) {
+    if let Some(slot) = out.get_mut(i) {
+        *slot = v;
+    }
+}
+
 /// Precomputed layout of the state/action encodings for one schema and one
 /// workload size.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -106,18 +116,18 @@ impl StateEncoder {
         for (ti, state) in partitioning.table_states().iter().enumerate() {
             let base = self.table_offsets[ti];
             match state {
-                TableState::Replicated => out[base] = 1.0,
+                TableState::Replicated => put(out, base, 1.0),
                 TableState::PartitionedBy(a) => {
                     debug_assert!(1 + a.0 < self.table_dims[ti]);
-                    out[base + 1 + a.0] = 1.0;
+                    put(out, base + 1 + a.0, 1.0);
                 }
             }
         }
         for e in partitioning.active_edges() {
-            out[self.edge_offset + e.0] = 1.0;
+            put(out, self.edge_offset + e.0, 1.0);
         }
         for (i, f) in freqs.as_slice().iter().enumerate() {
-            out[self.freq_offset + i] = *f as f32;
+            put(out, self.freq_offset + i, *f as f32);
         }
     }
 
@@ -131,20 +141,20 @@ impl StateEncoder {
         match *action {
             Action::Partition { table, attr } => {
                 out[0] = 1.0;
-                out[table_base + table.0] = 1.0;
-                out[attr_base + attr.0] = 1.0;
+                put(out, table_base + table.0, 1.0);
+                put(out, attr_base + attr.0, 1.0);
             }
             Action::Replicate { table } => {
                 out[1] = 1.0;
-                out[table_base + table.0] = 1.0;
+                put(out, table_base + table.0, 1.0);
             }
             Action::ActivateEdge(e) => {
                 out[2] = 1.0;
-                out[edge_base + e.0] = 1.0;
+                put(out, edge_base + e.0, 1.0);
             }
             Action::DeactivateEdge(e) => {
                 out[3] = 1.0;
-                out[edge_base + e.0] = 1.0;
+                put(out, edge_base + e.0, 1.0);
             }
         }
     }

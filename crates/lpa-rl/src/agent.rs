@@ -75,15 +75,16 @@ impl<E: QEnvironment> DqnAgent<E> {
         assert!(!actions.is_empty(), "environment has no valid actions");
         if explore && self.rng.gen::<f64>() < self.epsilon {
             let i = self.rng.gen_range(0..actions.len());
-            return actions[i].clone();
+            if let Some(a) = actions.get(i) {
+                return a.clone();
+            }
         }
         let qs = self.q_values(env, state, &actions);
-        let best = qs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map_or(0, |(i, _)| i);
-        actions[best].clone()
+        qs.iter()
+            .zip(actions.iter())
+            .max_by(|a, b| a.0.total_cmp(b.0))
+            .map(|(_, a)| a.clone())
+            .unwrap_or_else(|| actions[0].clone())
     }
 
     /// Store a transition in the replay buffer.
@@ -166,7 +167,7 @@ impl<E: QEnvironment> DqnAgent<E> {
                         let best = (lo..hi)
                             .max_by(|a, b| online[*a].total_cmp(&online[*b]))
                             .unwrap_or(lo);
-                        next_q[best] as f64
+                        next_q.get(best).copied().unwrap_or(0.0) as f64
                     }
                     None => next_q[lo..hi]
                         .iter()

@@ -42,8 +42,8 @@ impl<S: Clone, A: Clone> ReplayBuffer<S, A> {
     pub fn push(&mut self, t: Transition<S, A>) {
         if self.items.len() < self.capacity {
             self.items.push(t);
-        } else {
-            self.items[self.head] = t;
+        } else if let Some(slot) = self.items.get_mut(self.head) {
+            *slot = t;
             self.head = (self.head + 1) % self.capacity;
         }
     }

@@ -45,7 +45,9 @@ impl<S> Trajectory<S> {
     }
 
     pub fn best_state(&self) -> &S {
-        &self.states[self.best_index()]
+        self.states
+            .get(self.best_index())
+            .unwrap_or(&self.states[0])
     }
 }
 

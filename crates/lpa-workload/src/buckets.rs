@@ -92,7 +92,9 @@ impl SelectivityBuckets {
             .map(|b| {
                 let mut q = template.clone();
                 q.name = format!("{}#b{b}", template.name);
-                q.selectivity[idx] = self.representative(b);
+                if let Some(slot) = q.selectivity.get_mut(idx) {
+                    *slot = self.representative(b);
+                }
                 q
             })
             .collect())

@@ -272,7 +272,9 @@ impl<'a> QueryBuilder<'a> {
         match self.schema.table_by_name(table) {
             Some(t) => {
                 let i = self.touch(t);
-                self.selectivity[i] = selectivity;
+                if let Some(slot) = self.selectivity.get_mut(i) {
+                    *slot = selectivity;
+                }
             }
             None => {
                 self.error
