@@ -16,7 +16,7 @@
 
 use lpa_advisor::OnlineBackend;
 use lpa_costmodel::NetworkCostModel;
-use lpa_nn::{Adam, Matrix, Mlp};
+use lpa_nn::{Adam, Matrix, Mlp, MlpScratch, Pool};
 use lpa_partition::{valid_actions, Partitioning, StateEncoder, TableState};
 use lpa_schema::Schema;
 use lpa_workload::{FrequencyVector, MixSampler, Workload};
@@ -139,23 +139,49 @@ impl NeuralCostAdvisor {
     }
 
     /// Steepest-descent search over the action space using predictions.
+    /// Each round scores all of the current state's candidates with one
+    /// batched forward instead of one tiny network call per candidate;
+    /// every batch row equals the scalar [`Self::predicted_cost`]
+    /// bit-for-bit (rows of a matmul are independent), and the first-
+    /// strict-minimum selection walks candidates in the same order, so
+    /// the search trajectory is unchanged.
     fn minimize(&mut self, freqs: &FrequencyVector) -> Partitioning {
         let mut current = Partitioning::initial(&self.schema);
         let mut current_cost = self.predicted_cost(&current, freqs);
         let rounds = self.schema.tables().len() + self.schema.edges().len();
+        // Pool and scratch hoisted out of the search loop.
+        let pool = Pool::current();
+        let mut scratch = MlpScratch::new();
+        let mut inputs = Matrix::zeros(0, 0);
+        let mut preds: Vec<f32> = Vec::new();
+        let dim = self.encoder.state_dim();
         for _ in 0..rounds {
-            let mut best: Option<(f64, Partitioning)> = None;
-            for a in valid_actions(&self.schema, &current) {
-                let Ok(cand) = a.apply(&self.schema, &current) else {
-                    continue;
-                };
-                let c = self.predicted_cost(&cand, freqs);
-                if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
-                    best = Some((c, cand));
+            let cands: Vec<Partitioning> = valid_actions(&self.schema, &current)
+                .into_iter()
+                .filter_map(|a| a.apply(&self.schema, &current).ok())
+                .collect();
+            if cands.is_empty() {
+                break;
+            }
+            inputs.resize_zeroed(cands.len(), dim);
+            for (cand, row) in cands.iter().zip(inputs.data_mut().chunks_exact_mut(dim)) {
+                self.encoder.encode_state_into(cand, freqs, row);
+            }
+            preds.clear();
+            self.net
+                .predict_batch_into(pool, &inputs, &mut scratch, &mut preds);
+            let mut best: Option<(f64, usize)> = None;
+            for (i, &p) in preds.iter().enumerate() {
+                let c = p as f64 * self.cost_norm;
+                if best.map(|(b, _)| c < b).unwrap_or(true) {
+                    best = Some((c, i));
                 }
             }
             match best {
-                Some((c, cand)) if c < current_cost => {
+                Some((c, i)) if c < current_cost => {
+                    let Some(cand) = cands.into_iter().nth(i) else {
+                        break;
+                    };
                     current_cost = c;
                     current = cand;
                 }

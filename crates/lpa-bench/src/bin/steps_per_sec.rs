@@ -10,8 +10,22 @@
 //! Two measurements per benchmark: the end-to-end train loop (NN-bound
 //! at paper scales) and an env-only walk that isolates the reward path.
 //!
+//! A third mode forces every NN kernel onto the naive serial reference
+//! (`lpa_nn::with_naive_kernels`) and asserts the *same* bitwise
+//! trajectory again, so the reported NN speedup (fast blocked/fused
+//! kernels vs naive loops) is also guaranteed to price identical
+//! computations.
+//!
+//! Perf-regression gate: `--baseline results/BENCH_baseline.json`
+//! compares each benchmark's delta-engine `steps_per_sec` against the
+//! committed baseline and exits non-zero if throughput falls below
+//! `tolerance × baseline` (default 0.7, i.e. >30 % regression fails;
+//! override with `--tolerance`). Refresh the baseline on intentional
+//! perf changes with `--write-baseline results/BENCH_baseline.json`.
+//!
 //! Usage: `steps_per_sec [--bench ssb|tpcds|tpcch|micro] [--episodes N]
-//! [--tmax N] [--walk-steps N] [--seed N]` (defaults: SSB + TPC-CH at a
+//! [--tmax N] [--walk-steps N] [--seed N] [--baseline PATH]
+//! [--write-baseline PATH] [--tolerance F]` (defaults: SSB + TPC-CH at a
 //! trimmed episode count, 20 000 walk steps).
 
 #![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
@@ -173,12 +187,41 @@ fn parse_bench(name: &str) -> Benchmark {
     }
 }
 
+/// Committed per-benchmark throughput floor: `{"baselines": {"SSB": sps}}`.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("baseline {path}: {e} (create with --write-baseline)"));
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("baseline parses");
+    let serde_json::Value::Object(pairs) = doc
+        .get("baselines")
+        .expect("baseline has a `baselines` object")
+        .clone()
+    else {
+        panic!("`baselines` must be an object");
+    };
+    pairs
+        .into_iter()
+        .map(|(k, v)| {
+            let sps = match v {
+                serde_json::Value::Float(f) => f,
+                serde_json::Value::Int(i) => i as f64,
+                serde_json::Value::UInt(u) => u as f64,
+                other => panic!("non-numeric baseline for {k}: {other:?}"),
+            };
+            (k, sps)
+        })
+        .collect()
+}
+
 fn main() {
     let mut benches: Vec<Benchmark> = Vec::new();
     let mut episodes: Option<usize> = None;
     let mut tmax: Option<usize> = None;
     let mut walk_steps = 20_000usize;
     let mut seed = 0x57E9u64;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut tolerance = 0.7f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = || args.next().expect("flag value");
@@ -188,12 +231,16 @@ fn main() {
             "--tmax" => tmax = Some(val().parse().expect("integer")),
             "--walk-steps" => walk_steps = val().parse().expect("integer"),
             "--seed" => seed = val().parse().expect("integer"),
+            "--baseline" => baseline = Some(val()),
+            "--write-baseline" => write_baseline = Some(val()),
+            "--tolerance" => tolerance = val().parse().expect("float"),
             other => panic!("unknown flag {other:?}"),
         }
     }
     if benches.is_empty() {
         benches = vec![Benchmark::Ssb, Benchmark::Tpcch];
     }
+    let mut measured: Vec<(String, f64)> = Vec::new();
 
     let mut out = Vec::new();
     for bench in benches {
@@ -209,6 +256,8 @@ fn main() {
         let full = run_mode(bench, true, eps, tm, seed);
         eprintln!("[{}: same run, delta engine…]", bench.name());
         let delta = run_mode(bench, false, eps, tm, seed);
+        eprintln!("[{}: same run, naive NN kernels…]", bench.name());
+        let naive = lpa_nn::with_naive_kernels(|| run_mode(bench, false, eps, tm, seed));
 
         // The equivalence contract: identical rewards (bitwise) and
         // identical selected actions at every step.
@@ -222,6 +271,20 @@ fn main() {
             full.actions,
             delta.actions,
             "{}: delta action trajectory diverged",
+            bench.name()
+        );
+        // And the kernel contract: the fast blocked/fused NN kernels must
+        // drive the *same* training trajectory as the naive serial loops.
+        assert_eq!(
+            delta.reward_bits,
+            naive.reward_bits,
+            "{}: fast-kernel rewards diverged from naive kernels",
+            bench.name()
+        );
+        assert_eq!(
+            delta.actions,
+            naive.actions,
+            "{}: fast-kernel action trajectory diverged from naive kernels",
             bench.name()
         );
 
@@ -252,6 +315,12 @@ fn main() {
         lpa_bench::bar(
             "speedup (train loop)",
             sps(&delta) / sps(&full).max(1e-9),
+            "x",
+        );
+        lpa_bench::bar("naive NN kernels (train loop)", sps(&naive), "steps/s");
+        lpa_bench::bar(
+            "NN kernel speedup (fast vs naive)",
+            sps(&delta) / sps(&naive).max(1e-9),
             "x",
         );
         lpa_bench::bar("full recompute (env walk)", wps(&walk_full), "steps/s");
@@ -300,11 +369,14 @@ fn main() {
             "bitwise_equal": true,
             "full": phase(&full),
             "delta": phase(&delta),
+            "naive_nn": phase(&naive),
             "speedup": sps(&delta) / sps(&full).max(1e-9),
+            "nn_kernel_speedup": sps(&delta) / sps(&naive).max(1e-9),
             "walk_full": walk(&walk_full),
             "walk_delta": walk(&walk_delta),
             "walk_speedup": wps(&walk_delta) / wps(&walk_full).max(1e-9),
         }));
+        measured.push((bench.name().to_string(), sps(&delta)));
     }
 
     let doc = json!({ "runs": out });
@@ -314,4 +386,48 @@ fn main() {
     )
     .expect("BENCH_offline.json written");
     println!("  [saved BENCH_offline.json]");
+
+    if let Some(path) = write_baseline {
+        let baselines = serde_json::Value::Object(
+            measured
+                .iter()
+                .map(|(name, sps)| (name.clone(), serde_json::Value::Float(*sps)))
+                .collect(),
+        );
+        let doc = json!({
+            "comment": "per-benchmark delta-engine steps_per_sec floor; \
+                        refresh with steps_per_sec --write-baseline on \
+                        intentional perf changes",
+            "baselines": baselines,
+        });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializes"),
+        )
+        .unwrap_or_else(|e| panic!("write baseline {path}: {e}"));
+        println!("  [saved baseline {path}]");
+    }
+
+    if let Some(path) = baseline {
+        let floors = read_baseline(&path);
+        let mut failed = false;
+        for (name, sps) in &measured {
+            match floors.iter().find(|(n, _)| n == name).map(|(_, b)| *b) {
+                Some(base) => {
+                    let floor = base * tolerance;
+                    let verdict = if *sps < floor { "FAIL" } else { "ok" };
+                    println!(
+                        "  [gate {name}: {sps:.1} steps/s vs baseline {base:.1} \
+                         (floor {floor:.1} at tolerance {tolerance}) — {verdict}]"
+                    );
+                    failed |= *sps < floor;
+                }
+                None => println!("  [gate {name}: no baseline entry — skipped]"),
+            }
+        }
+        if failed {
+            eprintln!("perf-regression gate failed (see above)");
+            std::process::exit(1);
+        }
+    }
 }

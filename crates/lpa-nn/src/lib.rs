@@ -16,8 +16,14 @@ pub mod adam;
 pub mod dense;
 pub mod matrix;
 pub mod mlp;
+pub mod reference;
 
 pub use adam::Adam;
 pub use dense::Dense;
-pub use matrix::Matrix;
-pub use mlp::Mlp;
+pub use matrix::{route_pool, with_naive_kernels, Matrix};
+pub use mlp::{Mlp, MlpScratch};
+
+/// Re-exported so downstream hot paths (the RL train step, committee
+/// inference) can resolve the ambient deterministic pool once and pass it
+/// through the kernels without depending on `lpa-par` directly.
+pub use lpa_par::Pool;

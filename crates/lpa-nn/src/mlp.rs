@@ -1,11 +1,43 @@
 //! The multi-layer perceptron: ReLU hidden layers, linear output, MSE
 //! training, target-network soft updates.
+//!
+//! The hot entry points (`*_into` / `*_with`) take the caller's ambient
+//! [`Pool`] (resolved once per train step) and an [`MlpScratch`] so a
+//! training loop performs no per-call allocations: forward activations,
+//! deltas and gradients all live in reusable buffers. The legacy
+//! allocating API (`forward`, `predict_batch`, `train_mse`, …) wraps the
+//! same kernels. Both paths produce bit-identical results — the scratch
+//! reuse and the fused matmul+ReLU forward keep the naive path's per-cell
+//! summation order exactly (DESIGN.md §12).
 
 use crate::adam::Adam;
 use crate::dense::Dense;
-use crate::matrix::{matmul_wt, relu_inplace, Matrix};
+use crate::matrix::{route_pool, Matrix};
+use lpa_par::Pool;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for MLP forward/backward passes: per-layer activation
+/// matrices, the backward deltas and the per-layer gradient buffers. One
+/// scratch serves any number of sequential calls (and any network depth —
+/// buffers grow on demand and are reshaped per call); it carries no state
+/// between calls that affects results.
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    /// Per-layer outputs of the most recent forward pass (`outs[i]` is the
+    /// post-activation output of layer `i`).
+    outs: Vec<Matrix>,
+    delta: Matrix,
+    prev_delta: Matrix,
+    dw: Matrix,
+    db: Vec<f32>,
+}
+
+impl MlpScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Feed-forward network. The paper's Q-network is `Mlp::new(&[input, 128,
 /// 64, 1], rng)` — ReLU on hidden layers, linear scalar output (Table 1).
@@ -55,19 +87,40 @@ impl Mlp {
         self.layers.iter().map(Dense::param_count).sum()
     }
 
-    /// Forward pass over a batch; returns the output matrix.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        let last = self.layers.len() - 1;
-        for (i, layer) in self.layers.iter().enumerate() {
-            let mut next = Matrix::zeros(cur.rows(), layer.output_dim());
-            matmul_wt(&cur, &layer.w, &layer.b, &mut next);
-            if i != last {
-                relu_inplace(&mut next);
-            }
-            cur = next;
+    /// Forward pass into the scratch's activation buffers; returns the
+    /// output matrix (borrowed from the scratch). Hidden layers run the
+    /// fused matmul+ReLU kernel; nothing is allocated after the scratch
+    /// has warmed up.
+    pub fn forward_into<'s>(
+        &self,
+        pool: Pool,
+        x: &Matrix,
+        scratch: &'s mut MlpScratch,
+    ) -> &'s Matrix {
+        let n = self.layers.len();
+        if scratch.outs.len() < n {
+            scratch.outs.resize_with(n, || Matrix::zeros(0, 0));
         }
-        cur
+        let last = n - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = scratch.outs.split_at_mut(i);
+            let Some(cur) = rest.first_mut() else { break };
+            let input = done.last().unwrap_or(x);
+            cur.resize_for_overwrite(input.rows(), layer.output_dim());
+            if i == last {
+                layer.forward_pool(pool, input, cur);
+            } else {
+                layer.forward_relu_pool(pool, input, cur);
+            }
+        }
+        &scratch.outs[last]
+    }
+
+    /// Forward pass over a batch; returns a freshly allocated output
+    /// matrix. Compat wrapper over [`Mlp::forward_into`].
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut scratch = MlpScratch::new();
+        self.forward_into(Pool::current(), x, &mut scratch).clone()
     }
 
     /// Scalar prediction for a single input (output dim must be 1).
@@ -77,18 +130,51 @@ impl Mlp {
         self.forward(&m).get(0, 0)
     }
 
-    /// Scalar predictions for a batch (output dim must be 1).
-    pub fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+    /// Scalar predictions for a batch into a reusable vector (output dim
+    /// must be 1). The allocation-free hot path for replay-minibatch
+    /// target evaluation and batched committee inference.
+    pub fn predict_batch_into(
+        &self,
+        pool: Pool,
+        x: &Matrix,
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+    ) {
         assert_eq!(self.output_dim(), 1);
-        let out = self.forward(x);
-        (0..out.rows()).map(|r| out.get(r, 0)).collect()
+        let last = self.forward_into(pool, x, scratch);
+        out.clear();
+        // Output dim is 1, so the data vector *is* the prediction column.
+        out.extend_from_slice(last.data());
+    }
+
+    /// Scalar predictions for a batch (output dim must be 1). Compat
+    /// wrapper over [`Mlp::predict_batch_into`].
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f32> {
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        self.predict_batch_into(Pool::current(), x, &mut scratch, &mut out);
+        out
     }
 
     /// One SGD step minimizing MSE between the scalar outputs and
     /// `targets`; returns the batch loss. This is the paper's squared-error
     /// Q-update (Algorithm 1, line 11).
     pub fn train_mse(&mut self, x: &Matrix, targets: &[f32], opt: &mut Adam) -> f32 {
-        self.train_scalar(x, targets, opt, None)
+        let mut scratch = MlpScratch::new();
+        self.train_scalar(Pool::current(), x, targets, opt, None, &mut scratch)
+    }
+
+    /// [`Mlp::train_mse`] with a caller-hoisted pool and scratch — the
+    /// allocation-free train-step path.
+    pub fn train_mse_with(
+        &mut self,
+        pool: Pool,
+        x: &Matrix,
+        targets: &[f32],
+        opt: &mut Adam,
+        scratch: &mut MlpScratch,
+    ) -> f32 {
+        self.train_scalar(pool, x, targets, opt, None, scratch)
     }
 
     /// One SGD step minimizing the Huber loss with threshold `delta` — the
@@ -96,72 +182,92 @@ impl Mlp {
     /// extension over the paper's plain squared loss).
     pub fn train_huber(&mut self, x: &Matrix, targets: &[f32], opt: &mut Adam, delta: f32) -> f32 {
         assert!(delta > 0.0);
-        self.train_scalar(x, targets, opt, Some(delta))
+        let mut scratch = MlpScratch::new();
+        self.train_scalar(Pool::current(), x, targets, opt, Some(delta), &mut scratch)
+    }
+
+    /// [`Mlp::train_huber`] with a caller-hoisted pool and scratch.
+    pub fn train_huber_with(
+        &mut self,
+        pool: Pool,
+        x: &Matrix,
+        targets: &[f32],
+        opt: &mut Adam,
+        delta: f32,
+        scratch: &mut MlpScratch,
+    ) -> f32 {
+        assert!(delta > 0.0);
+        self.train_scalar(pool, x, targets, opt, Some(delta), scratch)
     }
 
     fn train_scalar(
         &mut self,
+        pool: Pool,
         x: &Matrix,
         targets: &[f32],
         opt: &mut Adam,
         huber_delta: Option<f32>,
+        scratch: &mut MlpScratch,
     ) -> f32 {
         assert_eq!(self.output_dim(), 1);
         assert_eq!(x.rows(), targets.len());
         let batch = x.rows();
-        let last = self.layers.len() - 1;
+        let n = self.layers.len();
 
-        // Forward with cached activations (a[0] = input).
-        let mut acts: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
-        acts.push(x.clone());
-        for (i, layer) in self.layers.iter().enumerate() {
-            let prev = acts.last().unwrap_or(x);
-            let mut next = Matrix::zeros(prev.rows(), layer.output_dim());
-            matmul_wt(prev, &layer.w, &layer.b, &mut next);
-            if i != last {
-                relu_inplace(&mut next);
-            }
-            acts.push(next);
-        }
+        // Forward with cached activations (fused ReLU on hidden layers;
+        // fusing clamps the identical `dot + bias` value the unfused path
+        // would have stored, so the cached activations are bit-equal).
+        self.forward_into(pool, x, scratch);
+        let MlpScratch {
+            outs,
+            delta,
+            prev_delta,
+            dw,
+            db,
+        } = scratch;
 
         // Loss and output delta.
-        let preds = &acts[self.layers.len()];
         let mut loss = 0.0f32;
-        let mut delta = Matrix::zeros(batch, 1);
-        for (b, &target) in targets.iter().enumerate().take(batch) {
-            let err = preds.get(b, 0) - target;
-            match huber_delta {
-                None => {
-                    loss += err * err;
-                    delta.set(b, 0, 2.0 * err / batch as f32);
-                }
-                Some(d) => {
-                    if err.abs() <= d {
-                        loss += 0.5 * err * err;
-                        delta.set(b, 0, err / batch as f32);
-                    } else {
-                        loss += d * (err.abs() - 0.5 * d);
-                        delta.set(b, 0, d * err.signum() / batch as f32);
+        delta.resize_for_overwrite(batch, 1);
+        {
+            let preds = &outs[n - 1];
+            for (b, &target) in targets.iter().enumerate().take(batch) {
+                let err = preds.get(b, 0) - target;
+                match huber_delta {
+                    None => {
+                        loss += err * err;
+                        delta.set(b, 0, 2.0 * err / batch as f32);
+                    }
+                    Some(d) => {
+                        if err.abs() <= d {
+                            loss += 0.5 * err * err;
+                            delta.set(b, 0, err / batch as f32);
+                        } else {
+                            loss += d * (err.abs() - 0.5 * d);
+                            delta.set(b, 0, d * err.signum() / batch as f32);
+                        }
                     }
                 }
             }
         }
         loss /= batch as f32;
 
-        // Backward. The gradient loops are written unit-outer (dW) and
-        // row-outer (previous delta) so each output cell accumulates over
-        // the batch in index order on exactly one thread — distributing the
-        // outer loop over the lpa-par pool cannot change the bits.
+        // Backward, reusing the forward activations in place. The gradient
+        // loops are written unit-outer (dW) and row-outer (previous delta)
+        // so each output cell accumulates over the batch in index order on
+        // exactly one thread — distributing the outer loop over the
+        // lpa-par pool cannot change the bits, and neither can reusing the
+        // gradient buffers (they are re-zeroed each layer).
         opt.begin_step();
-        for i in (0..self.layers.len()).rev() {
-            let a_prev = &acts[i];
-            // dW = deltaᵀ · a_prev  (out×in); db = column sums of delta.
+        for i in (0..n).rev() {
             let out_dim = self.layers[i].output_dim();
             let in_dim = self.layers[i].input_dim();
-            let pool = crate::matrix::pool_for(batch * out_dim * in_dim.max(1));
-            let mut dw = Matrix::zeros(out_dim, in_dim);
+            let lpool = route_pool(pool, batch * out_dim * in_dim.max(1));
+            let a_prev: &Matrix = if i == 0 { x } else { &outs[i - 1] };
+            // dW = deltaᵀ · a_prev  (out×in); db = column sums of delta.
+            dw.resize_zeroed(out_dim, in_dim);
             if in_dim > 0 {
-                pool.par_chunks_mut(dw.data_mut(), in_dim, |o, wrow| {
+                lpool.par_chunks_mut(dw.data_mut(), in_dim, |o, wrow| {
                     for b in 0..batch {
                         let d = delta.row(b)[o];
                         if d == 0.0 {
@@ -173,7 +279,8 @@ impl Mlp {
                     }
                 });
             }
-            let mut db = vec![0.0f32; out_dim];
+            db.clear();
+            db.resize(out_dim, 0.0);
             for b in 0..batch {
                 for (o, d) in delta.row(b).iter().enumerate() {
                     if *d == 0.0 {
@@ -185,8 +292,8 @@ impl Mlp {
             // delta for the previous layer (before applying the update).
             if i > 0 {
                 let layer_w = &self.layers[i].w;
-                let mut prev_delta = Matrix::zeros(batch, in_dim);
-                pool.par_chunks_mut(prev_delta.data_mut(), in_dim.max(1), |b, prow| {
+                prev_delta.resize_zeroed(batch, in_dim);
+                lpool.par_chunks_mut(prev_delta.data_mut(), in_dim.max(1), |b, prow| {
                     let drow = delta.row(b);
                     for (o, d) in drow.iter().enumerate() {
                         if *d == 0.0 {
@@ -198,16 +305,16 @@ impl Mlp {
                     }
                     // ReLU derivative: zero where the activation was
                     // clamped.
-                    for (p, a) in prow.iter_mut().zip(acts[i].row(b)) {
+                    for (p, a) in prow.iter_mut().zip(outs[i - 1].row(b)) {
                         if *a <= 0.0 {
                             *p = 0.0;
                         }
                     }
                 });
-                opt.step_layer(i, &mut self.layers[i], &dw, &db);
-                delta = prev_delta;
+                opt.step_layer(i, &mut self.layers[i], dw, db);
+                std::mem::swap(delta, prev_delta);
             } else {
-                opt.step_layer(i, &mut self.layers[i], &dw, &db);
+                opt.step_layer(i, &mut self.layers[i], dw, db);
             }
         }
         loss
@@ -250,6 +357,76 @@ mod tests {
         assert!(last_loss < 1e-3, "loss {last_loss}");
         let pred = net.predict_scalar(&[0.5, -0.5]);
         assert!((pred - f(&[0.5, -0.5])).abs() < 0.1, "pred {pred}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        // One scratch carried across many heterogeneous calls (different
+        // batch sizes, predict interleaved with training) must give exactly
+        // the results of fresh allocations each time.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut reused = Mlp::new(&[5, 12, 6, 1], &mut rng);
+        let mut fresh = reused.clone();
+        let mut opt_reused = Adam::new(2e-3, reused.layers());
+        let mut opt_fresh = opt_reused.clone();
+        let pool = Pool::with_threads(1);
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        for step in 0..20 {
+            let batch = 1 + (step * 7) % 13;
+            let rows: Vec<Vec<f32>> = (0..batch)
+                .map(|b| {
+                    (0..5)
+                        .map(|i| ((step * 31 + b * 5 + i) as f32 * 0.17).sin())
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+            let x = Matrix::from_rows(&refs);
+            let targets: Vec<f32> = (0..batch)
+                .map(|b| ((step + b) as f32 * 0.4).cos())
+                .collect();
+            let l1 = reused.train_mse_with(pool, &x, &targets, &mut opt_reused, &mut scratch);
+            let l2 = fresh.train_mse(&x, &targets, &mut opt_fresh);
+            assert_eq!(l1.to_bits(), l2.to_bits(), "step {step}");
+            reused.predict_batch_into(pool, &x, &mut scratch, &mut out);
+            let expect = fresh.predict_batch(&x);
+            assert_eq!(out.len(), expect.len());
+            for (a, b) in out.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {step}");
+            }
+        }
+        let a = crate::reference::mlp_bits(&reused);
+        let b = crate::reference::mlp_bits(&fresh);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn huber_scratch_path_matches_compat_path() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut with_scratch = Mlp::new(&[3, 8, 1], &mut rng);
+        let mut compat = with_scratch.clone();
+        let mut opt_a = Adam::new(1e-3, with_scratch.layers());
+        let mut opt_b = opt_a.clone();
+        let mut scratch = MlpScratch::new();
+        let x = Matrix::from_rows(&[&[0.4, -0.9, 1.2], &[2.0, 0.3, -0.5]]);
+        let targets = [5.0f32, -4.0];
+        for _ in 0..10 {
+            let la = with_scratch.train_huber_with(
+                Pool::with_threads(1),
+                &x,
+                &targets,
+                &mut opt_a,
+                1.0,
+                &mut scratch,
+            );
+            let lb = compat.train_huber(&x, &targets, &mut opt_b, 1.0);
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        assert_eq!(
+            crate::reference::mlp_bits(&with_scratch),
+            crate::reference::mlp_bits(&compat)
+        );
     }
 
     #[test]

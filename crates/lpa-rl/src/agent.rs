@@ -3,9 +3,41 @@
 use crate::buffer::{ReplayBuffer, Transition};
 use crate::config::{DqnConfig, QLoss};
 use crate::env::QEnvironment;
-use lpa_nn::{Adam, Matrix, Mlp};
+use lpa_nn::{Adam, Matrix, Mlp, MlpScratch, Pool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Greedy argmax over parallel Q-value / action slices, replicating the
+/// agent's tie-breaking exactly: under `total_cmp`, the *last* maximum
+/// wins. Batched inference paths (committee coalescing) must route
+/// through this same helper so a tie never picks a different action than
+/// the sequential path would.
+pub fn greedy_argmax<A: Clone>(qs: &[f32], actions: &[A]) -> Option<A> {
+    qs.iter()
+        .zip(actions.iter())
+        .max_by(|a, b| a.0.total_cmp(b.0))
+        .map(|(_, a)| a.clone())
+}
+
+/// Reusable buffers for the agent's hot paths (action selection and the
+/// replay-minibatch train step): network scratch plus the encoded input
+/// matrices and Q-value vectors. Purely transient — never checkpointed,
+/// never affects results.
+#[derive(Debug, Default)]
+struct AgentScratch {
+    mlp: MlpScratch,
+    /// Encoded candidate actions for one state (action selection).
+    input: Matrix,
+    q_out: Vec<f32>,
+    /// Encoded next-state candidate actions for a whole minibatch.
+    next_inputs: Matrix,
+    next_q: Vec<f32>,
+    next_q_online: Vec<f32>,
+    /// Encoded (state, action) training rows.
+    inputs: Matrix,
+    targets: Vec<f32>,
+    ranges: Vec<(usize, usize)>,
+}
 
 /// A Deep-Q agent over some environment type.
 #[derive(Debug)]
@@ -17,6 +49,7 @@ pub struct DqnAgent<E: QEnvironment> {
     epsilon: f64,
     buffer: ReplayBuffer<E::State, E::Action>,
     rng: StdRng,
+    scratch: AgentScratch,
 }
 
 impl<E: QEnvironment> DqnAgent<E> {
@@ -37,6 +70,7 @@ impl<E: QEnvironment> DqnAgent<E> {
             q,
             opt,
             cfg,
+            scratch: AgentScratch::default(),
         }
     }
 
@@ -61,12 +95,35 @@ impl<E: QEnvironment> DqnAgent<E> {
     /// Batch Q-values for every action in `actions` at `state`. The whole
     /// batch shares one state, so the rows are filled by
     /// [`QEnvironment::encode_batch`] (state prefix encoded once).
+    /// Allocating compat path — the agent's own hot paths go through the
+    /// scratch-reusing [`Self::fill_q_values`].
     pub fn q_values(&self, env: &E, state: &E::State, actions: &[E::Action]) -> Vec<f32> {
         assert!(!actions.is_empty());
         let dim = env.input_dim();
         let mut batch = Matrix::zeros(actions.len(), dim);
         env.encode_batch(state, actions, batch.data_mut());
         self.q.predict_batch(&batch)
+    }
+
+    /// [`Self::q_values`] into the agent's scratch buffers — no per-call
+    /// allocation. Results land in `scratch.q_out`.
+    fn fill_q_values(&mut self, pool: Pool, env: &E, state: &E::State, actions: &[E::Action]) {
+        let dim = env.input_dim();
+        let s = &mut self.scratch;
+        // Zeroed, not just reshaped: encoders may fill rows sparsely over
+        // the zero background the old `Matrix::zeros` provided.
+        s.input.resize_zeroed(actions.len(), dim);
+        env.encode_batch(state, actions, s.input.data_mut());
+        self.q
+            .predict_batch_into(pool, &s.input, &mut s.mlp, &mut s.q_out);
+    }
+
+    /// Q-network forward over pre-encoded input rows, reusing the agent's
+    /// scratch — the batched-inference entry point for callers (committee
+    /// coalescing) that assemble their own row batches.
+    pub fn q_forward_batch(&mut self, pool: Pool, inputs: &Matrix, out: &mut Vec<f32>) {
+        self.q
+            .predict_batch_into(pool, inputs, &mut self.scratch.mlp, out);
     }
 
     /// ε-greedy action selection (greedy when `explore` is false).
@@ -79,12 +136,9 @@ impl<E: QEnvironment> DqnAgent<E> {
                 return a.clone();
             }
         }
-        let qs = self.q_values(env, state, &actions);
-        qs.iter()
-            .zip(actions.iter())
-            .max_by(|a, b| a.0.total_cmp(b.0))
-            .map(|(_, a)| a.clone())
-            .unwrap_or_else(|| actions[0].clone())
+        let pool = Pool::current();
+        self.fill_q_values(pool, env, state, &actions);
+        greedy_argmax(&self.scratch.q_out, &actions).unwrap_or_else(|| actions[0].clone())
     }
 
     /// Store a transition in the replay buffer.
@@ -115,6 +169,9 @@ impl<E: QEnvironment> DqnAgent<E> {
         if self.buffer.len() < self.cfg.batch_size {
             return None;
         }
+        // The ambient pool is resolved once per train step and passed
+        // through every kernel below — no per-matmul environment lookups.
+        let pool = Pool::current();
         let dim = env.input_dim();
         // Sampled transitions stay borrowed from the buffer — the later
         // network/optimizer accesses touch disjoint fields, so nothing
@@ -122,64 +179,75 @@ impl<E: QEnvironment> DqnAgent<E> {
         let batch = self.buffer.sample(&mut self.rng, self.cfg.batch_size);
 
         // Encode every next-state candidate action into one big matrix,
-        // one batched (prefix-reused) encode per transition.
-        let mut ranges = Vec::with_capacity(batch.len());
+        // one batched (prefix-reused) encode per transition, reusing the
+        // scratch matrices across steps (zeroed — encoders may fill rows
+        // sparsely over the zero background `Matrix::zeros` used to give).
+        let s = &mut self.scratch;
+        s.ranges.clear();
         let mut total = 0usize;
         let per_sample_actions: Vec<Vec<E::Action>> = batch
             .iter()
             .map(|t| {
                 let a = env.actions(&t.next_state);
-                ranges.push((total, total + a.len()));
+                s.ranges.push((total, total + a.len()));
                 total += a.len();
                 a
             })
             .collect();
-        let mut next_inputs = Matrix::zeros(total.max(1), dim);
+        s.next_inputs.resize_zeroed(total.max(1), dim);
         let mut row = 0;
         for (t, actions) in batch.iter().zip(&per_sample_actions) {
-            let span = &mut next_inputs.data_mut()[row * dim..(row + actions.len()) * dim];
+            let span = &mut s.next_inputs.data_mut()[row * dim..(row + actions.len()) * dim];
             env.encode_batch(&t.next_state, actions, span);
             row += actions.len();
         }
-        let next_q = if total > 0 {
-            self.target.predict_batch(&next_inputs)
+        // The dominant cost of a training step: one batched target-net
+        // forward over every candidate row.
+        if total > 0 {
+            self.target
+                .predict_batch_into(pool, &s.next_inputs, &mut s.mlp, &mut s.next_q);
         } else {
-            Vec::new()
-        };
+            s.next_q.clear();
+        }
         // Double DQN: the online network selects the next action, the
         // target network evaluates it.
-        let next_q_online = if self.cfg.double_dqn && total > 0 {
-            Some(self.q.predict_batch(&next_inputs))
-        } else {
-            None
-        };
+        let use_online = self.cfg.double_dqn && total > 0;
+        if use_online {
+            self.q
+                .predict_batch_into(pool, &s.next_inputs, &mut s.mlp, &mut s.next_q_online);
+        }
 
-        let mut inputs = Matrix::zeros(batch.len(), dim);
-        let mut targets = Vec::with_capacity(batch.len());
+        s.inputs.resize_zeroed(batch.len(), dim);
+        s.targets.clear();
         for (i, t) in batch.iter().enumerate() {
-            env.encode(&t.state, &t.action, inputs.row_mut(i));
-            let (lo, hi) = ranges[i];
+            env.encode(&t.state, &t.action, s.inputs.row_mut(i));
+            let (lo, hi) = s.ranges.get(i).copied().unwrap_or((0, 0));
             let max_next = if lo == hi {
                 0.0
+            } else if use_online {
+                let online = &s.next_q_online;
+                let best = (lo..hi)
+                    .max_by(|a, b| online[*a].total_cmp(&online[*b]))
+                    .unwrap_or(lo);
+                s.next_q.get(best).copied().unwrap_or(0.0) as f64
             } else {
-                match &next_q_online {
-                    Some(online) => {
-                        let best = (lo..hi)
-                            .max_by(|a, b| online[*a].total_cmp(&online[*b]))
-                            .unwrap_or(lo);
-                        next_q.get(best).copied().unwrap_or(0.0) as f64
-                    }
-                    None => next_q[lo..hi]
-                        .iter()
-                        .cloned()
-                        .fold(f32::NEG_INFINITY, f32::max) as f64,
-                }
+                s.next_q[lo..hi]
+                    .iter()
+                    .cloned()
+                    .fold(f32::NEG_INFINITY, f32::max) as f64
             };
-            targets.push((t.reward + self.cfg.gamma * max_next) as f32);
+            s.targets
+                .push((t.reward + self.cfg.gamma * max_next) as f32);
         }
         let loss = match self.cfg.loss {
-            QLoss::Mse => self.q.train_mse(&inputs, &targets, &mut self.opt),
-            QLoss::Huber(d) => self.q.train_huber(&inputs, &targets, &mut self.opt, d),
+            QLoss::Mse => {
+                self.q
+                    .train_mse_with(pool, &s.inputs, &s.targets, &mut self.opt, &mut s.mlp)
+            }
+            QLoss::Huber(d) => {
+                self.q
+                    .train_huber_with(pool, &s.inputs, &s.targets, &mut self.opt, d, &mut s.mlp)
+            }
         };
         self.target.soft_update_from(&self.q, self.cfg.tau);
         Some(loss)
@@ -237,6 +305,7 @@ impl<E: QEnvironment> DqnAgent<E> {
             epsilon,
             buffer,
             rng: StdRng::from_state(rng_state),
+            scratch: AgentScratch::default(),
         }
     }
 
@@ -264,6 +333,7 @@ impl<E: QEnvironment> DqnAgent<E> {
             q: snapshot.q,
             target: snapshot.target,
             cfg: snapshot.cfg,
+            scratch: AgentScratch::default(),
         }
     }
 }

@@ -17,7 +17,7 @@ pub mod config;
 pub mod env;
 pub mod train;
 
-pub use agent::{AgentSnapshot, DqnAgent};
+pub use agent::{greedy_argmax, AgentSnapshot, DqnAgent};
 pub use buffer::{ReplayBuffer, Transition};
 pub use config::{DqnConfig, QLoss};
 pub use env::{EnvCounters, QEnvironment};

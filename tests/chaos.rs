@@ -23,7 +23,6 @@
 
 use lpa::advisor::{shared_cache, shared_cluster, OnlineBackend, RetryPolicy, SharedCluster};
 use lpa::cluster::{FailReason, FaultPlan, QueryOutcome};
-use lpa::nn::Mlp;
 use lpa::prelude::*;
 use lpa::rl::AgentSnapshot;
 use lpa::schema::TableId;
@@ -48,14 +47,7 @@ fn quick_cfg(episodes: usize, tmax: usize) -> DqnConfig {
     .with_seed(99)
 }
 
-fn mlp_bits(m: &Mlp) -> Vec<u32> {
-    let mut bits = Vec::new();
-    for layer in m.layers() {
-        bits.extend(layer.w.data().iter().map(|v| v.to_bits()));
-        bits.extend(layer.b.iter().map(|v| v.to_bits()));
-    }
-    bits
-}
+use lpa::nn::reference::mlp_bits;
 
 fn snapshot_bits(s: &AgentSnapshot) -> (Vec<u32>, Vec<u32>, u64) {
     (mlp_bits(&s.q), mlp_bits(&s.target), s.epsilon.to_bits())

@@ -18,15 +18,8 @@ use lpa::rl::AgentSnapshot;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
-/// Every weight and bias of a network as raw f32 bit patterns.
-fn mlp_bits(m: &Mlp) -> Vec<u32> {
-    let mut bits = Vec::new();
-    for layer in m.layers() {
-        bits.extend(layer.w.data().iter().map(|v| v.to_bits()));
-        bits.extend(layer.b.iter().map(|v| v.to_bits()));
-    }
-    bits
-}
+// Every weight and bias of a network as raw f32 bit patterns.
+use lpa::nn::reference::mlp_bits;
 
 /// Bit-level fingerprint of a trained agent.
 fn snapshot_bits(s: &AgentSnapshot) -> (Vec<u32>, Vec<u32>, u64) {
@@ -174,5 +167,58 @@ fn nn_training_is_bit_identical_across_thread_counts() {
     let reference = run(THREAD_COUNTS[0]);
     for &threads in &THREAD_COUNTS[1..] {
         assert_eq!(run(threads), reference, "threads={threads}");
+    }
+}
+
+/// The tentpole differential for the fast NN kernels: a **full offline
+/// training run** on the blocked/fused/batched fast path must produce
+/// bit-identical trained weights (Q and target nets, down to every f32
+/// bit) to the same run with all kernels forced onto the naive serial
+/// triple loop — at one and at eight threads. The fast kernels are only
+/// allowed to re-block and fuse *around* each output cell's fixed
+/// summation order, never inside it; this test is the proof.
+#[test]
+fn fast_kernels_train_bit_identical_to_naive_kernels() {
+    let cfg = DqnConfig {
+        episodes: 10,
+        tmax: 6,
+        batch_size: 8,
+        hidden: vec![32, 16],
+        epsilon_decay: 0.9,
+        learning_rate: 2e-3,
+        tau: 0.05,
+        ..DqnConfig::paper()
+    }
+    .with_seed(77);
+    let run = || -> (Vec<u32>, Vec<u32>, u64, Partitioning, u64) {
+        let schema = lpa::schema::microbench::schema(1.0).unwrap();
+        let workload = lpa::workload::microbench::workload(&schema).unwrap();
+        let mut advisor = Advisor::train_offline(
+            schema,
+            workload.clone(),
+            NetworkCostModel::new(CostParams::standard()),
+            MixSampler::uniform(&workload),
+            cfg.clone(),
+            true,
+        );
+        let mix = workload.uniform_frequencies();
+        let suggestion = advisor.suggest(&mix);
+        let s = advisor.snapshot();
+        (
+            mlp_bits(&s.q),
+            mlp_bits(&s.target),
+            s.epsilon.to_bits(),
+            suggestion.partitioning,
+            suggestion.reward.to_bits(),
+        )
+    };
+    // Reference trajectory: every matmul forced onto the naive kernel.
+    let naive = lpa::nn::with_naive_kernels(run);
+    for threads in [1usize, 8] {
+        let fast = lpa::par::with_threads(threads, run);
+        assert_eq!(
+            fast, naive,
+            "fast kernels diverged from naive at threads={threads}"
+        );
     }
 }

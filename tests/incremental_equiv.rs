@@ -10,7 +10,6 @@
 #![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
 
 use lpa::costmodel::{CostParams, NetworkCostModel};
-use lpa::nn::Mlp;
 use lpa::partition::valid_actions;
 use lpa::prelude::*;
 use lpa::rl::{rollout, train, DqnAgent, QEnvironment};
@@ -201,14 +200,7 @@ fn q_values_match_per_row_encoding_bitwise() {
 /// identical greedy rollouts at the end.
 #[test]
 fn training_on_delta_env_reproduces_full_env_bitwise() {
-    fn mlp_bits(m: &Mlp) -> Vec<u32> {
-        let mut bits = Vec::new();
-        for layer in m.layers() {
-            bits.extend(layer.w.data().iter().map(|v| v.to_bits()));
-            bits.extend(layer.b.iter().map(|v| v.to_bits()));
-        }
-        bits
-    }
+    use lpa::nn::reference::mlp_bits;
     let (mut delta, mut full) = env_pair("tpcch", 23);
     let cfg = DqnConfig::simulation(12, 12).with_seed(23);
     let mut agent_d: DqnAgent<AdvisorEnv> = DqnAgent::new(delta.input_dim(), cfg.clone());

@@ -255,3 +255,97 @@ fn executor_matches_truth_join_cardinality() {
     );
     let _ = TableId(c.0);
 }
+
+/// Fast NN kernels (banded, fused-ReLU, parallel) are bit-equal to the
+/// shared naive reference on random shapes that straddle every blocking
+/// boundary — and never panic on degenerate geometry (empty matrices,
+/// single rows/columns, odd widths vs the fixed-width lanes).
+#[test]
+fn fast_matmul_kernels_match_naive_on_edge_geometry() {
+    use lpa::nn::matrix::{matmul_wt_pool, matmul_wt_relu_pool, Matrix, ROW_BLOCK};
+    use lpa::nn::reference::{naive_matmul_wt, naive_matmul_wt_relu};
+    use lpa::par::Pool;
+
+    // Sizes concentrated on the edges of a blocking factor: 0, 1, block±1,
+    // the block itself, and a uniform filler.
+    fn boundary(rng: &mut StdRng, block: usize) -> usize {
+        match rng.gen_range(0..6u8) {
+            0 => 0,
+            1 => 1,
+            2 => block - 1,
+            3 => block,
+            4 => block + 1,
+            _ => rng.gen_range(0..3 * block),
+        }
+    }
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x6000 + case);
+        // Rows stress the ROW_BLOCK parallel bands (and small residues),
+        // outputs sweep typical layer widths, and the inner dimension
+        // stresses the 8-lane dot splits (odd widths included).
+        let rows = boundary(&mut rng, if case % 2 == 0 { 4 } else { ROW_BLOCK });
+        let out_dim = boundary(&mut rng, 64);
+        let inner = boundary(&mut rng, 8);
+        let mut x = Matrix::zeros(rows, inner);
+        for v in x.data_mut() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        let mut w = Matrix::zeros(out_dim, inner);
+        for v in w.data_mut() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        let bias: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expect = naive_matmul_wt(&x, &w, &bias);
+        let expect_relu = naive_matmul_wt_relu(&x, &w, &bias);
+        for threads in [1usize, 8] {
+            let pool = Pool::with_threads(threads);
+            let mut got = Matrix::zeros(rows, out_dim);
+            matmul_wt_pool(pool, &x, &w, &bias, &mut got);
+            assert_eq!(
+                bits(&got),
+                bits(&expect),
+                "case {case} threads {threads}: {rows}x{inner} · {out_dim}x{inner}"
+            );
+            let mut got_relu = Matrix::zeros(rows, out_dim);
+            matmul_wt_relu_pool(pool, &x, &w, &bias, &mut got_relu);
+            assert_eq!(
+                bits(&got_relu),
+                bits(&expect_relu),
+                "fused relu, case {case} threads {threads}: {rows}x{inner} · {out_dim}x{inner}"
+            );
+        }
+    }
+}
+
+/// Batched forward through a whole network is row-independent: evaluating
+/// many inputs in one batch returns bit-identical rows to evaluating each
+/// input alone — the property the coalesced committee inference relies on.
+#[test]
+fn batched_forward_rows_match_single_row_forward() {
+    use lpa::nn::{Matrix, Mlp};
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7000 + case);
+        let input = rng.gen_range(1..20usize);
+        let hidden = rng.gen_range(1..24usize);
+        let net = Mlp::new(&[input, hidden, 1], &mut rng);
+        let rows = rng.gen_range(1..17usize);
+        let mut x = Matrix::zeros(rows, input);
+        for v in x.data_mut() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        let batched = net.predict_batch(&x);
+        assert_eq!(batched.len(), rows);
+        for (r, &b) in batched.iter().enumerate() {
+            let alone = net.predict_scalar(x.row(r));
+            assert_eq!(
+                b.to_bits(),
+                alone.to_bits(),
+                "case {case} row {r} of {rows}"
+            );
+        }
+    }
+}

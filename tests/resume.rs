@@ -15,7 +15,6 @@
 
 use lpa::advisor::{shared_cache, shared_cluster, Advisor, OnlineBackend};
 use lpa::cluster::FaultPlan;
-use lpa::nn::Mlp;
 use lpa::prelude::*;
 use lpa::rl::QEnvironment;
 use lpa::store::{
@@ -85,14 +84,7 @@ fn fresh_offline(t: &OfflineTemplate) -> Advisor {
     Advisor::untrained(env, quick_cfg())
 }
 
-fn mlp_bits(m: &Mlp) -> Vec<u32> {
-    let mut bits = Vec::new();
-    for layer in m.layers() {
-        bits.extend(layer.w.data().iter().map(|v| v.to_bits()));
-        bits.extend(layer.b.iter().map(|v| v.to_bits()));
-    }
-    bits
-}
+use lpa::nn::reference::mlp_bits;
 
 /// Everything the user can observe from a finished session, as raw bits:
 /// weights, ε, per-episode rewards, and the final advice.
@@ -403,4 +395,51 @@ fn handoff_checkpoint_from_chaos_leg_resumes_bitwise() {
     assert_eq!(got_snap.epsilon.to_bits(), ref_snap.epsilon.to_bits());
     assert_eq!(got_advice.partitioning, ref_advice.partitioning);
     assert_eq!(got_advice.reward.to_bits(), ref_advice.reward.to_bits());
+}
+
+/// Fast-vs-naive differential **across a checkpoint/resume boundary**:
+/// a run on the naive serial kernels that is never interrupted must match,
+/// bit for bit, a fast-kernel run that is killed mid-training and restored
+/// from its checkpoint at eight threads. Ties the kernel determinism
+/// contract to the lpa-store resume contract in one assertion.
+#[test]
+fn naive_kernels_match_fast_kernels_across_resume_boundary() {
+    let template = offline_template(0.05);
+    let mix = template.workload.uniform_frequencies();
+
+    // Reference: naive kernels, uninterrupted (checkpointing stays on).
+    let reference = lpa::nn::with_naive_kernels(|| {
+        let dir = test_dir("naive-ref", 0);
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let fp = finish_and_fingerprint(fresh_offline(&template), &mut store, 0, &mix);
+        let _ = std::fs::remove_dir_all(&dir);
+        fp
+    });
+
+    // Fast kernels at 8 threads: killed at CRASH_AFTER, restored, finished.
+    let got = lpa::par::with_threads(8, || {
+        let dir = test_dir("fast-kill", 8);
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut victim_rewards = Vec::new();
+        {
+            let mut victim = fresh_offline(&template);
+            train_checkpointed(&mut victim, &mut store, 0, CRASH_AFTER, EVERY, |s| {
+                victim_rewards.push(s.total_reward.to_bits());
+            });
+        } // <- crash
+        let mut store2 = CheckpointStore::open(&dir).unwrap();
+        let (seq, ck) = store2.load_latest(&template.schema).unwrap().unwrap();
+        let resumed = restore_offline(ck.into_session().unwrap(), &template).unwrap();
+        let mut fp = finish_and_fingerprint(resumed, &mut store2, seq as usize + 1, &mix);
+        let mut rewards = victim_rewards[..=seq as usize].to_vec();
+        rewards.append(&mut fp.episode_rewards);
+        fp.episode_rewards = rewards;
+        let _ = std::fs::remove_dir_all(&dir);
+        fp
+    });
+
+    assert_eq!(
+        got, reference,
+        "fast kernels + resume boundary diverged from uninterrupted naive kernels"
+    );
 }
