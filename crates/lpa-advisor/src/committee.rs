@@ -86,17 +86,15 @@ impl Committee {
         best
     }
 
-    /// Build the committee: derive references, partition a pool of
-    /// uniformly sampled mixes by subspace, and train one expert per
-    /// subspace on its mixes. Experts share the naive advisor's reward
-    /// backend machinery through `make_env`, which must build a fresh
-    /// environment per expert (typically sharing the cluster and runtime
-    /// cache handles).
-    pub fn train(
+    /// Shared prelude of [`Self::train`] and [`Self::train_lockstep`]:
+    /// derive the references and build, per subspace, a fresh environment
+    /// plus the deterministic mix pool its expert trains on.
+    #[allow(clippy::type_complexity)]
+    fn expert_inputs(
         naive: &mut Advisor,
-        expert_cfg: DqnConfig,
+        expert_cfg: &DqnConfig,
         mut make_env: impl FnMut() -> AdvisorEnv,
-    ) -> Committee {
+    ) -> (Vec<Partitioning>, Vec<(AdvisorEnv, Vec<FrequencyVector>)>) {
         let refs = Self::reference_partitionings(naive);
         let slots = naive.env.workload.slots();
         let queries = naive.env.workload.queries().len();
@@ -117,19 +115,6 @@ impl Committee {
             }
         }
 
-        // Train one expert per subspace, *specializing from the naive
-        // policy*: each expert starts as a copy of the naive agent and is
-        // refined only on its subspace's mixes with low exploration. The
-        // shared runtime cache means this rarely executes new queries
-        // (Section 5).
-        //
-        // Environments and mix lists are built serially (`make_env` is
-        // FnMut); the expensive part — training — runs as one task per
-        // expert on the deterministic pool. Each expert's RNG stream is
-        // derived from `(seed, expert_id)`, so its trajectory does not
-        // depend on how many experts run concurrently, and the experts come
-        // back in subspace order.
-        let naive_policy = naive.snapshot();
         let inputs: Vec<(AdvisorEnv, Vec<FrequencyVector>)> = pools
             .iter()
             .map(|pool| {
@@ -142,20 +127,96 @@ impl Committee {
                 (env, vectors)
             })
             .collect();
-        let experts = Pool::current().par_map_owned(inputs, |expert_id, (mut env, vectors)| {
-            env.set_sampler(MixSampler::cycle(vectors));
-            let mut snapshot = naive_policy.clone();
-            // Experts fine-tune: small learning rate, little exploration —
-            // they specialize the naive policy rather than re-learn it.
-            let mut cfg = expert_cfg.clone();
-            cfg.learning_rate = (expert_cfg.learning_rate * 0.3).max(1e-4);
-            cfg.seed = lpa_par::derive_stream(expert_cfg.seed, expert_id as u64);
-            snapshot.cfg = cfg;
-            let mut expert = Advisor::from_snapshot(env, snapshot);
-            expert.set_epsilon(0.05);
+        (refs, inputs)
+    }
+
+    /// One untrained expert, specialized from the naive policy: a copy of
+    /// the naive agent with its subspace's cycling mix sampler, a small
+    /// fine-tuning learning rate, a per-expert RNG stream derived from
+    /// `(seed, expert_id)`, and low exploration.
+    fn make_expert(
+        naive_policy: &lpa_rl::AgentSnapshot,
+        expert_cfg: &DqnConfig,
+        expert_id: usize,
+        mut env: AdvisorEnv,
+        vectors: Vec<FrequencyVector>,
+    ) -> Advisor {
+        env.set_sampler(MixSampler::cycle(vectors));
+        let mut snapshot = naive_policy.clone();
+        // Experts fine-tune: small learning rate, little exploration —
+        // they specialize the naive policy rather than re-learn it.
+        let mut cfg = expert_cfg.clone();
+        cfg.learning_rate = (expert_cfg.learning_rate * 0.3).max(1e-4);
+        cfg.seed = lpa_par::derive_stream(expert_cfg.seed, expert_id as u64);
+        snapshot.cfg = cfg;
+        let mut expert = Advisor::from_snapshot(env, snapshot);
+        expert.set_epsilon(0.05);
+        expert
+    }
+
+    /// Build the committee: derive references, partition a pool of
+    /// uniformly sampled mixes by subspace, and train one expert per
+    /// subspace on its mixes. Experts share the naive advisor's reward
+    /// backend machinery through `make_env`, which must build a fresh
+    /// environment per expert (typically sharing the cluster and runtime
+    /// cache handles).
+    ///
+    /// Parallelism is coarse: one task per expert. Each expert's RNG
+    /// stream is derived from `(seed, expert_id)`, so its trajectory does
+    /// not depend on how many experts run concurrently, and the experts
+    /// come back in subspace order. When there are fewer experts than
+    /// threads, [`Self::train_lockstep`] keeps the pool busy instead.
+    pub fn train(
+        naive: &mut Advisor,
+        expert_cfg: DqnConfig,
+        make_env: impl FnMut() -> AdvisorEnv,
+    ) -> Committee {
+        let (refs, inputs) = Self::expert_inputs(naive, &expert_cfg, make_env);
+        let naive_policy = naive.snapshot();
+        let experts = Pool::current().par_map_owned(inputs, |expert_id, (env, vectors)| {
+            let mut expert = Self::make_expert(&naive_policy, &expert_cfg, expert_id, env, vectors);
             expert.train_episodes(expert_cfg.episodes, |_| {});
             expert
         });
+        Committee {
+            references: refs,
+            experts,
+        }
+    }
+
+    /// [`Self::train`] with the experts advanced in lockstep instead of
+    /// one-task-per-expert: every expert steps through the same
+    /// episode/step schedule and all experts' Q-network work — selection
+    /// forwards, target forwards, backward passes — is stacked into
+    /// grouped kernels ([`lpa_rl::train_lockstep`]), one pooled dispatch
+    /// per network stage instead of one tiny dispatch per expert.
+    ///
+    /// Produces bit-identical experts to [`Self::train`]: the experts are
+    /// constructed by the same code, and the lockstep driver is proven
+    /// bit-equal to the sequential per-expert loop. Prefer this path when
+    /// experts are few relative to threads (each expert's minibatch is too
+    /// small to occupy a wide pool on its own); with many experts the
+    /// coarse per-expert parallelism of [`Self::train`] is already
+    /// saturating and either path performs alike.
+    pub fn train_lockstep(
+        naive: &mut Advisor,
+        expert_cfg: DqnConfig,
+        make_env: impl FnMut() -> AdvisorEnv,
+    ) -> Committee {
+        let (refs, inputs) = Self::expert_inputs(naive, &expert_cfg, make_env);
+        let naive_policy = naive.snapshot();
+        let mut experts: Vec<Advisor> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(expert_id, (env, vectors))| {
+                Self::make_expert(&naive_policy, &expert_cfg, expert_id, env, vectors)
+            })
+            .collect();
+        {
+            let mut members: Vec<(&mut lpa_rl::DqnAgent<AdvisorEnv>, &mut AdvisorEnv)> =
+                experts.iter_mut().map(|e| e.agent_env_mut()).collect();
+            lpa_rl::train_lockstep(&mut members, expert_cfg.episodes, |_, _| {});
+        }
         Committee {
             references: refs,
             experts,
@@ -345,5 +406,73 @@ mod tests {
             assert_eq!(b.step, s.step);
         }
         assert!(committee.suggest_batch(&mut naive, &[]).is_empty());
+    }
+
+    fn mk_env() -> AdvisorEnv {
+        let schema = lpa_schema::microbench::schema(1.0).expect("schema builds");
+        let workload = lpa_workload::microbench::workload(&schema).expect("workload builds");
+        let sampler = MixSampler::uniform(&workload);
+        AdvisorEnv::new(
+            schema,
+            workload,
+            RewardBackend::cost_model(NetworkCostModel::new(CostParams::standard())),
+            sampler,
+            true,
+            99,
+        )
+    }
+
+    /// The lockstep committee contract: grouped cross-expert training
+    /// produces, for every expert, exactly the networks the
+    /// one-task-per-expert path produces — at one and at eight threads —
+    /// and therefore identical suggestions.
+    #[test]
+    fn lockstep_committee_matches_parallel_committee_bitwise() {
+        use lpa_par::with_threads;
+        let mut naive_ref = offline_naive();
+        let mut reference =
+            with_threads(1, || Committee::train(&mut naive_ref, quick_cfg(), mk_env));
+        let ref_bits: Vec<(Vec<u32>, Vec<u32>, f64)> = reference
+            .experts
+            .iter()
+            .map(|e| {
+                (
+                    lpa_nn::reference::mlp_bits(e.agent().q_network()),
+                    lpa_nn::reference::mlp_bits(e.agent().target_network()),
+                    e.agent().epsilon(),
+                )
+            })
+            .collect();
+        let slots = naive_ref.env.workload.slots();
+        let uniform = FrequencyVector::uniform(slots);
+        for threads in [1usize, 8] {
+            let mut naive = offline_naive();
+            let mut committee = with_threads(threads, || {
+                Committee::train_lockstep(&mut naive, quick_cfg(), mk_env)
+            });
+            assert_eq!(committee.references, reference.references);
+            assert_eq!(committee.experts.len(), ref_bits.len());
+            for (k, (expert, (q, t, eps))) in committee.experts.iter().zip(&ref_bits).enumerate() {
+                assert_eq!(
+                    &lpa_nn::reference::mlp_bits(expert.agent().q_network()),
+                    q,
+                    "threads {threads} expert {k}: q-net diverged"
+                );
+                assert_eq!(
+                    &lpa_nn::reference::mlp_bits(expert.agent().target_network()),
+                    t,
+                    "threads {threads} expert {k}: target net diverged"
+                );
+                assert_eq!(expert.agent().epsilon(), *eps);
+            }
+            // Identical networks must serve identical suggestions.
+            let mut naive2 = offline_naive();
+            let s = committee.suggest(&mut naive2, &uniform);
+            let mut naive3 = offline_naive();
+            let sr = reference.suggest(&mut naive3, &uniform);
+            assert_eq!(s.partitioning, sr.partitioning);
+            assert_eq!(s.reward.to_bits(), sr.reward.to_bits());
+            assert_eq!(s.step, sr.step);
+        }
     }
 }

@@ -3,7 +3,9 @@
 use crate::delta::{DeltaCostEngine, RecostMode};
 use crate::online::OnlineBackend;
 use lpa_costmodel::NetworkCostModel;
-use lpa_partition::{valid_actions, Action, ActionSetCache, Partitioning, StateEncoder};
+use lpa_partition::{
+    valid_actions, Action, ActionSetCache, DeltaEncoder, Partitioning, StateEncoder,
+};
 use lpa_rl::{EnvCounters, QEnvironment};
 use lpa_schema::Schema;
 use lpa_workload::{FrequencyVector, MixSampler, Workload};
@@ -133,6 +135,21 @@ pub struct AdvisorEnv {
     /// `&self`; never borrowed across a call boundary, and `RefCell<T:
     /// Send>` keeps the env `Send` for the committee's parallel map.
     action_sets: RefCell<ActionSetCache>,
+    /// Incremental state encoder: patches only the feature slots the
+    /// partitioning changed since the last encode instead of rebuilding
+    /// the full state prefix. Wraps a clone of [`Self::encoder`] (the
+    /// layout is fixed at construction, so the two can never diverge).
+    /// `RefCell` for the same reason as `action_sets` —
+    /// [`QEnvironment::encode`] takes `&self`. Bit-exactness versus the
+    /// full rebuild is the [`DeltaEncoder`] contract, enforced by its
+    /// `with_full_encode` oracle guard and this crate's differential
+    /// tests.
+    delta_enc: RefCell<DeltaEncoder>,
+    /// [`Self::counters`] snapshot taken at the last `reset()`, so
+    /// `episode_counters()` can report per-episode deltas while
+    /// `counters()` stays cumulative for the training loop's own
+    /// differencing.
+    episode_base: EnvCounters,
 }
 
 impl AdvisorEnv {
@@ -145,9 +162,11 @@ impl AdvisorEnv {
         seed: u64,
     ) -> Self {
         let encoder = StateEncoder::new(&schema, workload.slots());
+        let delta_enc = RefCell::new(DeltaEncoder::new(encoder.clone()));
         let s0 = Partitioning::initial(&schema);
         let mut env = Self {
             encoder,
+            delta_enc,
             sampler,
             backend,
             rng: StdRng::seed_from_u64(seed ^ 0xE27),
@@ -157,6 +176,7 @@ impl AdvisorEnv {
             workload,
             reward_scale: 1.0,
             action_sets: RefCell::new(ActionSetCache::new()),
+            episode_base: EnvCounters::default(),
         };
         env.recompute_reward_scale();
         env
@@ -179,9 +199,11 @@ impl AdvisorEnv {
         rng_state: [u64; 4],
     ) -> Self {
         let encoder = StateEncoder::new(&schema, workload.slots());
+        let delta_enc = RefCell::new(DeltaEncoder::new(encoder.clone()));
         let s0 = Partitioning::initial(&schema);
         Self {
             encoder,
+            delta_enc,
             sampler,
             backend,
             rng: StdRng::from_state(rng_state),
@@ -191,7 +213,17 @@ impl AdvisorEnv {
             workload,
             reward_scale,
             action_sets: RefCell::new(ActionSetCache::new()),
+            episode_base: EnvCounters::default(),
         }
+    }
+
+    /// Patch/rebuild tallies of the incremental state encoder (observability
+    /// for benchmarks; a rebuild happens on the first encode after
+    /// construction or [`DeltaEncoder::invalidate`], a patch everywhere the
+    /// delta path applied).
+    pub fn encoder_stats(&self) -> (u64, u64) {
+        let enc = self.delta_enc.borrow();
+        (enc.patches(), enc.rebuilds())
     }
 
     /// Fix the normalization constant from the initial state's cost under
@@ -309,6 +341,7 @@ impl QEnvironment for AdvisorEnv {
     }
 
     fn reset(&mut self) -> EnvState {
+        self.episode_base = self.counters();
         let freqs = self.sampler.sample(&mut self.rng);
         EnvState {
             partitioning: self.s0.clone(),
@@ -317,25 +350,41 @@ impl QEnvironment for AdvisorEnv {
     }
 
     fn actions(&self, state: &EnvState) -> Vec<Action> {
-        self.action_sets
-            .borrow_mut()
-            .get_or_insert_with(&state.partitioning, || {
+        let mut out = Vec::new();
+        self.actions_into(state, &mut out);
+        out
+    }
+
+    fn actions_into(&self, state: &EnvState, out: &mut Vec<Action>) {
+        out.extend_from_slice(self.action_sets.borrow_mut().get_or_insert_with(
+            &state.partitioning,
+            || {
                 valid_actions(&self.schema, &state.partitioning)
                     .into_iter()
                     .filter(|a| self.action_allowed(a))
                     .collect()
-            })
-            .to_vec()
+            },
+        ));
     }
 
     fn encode(&self, state: &EnvState, action: &Action, out: &mut [f32]) {
-        self.encoder
+        self.delta_enc
+            .borrow_mut()
             .encode_input(&state.partitioning, &state.freqs, action, out);
     }
 
     fn encode_batch(&self, state: &EnvState, actions: &[Action], out: &mut [f32]) {
-        self.encoder
+        self.delta_enc
+            .borrow_mut()
             .encode_batch(&state.partitioning, &state.freqs, actions, out);
+    }
+
+    fn encode_overwrites_fully(&self) -> bool {
+        // `DeltaEncoder::encode_input` copies the full state prefix and
+        // `StateEncoder::encode_action_into` zero-fills the action block
+        // before writing its one-hots — every output slot is written, so
+        // callers may skip zeroing reused buffers.
+        true
     }
 
     fn step(&mut self, state: &EnvState, action: &Action) -> (EnvState, f64) {
@@ -381,6 +430,10 @@ impl QEnvironment for AdvisorEnv {
         c.action_cache_hits = sets.hits;
         c.action_cache_misses = sets.misses;
         c
+    }
+
+    fn episode_counters(&self) -> EnvCounters {
+        self.counters().since(&self.episode_base)
     }
 }
 
@@ -526,6 +579,97 @@ mod tests {
         let c = delta.counters();
         assert!(c.delta_recosts > 0, "delta path exercised");
         assert!(c.action_cache_hits > 0, "action sets memoized");
+    }
+
+    /// The env's incremental encoder must emit exactly the bytes the plain
+    /// [`StateEncoder`] would, across a step/reset walk that exercises the
+    /// patch path, the first-call rebuild, and the forced-oracle guard.
+    #[test]
+    fn env_encode_matches_state_encoder_bitwise() {
+        let mut env = offline_env(true);
+        let dim = env.input_dim();
+        let mut fast = vec![0.0f32; dim];
+        let mut full = vec![0.0f32; dim];
+        let mut s = env.reset();
+        for step in 0..12 {
+            let actions = env.actions(&s);
+            for a in actions.iter().take(4) {
+                env.encode(&s, a, &mut fast);
+                env.encoder
+                    .encode_input(&s.partitioning, &s.freqs, a, &mut full);
+                let same = fast
+                    .iter()
+                    .zip(&full)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "step {step}: delta encode diverged");
+            }
+            let batch_n = actions.len().min(5);
+            let mut fast_b = vec![0.0f32; batch_n * dim];
+            let mut full_b = vec![0.0f32; batch_n * dim];
+            env.encode_batch(&s, &actions[..batch_n], &mut fast_b);
+            env.encoder
+                .encode_batch(&s.partitioning, &s.freqs, &actions[..batch_n], &mut full_b);
+            let same = fast_b
+                .iter()
+                .zip(&full_b)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "step {step}: delta encode_batch diverged");
+            if step == 7 {
+                s = env.reset(); // new mix → full-prefix distance from cache
+            } else {
+                let a = actions[step % actions.len()];
+                s = env.step(&s, &a).0;
+            }
+        }
+        let (patches, rebuilds) = env.encoder_stats();
+        assert!(patches > 0, "patch path exercised");
+        assert!(rebuilds >= 1, "first call rebuilds");
+        // Under the oracle guard the env must still produce the same bytes.
+        lpa_partition::with_full_encode(|| {
+            let a = env.actions(&s)[0];
+            env.encode(&s, &a, &mut fast);
+            env.encoder
+                .encode_input(&s.partitioning, &s.freqs, &a, &mut full);
+            let same = fast
+                .iter()
+                .zip(&full)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "forced full encode diverged");
+        });
+    }
+
+    /// `episode_counters()` reports activity since the last `reset()`, not
+    /// since construction — the bug fixed here had multi-episode profiling
+    /// runs reporting inflated cumulative cache-hit ratios per episode.
+    #[test]
+    fn episode_counters_reset_per_episode() {
+        use lpa_rl::QEnvironment as _;
+        let mut env = offline_env(true);
+        let s = env.reset();
+        let actions = env.actions(&s);
+        let a = actions[0];
+        let mut st = s.clone();
+        for _ in 0..3 {
+            let _ = env.actions(&st); // cache hits accumulate
+            st = env.step(&st, &a).0;
+        }
+        let ep1 = env.episode_counters();
+        let cum1 = env.counters();
+        assert!(ep1.action_cache_hits > 0);
+        assert_eq!(ep1.action_cache_hits, cum1.action_cache_hits);
+        // Second episode: cumulative counters keep growing, per-episode
+        // counters restart from the reset baseline.
+        let s2 = env.reset();
+        let fresh = env.episode_counters();
+        assert_eq!(fresh.action_cache_hits, 0, "baseline taken at reset");
+        let _ = env.actions(&s2);
+        let ep2 = env.episode_counters();
+        let cum2 = env.counters();
+        assert!(cum2.action_cache_hits >= cum1.action_cache_hits);
+        assert!(
+            ep2.action_cache_hits < cum2.action_cache_hits,
+            "episode view must not be cumulative"
+        );
     }
 
     #[test]

@@ -44,14 +44,29 @@ fn main() {
             );
         }
         let cfg = DqnConfig::simulation(scale.episodes, scale.tmax).with_seed(0xDE9);
-        let mut advisor = lpa_advisor::Advisor::train_offline(
+        let env = lpa_advisor::AdvisorEnv::new(
             schema.clone(),
             workload.clone(),
-            NetworkCostModel::new(cost_params(hw)),
+            lpa_advisor::RewardBackend::cost_model(NetworkCostModel::new(cost_params(hw))),
             MixSampler::uniform(&workload),
-            cfg,
             true,
+            cfg.seed,
         );
+        let mut advisor = lpa_advisor::Advisor::untrained(env, cfg.clone());
+        // Per-episode counters come from the episode-scoped view
+        // (`EpisodeStats::counters` / `episode_counters()`), not the
+        // cumulative totals — earlier revisions divided lifetime hits by
+        // lifetime lookups, so a long run's "per-episode" cache-hit ratio
+        // crept toward the cumulative mean instead of describing the
+        // episode actually being reported.
+        let mut first_ep: Option<lpa_rl::EnvCounters> = None;
+        let mut last_ep = lpa_rl::EnvCounters::default();
+        advisor.train_episodes(cfg.episodes, |st| {
+            if first_ep.is_none() {
+                first_ep = Some(st.counters);
+            }
+            last_ep = st.counters;
+        });
         let s = advisor.suggest(&f);
         eprintln!(
             "  offline agent: reward {:.5} → {}",
@@ -60,7 +75,7 @@ fn main() {
         );
         let c = advisor.env.counters();
         eprintln!(
-            "  env counters: {} rewards ({} delta / {} full re-costs), \
+            "  env totals: {} rewards ({} delta / {} full re-costs), \
              reward cache {:.1}% hit ({}h/{}m), action cache {}h/{}m",
             c.rewards_evaluated,
             c.delta_recosts,
@@ -71,5 +86,24 @@ fn main() {
             c.action_cache_hits,
             c.action_cache_misses,
         );
+        let ep_line = |label: &str, e: &lpa_rl::EnvCounters| {
+            eprintln!(
+                "  {label}: {} rewards, reward cache {:.1}% hit ({}h/{}m), \
+                 action cache {}h/{}m",
+                e.rewards_evaluated,
+                100.0 * e.reward_cache_hit_rate(),
+                e.reward_cache_hits,
+                e.reward_cache_misses,
+                e.action_cache_hits,
+                e.action_cache_misses,
+            );
+        };
+        if let Some(e) = &first_ep {
+            ep_line("first episode", e);
+        }
+        ep_line("last episode ", &last_ep);
+        // The suggest rollout resets the env, so the episode-scoped view
+        // isolates inference-time cache behaviour from the training totals.
+        ep_line("suggest walk ", &advisor.env.episode_counters());
     }
 }

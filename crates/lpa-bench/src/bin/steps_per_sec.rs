@@ -14,14 +14,21 @@
 //! (`lpa_nn::with_naive_kernels`) and asserts the *same* bitwise
 //! trajectory again, so the reported NN speedup (fast blocked/fused
 //! kernels vs naive loops) is also guaranteed to price identical
-//! computations.
+//! computations. A fourth mode additionally forces full state re-encodes
+//! (`lpa_partition::with_full_encode`), composing both oracle guards —
+//! the incremental `DeltaEncoder` must drive the same bits too.
+//!
+//! Each train-loop record carries the agent-internal phase split
+//! (`encode_s` / `env_s` / `replay_s` / `nn_s`, from `lpa_rl::profile`)
+//! next to the coarse select/step/train wall timers.
 //!
 //! Perf-regression gate: `--baseline results/BENCH_baseline.json`
-//! compares each benchmark's delta-engine `steps_per_sec` against the
-//! committed baseline and exits non-zero if throughput falls below
-//! `tolerance × baseline` (default 0.7, i.e. >30 % regression fails;
-//! override with `--tolerance`). Refresh the baseline on intentional
-//! perf changes with `--write-baseline results/BENCH_baseline.json`.
+//! compares each benchmark's delta-engine `steps_per_sec` — and the
+//! env-only walk's, under the `<name>_walk` key — against the committed
+//! baseline and exits non-zero if throughput falls below `tolerance ×
+//! baseline` (default 0.7, i.e. >30 % regression fails; override with
+//! `--tolerance`). Refresh the baseline on intentional perf changes with
+//! `--write-baseline results/BENCH_baseline.json`.
 //!
 //! Usage: `steps_per_sec [--bench ssb|tpcds|tpcch|micro] [--episodes N]
 //! [--tmax N] [--walk-steps N] [--seed N] [--baseline PATH]
@@ -46,6 +53,12 @@ struct RunResult {
     step_s: f64,
     train_s: f64,
     total_s: f64,
+    /// Agent-internal phase split (encode/env/replay/nn) from
+    /// `lpa_rl::profile` — finer than the select/step/train wall split:
+    /// `nn` is forwards + backward + soft updates, `encode` is state
+    /// featurization, `env` is action enumeration inside the agent,
+    /// `replay` is minibatch sampling. `env.step` time is `step_s`.
+    phases: lpa_rl::profile::PhaseNanos,
     reward_bits: Vec<u64>,
     actions: Vec<String>,
     counters: lpa_rl::EnvCounters,
@@ -76,6 +89,8 @@ fn run_mode(
     let train_every = cfg.train_every.max(1);
     let mut agent = DqnAgent::new(env.input_dim(), cfg);
 
+    lpa_rl::profile::set_enabled(true);
+    lpa_rl::profile::reset();
     let mut select_t = Duration::ZERO;
     let mut step_t = Duration::ZERO;
     let mut train_t = Duration::ZERO;
@@ -117,6 +132,7 @@ fn run_mode(
         step_s: step_t.as_secs_f64(),
         train_s: train_t.as_secs_f64(),
         total_s: started.elapsed().as_secs_f64(),
+        phases: lpa_rl::profile::snapshot(),
         reward_bits,
         actions,
         counters: env.counters(),
@@ -258,6 +274,13 @@ fn main() {
         let delta = run_mode(bench, false, eps, tm, seed);
         eprintln!("[{}: same run, naive NN kernels…]", bench.name());
         let naive = lpa_nn::with_naive_kernels(|| run_mode(bench, false, eps, tm, seed));
+        eprintln!(
+            "[{}: same run, full state encode + naive kernels…]",
+            bench.name()
+        );
+        let oracle = lpa_partition::with_full_encode(|| {
+            lpa_nn::with_naive_kernels(|| run_mode(bench, false, eps, tm, seed))
+        });
 
         // The equivalence contract: identical rewards (bitwise) and
         // identical selected actions at every step.
@@ -285,6 +308,21 @@ fn main() {
             delta.actions,
             naive.actions,
             "{}: fast-kernel action trajectory diverged from naive kernels",
+            bench.name()
+        );
+        // The encoder contract: incremental state encoding composed with
+        // the fast kernels drives the same trajectory as full re-encodes
+        // on the naive reference — both oracle guards at once.
+        assert_eq!(
+            delta.reward_bits,
+            oracle.reward_bits,
+            "{}: rewards diverged from full-encode + naive-kernel oracle",
+            bench.name()
+        );
+        assert_eq!(
+            delta.actions,
+            oracle.actions,
+            "{}: action trajectory diverged from full-encode + naive-kernel oracle",
             bench.name()
         );
 
@@ -323,6 +361,11 @@ fn main() {
             sps(&delta) / sps(&naive).max(1e-9),
             "x",
         );
+        lpa_bench::bar(
+            "full encode + naive kernels (train loop)",
+            sps(&oracle),
+            "steps/s",
+        );
         lpa_bench::bar("full recompute (env walk)", wps(&walk_full), "steps/s");
         lpa_bench::bar("delta engine (env walk)", wps(&walk_delta), "steps/s");
         lpa_bench::bar(
@@ -332,12 +375,17 @@ fn main() {
         );
 
         let phase = |r: &RunResult| {
+            let ns = 1e-9;
             json!({
                 "steps": r.steps,
                 "total_s": r.total_s,
                 "select_s": r.select_s,
                 "step_s": r.step_s,
                 "train_s": r.train_s,
+                "encode_s": r.phases.encode_ns as f64 * ns,
+                "env_s": r.phases.env_ns as f64 * ns,
+                "replay_s": r.phases.replay_ns as f64 * ns,
+                "nn_s": r.phases.nn_ns as f64 * ns,
                 "steps_per_sec": sps(r),
                 "counters": json!({
                     "reward_cache_hits": r.counters.reward_cache_hits,
@@ -370,13 +418,19 @@ fn main() {
             "full": phase(&full),
             "delta": phase(&delta),
             "naive_nn": phase(&naive),
+            "oracle_full_encode_naive_nn": phase(&oracle),
             "speedup": sps(&delta) / sps(&full).max(1e-9),
             "nn_kernel_speedup": sps(&delta) / sps(&naive).max(1e-9),
+            "oracle_speedup": sps(&delta) / sps(&oracle).max(1e-9),
             "walk_full": walk(&walk_full),
             "walk_delta": walk(&walk_delta),
             "walk_speedup": wps(&walk_delta) / wps(&walk_full).max(1e-9),
         }));
         measured.push((bench.name().to_string(), sps(&delta)));
+        // The env-only walk gets its own gated floor: the train loop is
+        // NN-heavy enough that a large reward-path regression could hide
+        // inside its tolerance.
+        measured.push((format!("{}_walk", bench.name()), wps(&walk_delta)));
     }
 
     let doc = json!({ "runs": out });

@@ -126,6 +126,9 @@ pub struct Cluster {
     /// Deterministic fault schedule (inert by default).
     faults: FaultPlan,
     fault_accounting: FaultAccounting,
+    /// Reusable columnar-executor buffers (transient — excluded from
+    /// resume state; contents never outlive one `run_query`).
+    exec_scratch: crate::ExecScratch,
 }
 
 impl Cluster {
@@ -151,6 +154,7 @@ impl Cluster {
             tables_repartitioned: 0,
             faults: FaultPlan::none(),
             fault_accounting: FaultAccounting::default(),
+            exec_scratch: crate::ExecScratch::default(),
         }
     }
 
@@ -357,7 +361,7 @@ impl Cluster {
             layouts: &self.layouts,
             faults: &faults,
         };
-        match exec.execute(query, &plan, timeout) {
+        match exec.execute_with(query, &plan, timeout, &mut self.exec_scratch) {
             Some(r) => {
                 self.clock_seconds += r.seconds;
                 let degraded = faults.any_fault();

@@ -1,0 +1,710 @@
+//! Columnar (struct-of-arrays) executor accounting — the allocation-free
+//! fast path behind [`Executor::execute`].
+//!
+//! [`Executor::execute_naive`] keeps the row-at-a-time reference semantics:
+//! it allocates fresh `Vec`s for filtered rows, placements, buckets, and
+//! per-group join outputs on every step. This module re-expresses the same
+//! computation over reusable columns held in an [`ExecScratch`]:
+//!
+//! * per-node work / net / runtime accounting lives in flat columns
+//!   (`net_bytes`, `per_node_*`), with fault multipliers applied as column
+//!   passes in node-index order — exactly the naive fold order;
+//! * shard histograms accumulate into a flattened `chunks × nodes` partial
+//!   buffer via `lpa_par` index-ordered chunks and merge in chunk order
+//!   (integer adds — exact for any thread count);
+//! * join buckets use a two-pass CSR layout (count, prefix-sum, scatter in
+//!   ascending row order) instead of per-node `Vec<Vec<_>>`;
+//! * the per-group hash join keeps per-key build rows in insertion order
+//!   through an arena chain (`build_row` / `build_next`), and the serial
+//!   group loop writes output provenance straight into the merged columns —
+//!   byte-identical to the naive path's group-ordered merge, minus the
+//!   copy.
+//!
+//! Bit-exactness contract (DESIGN.md §13): every `f64` accumulation below
+//! is the same expression, in the same order, as `execute_naive`; only
+//! allocation and intermediate representation differ. The differential
+//! harness ([`with_naive_executor`], plus the property/chaos suites) proves
+//! `execute` == `execute_naive` bit-for-bit across fault storms and thread
+//! counts.
+//!
+//! This file is hot-path scoped under lint rule L013: no `Vec::new` /
+//! `vec![]` / `collect()` outside `#[cfg(test)]` — steady-state execution
+//! must not allocate.
+
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::executor::{hash_str, over, par_pool, slot_of, ExecResult, Executor, Layout};
+use lpa_costmodel::{JoinStrategy, QueryPlan};
+use lpa_schema::TableId;
+use lpa_workload::Query;
+
+thread_local! {
+    static FORCE_NAIVE_EXEC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with [`Executor::execute`] forced onto the row-at-a-time
+/// reference path. Used by differential harnesses; composes with
+/// `lpa_nn::with_naive_kernels` and `lpa_partition::with_full_encode`.
+pub fn with_naive_executor<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_NAIVE_EXEC.with(|c| c.set(self.0));
+        }
+    }
+    let _reset = Reset(FORCE_NAIVE_EXEC.with(|c| c.replace(true)));
+    f()
+}
+
+/// True while inside [`with_naive_executor`] on this thread.
+pub fn naive_executor_forced() -> bool {
+    FORCE_NAIVE_EXEC.with(|c| c.get())
+}
+
+/// Columnar intermediate result: the same provenance contract as the
+/// naive executor's `Inter`, with arena-backed columns that survive across
+/// steps and queries.
+#[derive(Clone, Debug, Default)]
+struct ColInter {
+    /// `slots[s][i]` = base-table row feeding output row `i` from query
+    /// table slot `s` (absent slots stay empty).
+    slots: Vec<Vec<u32>>,
+    node: Vec<u8>,
+    replicated: bool,
+    bytes_per_row: f64,
+}
+
+impl ColInter {
+    fn reset(&mut self, width: usize) {
+        self.slots.truncate(width);
+        for s in self.slots.iter_mut() {
+            s.clear();
+        }
+        self.slots.resize_with(width, Default::default);
+        self.node.clear();
+        self.replicated = false;
+        self.bytes_per_row = 0.0;
+    }
+
+    fn len(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+/// Reusable buffers for the columnar executor. One per cluster (or per
+/// caller); every query and join step reuses the same arenas, so
+/// steady-state execution performs no heap allocation once the buffers
+/// have grown to the workload's high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct ExecScratch {
+    /// Predicate-surviving row ids of the table currently being scanned.
+    filtered: Vec<u32>,
+    /// Join-key value per intermediate row (primary pair, left side).
+    left_vals: Vec<u64>,
+    /// Home node per filtered right row (empty when replicated).
+    right_home: Vec<u8>,
+    /// Post-exchange placements (directed / symmetric repartition).
+    new_left: Vec<u8>,
+    new_right: Vec<u8>,
+    /// Per-node bytes received this step (column pass per strategy).
+    net_bytes: Vec<f64>,
+    /// Flattened `chunks × nodes` histogram partials and their merge.
+    hist_partials: Vec<usize>,
+    hist_counts: Vec<usize>,
+    /// CSR buckets: per-group offsets + row indices in ascending order.
+    right_off: Vec<usize>,
+    right_items: Vec<u32>,
+    left_off: Vec<usize>,
+    left_items: Vec<u32>,
+    bucket_cursor: Vec<usize>,
+    /// Chained hash-join arena: per-key insertion-ordered build rows.
+    join_keys: HashMap<u64, (u32, u32)>,
+    build_row: Vec<u32>,
+    build_next: Vec<u32>,
+    /// Per-group work columns for the straggler maxima.
+    per_node_build: Vec<usize>,
+    per_node_probe: Vec<usize>,
+    per_node_out: Vec<usize>,
+    /// Double-buffered intermediates (swapped after each join step).
+    cur: ColInter,
+    next: ColInter,
+}
+
+impl Executor<'_> {
+    /// The columnar fast path behind [`Executor::execute`]. Bit-identical
+    /// to [`Executor::execute_naive`] by construction (see module docs) and
+    /// by the differential suites.
+    pub(crate) fn execute_columnar(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        budget: Option<f64>,
+        scratch: &mut ExecScratch,
+    ) -> Option<ExecResult> {
+        let n = self.hw.nodes;
+        let mut seconds = self.engine.query_overhead;
+        let mut bytes_shuffled = 0.0;
+
+        let scan_bw = if self.engine.disk_based {
+            self.hw.disk_scan_bandwidth
+        } else {
+            self.hw.mem_scan_bandwidth
+        };
+        for &t in &query.tables {
+            let bytes = self.schema.table(t).bytes() as f64;
+            let max_share = self.max_shard_fraction_col(t, scratch);
+            seconds += bytes * max_share / scan_bw;
+        }
+        if over(seconds, budget) {
+            return None;
+        }
+
+        if query.joins.is_empty() {
+            let t = query.tables[0];
+            self.filtered_rows_into(query, t, &mut scratch.filtered);
+            let rows = scratch.filtered.len() as f64;
+            let share = self.max_shard_fraction_col(t, scratch);
+            seconds += rows * share * self.hw.cpu_tuple_cost * query.cpu_factor;
+            return Some(ExecResult {
+                seconds,
+                output_rows: rows as u64,
+                bytes_shuffled,
+            });
+        }
+
+        let start = plan.start_table.unwrap_or(query.tables[0]);
+        self.seed_inter_col(query, start, scratch);
+
+        for step in &plan.steps {
+            let Some(join) = query.joins.get(step.join_index) else {
+                continue;
+            };
+            let (step_seconds, step_bytes) =
+                self.join_step_col(query, step.table, join, step.strategy, scratch);
+            seconds += step_seconds;
+            bytes_shuffled += step_bytes;
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            if over(seconds, budget) {
+                return None;
+            }
+        }
+
+        let out_rows = scratch.cur.len() as f64;
+        let agg_share = if scratch.cur.replicated {
+            1.0
+        } else {
+            // Split borrow: the histogram buffers are disjoint from `cur`.
+            let (node, hist_partials, hist_counts) = (
+                &scratch.cur.node,
+                &mut scratch.hist_partials,
+                &mut scratch.hist_counts,
+            );
+            self.max_node_fraction_col(node, n, hist_partials, hist_counts)
+        };
+        seconds += out_rows * agg_share * self.hw.cpu_tuple_cost * query.cpu_factor;
+        if over(seconds, budget) {
+            return None;
+        }
+        Some(ExecResult {
+            seconds,
+            output_rows: scratch.cur.len() as u64,
+            bytes_shuffled,
+        })
+    }
+
+    /// Columnar twin of the naive `max_shard_fraction`.
+    fn max_shard_fraction_col(&self, t: TableId, scratch: &mut ExecScratch) -> f64 {
+        match &self.layouts[t.0] {
+            Layout::Replicated => self.replicated_slowdown(),
+            Layout::Hashed { node, .. } => {
+                if node.is_empty() {
+                    1.0 / self.hw.nodes as f64
+                } else {
+                    self.max_node_fraction_col(
+                        node,
+                        self.hw.nodes,
+                        &mut scratch.hist_partials,
+                        &mut scratch.hist_counts,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Columnar twin of the naive `max_node_fraction`: the same chunked
+    /// histogram, accumulated into one flattened `chunks × nodes` buffer
+    /// via index-ordered chunks and merged in chunk order. Integer adds —
+    /// the counts (and so the weighted maximum) are exact and identical.
+    fn max_node_fraction_col(
+        &self,
+        assignment: &[u8],
+        nodes: usize,
+        partials: &mut Vec<usize>,
+        counts: &mut Vec<usize>,
+    ) -> f64 {
+        if assignment.is_empty() {
+            return 1.0 / nodes as f64;
+        }
+        let chunk = lpa_par::default_chunk_len(assignment.len());
+        let n_chunks = assignment.len().div_ceil(chunk);
+        partials.clear();
+        partials.resize(n_chunks * nodes, 0);
+        par_pool(assignment.len()).par_chunks_mut(partials, nodes, |c, part| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(assignment.len());
+            for &a in &assignment[lo..hi] {
+                part[a as usize] += 1;
+            }
+        });
+        counts.clear();
+        counts.resize(nodes, 0);
+        for part in partials.chunks_exact(nodes) {
+            for (total, p) in counts.iter_mut().zip(part) {
+                *total += p;
+            }
+        }
+        let max_weighted = counts
+            .iter()
+            .enumerate()
+            .map(|(node, &c)| c as f64 * self.node_work_mult(node))
+            .fold(0.0, f64::max);
+        max_weighted / assignment.len() as f64
+    }
+
+    /// Columnar twin of the naive `filtered_rows`: same ids, same order,
+    /// written into a reused buffer.
+    fn filtered_rows_into(&self, query: &Query, t: TableId, out: &mut Vec<u32>) {
+        out.clear();
+        let sel = query.table_selectivity(t);
+        let rows = self.db.table(t).rows;
+        if sel >= 1.0 {
+            out.extend(0..rows as u32);
+            return;
+        }
+        let threshold = (sel * u64::MAX as f64) as u64;
+        let tag = crate::engine::splitmix64(hash_str(&query.name) ^ ((t.0 as u64) << 17));
+        for r in 0..rows as u32 {
+            if crate::engine::splitmix64(tag ^ r as u64) <= threshold {
+                out.push(r);
+            }
+        }
+    }
+
+    /// Columnar twin of the naive `seed_inter`.
+    fn seed_inter_col(&self, query: &Query, start: TableId, scratch: &mut ExecScratch) {
+        let slot = slot_of(query, start);
+        self.filtered_rows_into(query, start, &mut scratch.filtered);
+        let cur = &mut scratch.cur;
+        cur.reset(query.tables.len());
+        match &self.layouts[start.0] {
+            Layout::Replicated => {
+                cur.node.resize(scratch.filtered.len(), 0);
+                cur.replicated = true;
+            }
+            Layout::Hashed { node, .. } => {
+                for &r in &scratch.filtered {
+                    cur.node.push(node[r as usize]);
+                }
+                cur.replicated = false;
+            }
+        }
+        if let Some(seed_slot) = cur.slots.get_mut(slot) {
+            seed_slot.extend_from_slice(&scratch.filtered);
+        }
+        cur.bytes_per_row = self.schema.table(start).row_bytes as f64;
+    }
+
+    /// Columnar twin of the naive `join_step`: reads `scratch.cur`, writes
+    /// `scratch.next` (the caller swaps). Returns (seconds, total bytes).
+    fn join_step_col(
+        &self,
+        query: &Query,
+        right_table: TableId,
+        join: &lpa_workload::JoinPred,
+        strategy: JoinStrategy,
+        scratch: &mut ExecScratch,
+    ) -> (f64, f64) {
+        let ExecScratch {
+            filtered,
+            left_vals,
+            right_home,
+            new_left,
+            new_right,
+            net_bytes,
+            right_off,
+            right_items,
+            left_off,
+            left_items,
+            bucket_cursor,
+            join_keys,
+            build_row,
+            build_next,
+            per_node_build,
+            per_node_probe,
+            per_node_out,
+            cur,
+            next,
+            ..
+        } = scratch;
+        let inter: &ColInter = cur;
+
+        let n = self.hw.nodes;
+        let right_slot = slot_of(query, right_table);
+        self.filtered_rows_into(query, right_table, filtered);
+        let right_rows: &[u32] = filtered;
+        let right_bytes_row = self.schema.table(right_table).row_bytes as f64;
+
+        // Orient the primary pair as (inter side, right side) — the naive
+        // path orients every pair but only ever reads the first.
+        let (a, b) = join.pairs[0];
+        let primary = if b.table == right_table {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        left_vals.clear();
+        if let Some(rows) = inter.slots.get(slot_of(query, primary.0.table)) {
+            let col = self.db.column(primary.0.table, primary.0.attr);
+            for &r in rows {
+                left_vals.push(col[r as usize]);
+            }
+        }
+        let right_col = self.db.column(right_table, primary.1.attr);
+
+        right_home.clear();
+        let right_replicated = matches!(self.layouts[right_table.0], Layout::Replicated);
+        if let Layout::Hashed { node, .. } = &self.layouts[right_table.0] {
+            for &r in right_rows {
+                right_home.push(node[r as usize]);
+            }
+        }
+
+        net_bytes.clear();
+        net_bytes.resize(n, 0.0);
+        let mut total_bytes = 0.0f64;
+        let mut shuffled = false;
+
+        // Effective placements after the exchange; `None` = present
+        // everywhere. Same accumulation expressions, in the same order, as
+        // the naive strategy arms — only the `Vec` clones are gone.
+        let (left_at, right_at): (Option<&[u8]>, Option<&[u8]>) = match strategy {
+            JoinStrategy::ReplicatedSide | JoinStrategy::CoLocated => {
+                let left = if inter.replicated {
+                    None
+                } else {
+                    Some(inter.node.as_slice())
+                };
+                let right = if right_replicated {
+                    None
+                } else {
+                    Some(right_home.as_slice())
+                };
+                (left, right)
+            }
+            JoinStrategy::Broadcast { table_side: true } => {
+                shuffled = true;
+                let bytes = right_rows.len() as f64 * right_bytes_row;
+                for node_bytes in net_bytes.iter_mut() {
+                    *node_bytes += bytes * (n as f64 - 1.0) / n as f64;
+                }
+                total_bytes += bytes * (n as f64 - 1.0);
+                let left = if inter.replicated {
+                    None
+                } else {
+                    Some(inter.node.as_slice())
+                };
+                (left, None)
+            }
+            JoinStrategy::Broadcast { table_side: false } => {
+                shuffled = true;
+                let bytes = inter.len() as f64 * inter.bytes_per_row;
+                for node_bytes in net_bytes.iter_mut() {
+                    *node_bytes += bytes * (n as f64 - 1.0) / n as f64;
+                }
+                total_bytes += bytes * (n as f64 - 1.0);
+                let right = if right_replicated {
+                    None
+                } else {
+                    Some(right_home.as_slice())
+                };
+                (None, right)
+            }
+            JoinStrategy::DirectedRepartition { table_side } => {
+                shuffled = true;
+                if table_side {
+                    new_right.clear();
+                    for &r in right_rows {
+                        new_right.push(self.engine.node_of(right_col[r as usize], n) as u8);
+                    }
+                    for (j, &node) in new_right.iter().enumerate() {
+                        let home = right_home.get(j).copied().unwrap_or(node);
+                        if home != node {
+                            net_bytes[node as usize] += right_bytes_row;
+                            total_bytes += right_bytes_row;
+                        }
+                    }
+                    let left = if inter.replicated {
+                        None
+                    } else {
+                        Some(inter.node.as_slice())
+                    };
+                    (left, Some(new_right.as_slice()))
+                } else {
+                    new_left.clear();
+                    for &v in left_vals.iter() {
+                        new_left.push(self.engine.node_of(v, n) as u8);
+                    }
+                    for (i, &node) in new_left.iter().enumerate() {
+                        let home = if inter.replicated {
+                            node
+                        } else {
+                            inter.node[i]
+                        };
+                        if home != node {
+                            net_bytes[node as usize] += inter.bytes_per_row;
+                            total_bytes += inter.bytes_per_row;
+                        }
+                    }
+                    let right = if right_replicated {
+                        None
+                    } else {
+                        Some(right_home.as_slice())
+                    };
+                    (Some(new_left.as_slice()), right)
+                }
+            }
+            JoinStrategy::SymmetricRepartition => {
+                shuffled = true;
+                new_left.clear();
+                for &v in left_vals.iter() {
+                    new_left.push(self.engine.node_of(v, n) as u8);
+                }
+                for (i, &node) in new_left.iter().enumerate() {
+                    let home = if inter.replicated {
+                        node
+                    } else {
+                        inter.node[i]
+                    };
+                    if home != node {
+                        net_bytes[node as usize] += inter.bytes_per_row;
+                        total_bytes += inter.bytes_per_row;
+                    }
+                }
+                new_right.clear();
+                for &r in right_rows {
+                    new_right.push(self.engine.node_of(right_col[r as usize], n) as u8);
+                }
+                for (j, &node) in new_right.iter().enumerate() {
+                    let home = right_home.get(j).copied().unwrap_or(node);
+                    if home != node {
+                        net_bytes[node as usize] += right_bytes_row;
+                        total_bytes += right_bytes_row;
+                    }
+                }
+                (Some(new_left.as_slice()), Some(new_right.as_slice()))
+            }
+        };
+
+        let both_everywhere = left_at.is_none() && right_at.is_none();
+        let groups: usize = if both_everywhere { 1 } else { n };
+        let inter_len = inter.len();
+        let out_width = query.tables.len();
+
+        // CSR bucketing: count → exclusive prefix sum → scatter in
+        // ascending row order. Within each bucket the indices come out
+        // ascending — the same per-group order as the naive
+        // `buckets[node].push(…)` loops.
+        csr_bucket(right_at, right_off, right_items, bucket_cursor, groups);
+        csr_bucket(left_at, left_off, left_items, bucket_cursor, groups);
+
+        next.reset(out_width);
+        per_node_build.clear();
+        per_node_build.resize(groups, 0);
+        per_node_probe.clear();
+        per_node_probe.resize(groups, 0);
+        per_node_out.clear();
+        per_node_out.resize(groups, 0);
+
+        // Serial group loop, group index ascending: output provenance goes
+        // straight into the merged columns, which is exactly the naive
+        // path's group-ordered merge (node 0's rows first, then node 1's).
+        for g in 0..groups {
+            join_keys.clear();
+            build_row.clear();
+            build_next.clear();
+            let mut insert = |r: u32, key: u64| {
+                let idx = build_row.len() as u32;
+                build_row.push(r);
+                build_next.push(u32::MAX);
+                match join_keys.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        let (_, tail) = e.get_mut();
+                        if let Some(slot) = build_next.get_mut(*tail as usize) {
+                            *slot = idx;
+                        }
+                        *tail = idx;
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert((idx, idx));
+                    }
+                }
+            };
+            if right_at.is_some() {
+                for &j in &right_items[right_off[g]..right_off[g + 1]] {
+                    let r = right_rows[j as usize];
+                    insert(r, right_col[r as usize]);
+                }
+            } else {
+                for &r in right_rows {
+                    insert(r, right_col[r as usize]);
+                }
+            }
+            per_node_build[g] = build_row.len();
+
+            // Probe index-ascending; per-key matches walk the insertion-
+            // ordered chain — the same match order as the naive per-key
+            // `Vec`s.
+            let probe_list: &[u32] = if left_at.is_some() {
+                &left_items[left_off[g]..left_off[g + 1]]
+            } else {
+                &[]
+            };
+            let mut out_rows_g = 0usize;
+            let mut probe = |i: usize| {
+                if let Some(&(head, _)) = join_keys.get(&left_vals[i]) {
+                    let mut idx = head;
+                    loop {
+                        let r = build_row[idx as usize];
+                        for (s, out) in next.slots.iter_mut().enumerate() {
+                            if s == right_slot {
+                                out.push(r);
+                            } else if !inter.slots[s].is_empty() {
+                                out.push(inter.slots[s][i]);
+                            }
+                        }
+                        out_rows_g += 1;
+                        let nx = build_next[idx as usize];
+                        if nx == u32::MAX {
+                            break;
+                        }
+                        idx = nx;
+                    }
+                }
+            };
+            if left_at.is_some() {
+                per_node_probe[g] = probe_list.len();
+                for &iu in probe_list {
+                    probe(iu as usize);
+                }
+            } else {
+                per_node_probe[g] = inter_len;
+                for i in 0..inter_len {
+                    probe(i);
+                }
+            }
+            per_node_out[g] = out_rows_g;
+            next.node.resize(next.node.len() + out_rows_g, g as u8);
+        }
+
+        // Time accounting: identical expressions and fold order to the
+        // naive path (node-index-ascending column passes).
+        let mut seconds = 0.0;
+        if shuffled {
+            seconds += self.engine.shuffle_overhead;
+            let max_in = net_bytes
+                .iter()
+                .enumerate()
+                .map(|(node, &b)| b * self.node_net_mult(node))
+                .fold(0.0, f64::max);
+            seconds += max_in / self.hw.net_bandwidth;
+        }
+        let max_work = (0..groups)
+            .map(|g| {
+                let node = if both_everywhere {
+                    self.faults.first_up()
+                } else {
+                    g
+                };
+                (per_node_build[g] + per_node_probe[g] + per_node_out[g]) as f64
+                    * self.node_work_mult(node)
+            })
+            .fold(0.0, f64::max);
+        seconds += max_work * self.hw.cpu_tuple_cost * query.cpu_factor;
+
+        next.replicated = both_everywhere;
+        next.bytes_per_row = inter.bytes_per_row + right_bytes_row;
+        (seconds, total_bytes)
+    }
+}
+
+/// Two-pass CSR bucketing of `at` (node per row) into `groups` buckets:
+/// `items[off[g]..off[g+1]]` lists the row indices placed at group `g`, in
+/// ascending order. A `None` placement means "present everywhere" — the
+/// offsets are left covering an empty list and callers use the full range.
+fn csr_bucket(
+    at: Option<&[u8]>,
+    off: &mut Vec<usize>,
+    items: &mut Vec<u32>,
+    cursor: &mut Vec<usize>,
+    groups: usize,
+) {
+    off.clear();
+    off.resize(groups + 1, 0);
+    items.clear();
+    let Some(at) = at else {
+        return;
+    };
+    for &node in at {
+        off[node as usize + 1] += 1;
+    }
+    for g in 0..groups {
+        off[g + 1] += off[g];
+    }
+    cursor.clear();
+    cursor.extend_from_slice(&off[..groups]);
+    items.resize(at.len(), 0);
+    for (i, &node) in at.iter().enumerate() {
+        let Some(c) = cursor.get_mut(node as usize) else {
+            continue;
+        };
+        if let Some(slot) = items.get_mut(*c) {
+            *slot = i as u32;
+        }
+        *c += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_bucket_matches_push_order() {
+        let at = [2u8, 0, 1, 0, 2, 2, 1];
+        let mut off = Vec::new();
+        let mut items = Vec::new();
+        let mut cursor = Vec::new();
+        csr_bucket(Some(&at), &mut off, &mut items, &mut cursor, 3);
+        // Reference: per-bucket push loops in ascending index order.
+        let mut want: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for (i, &node) in at.iter().enumerate() {
+            want[node as usize].push(i as u32);
+        }
+        for g in 0..3 {
+            assert_eq!(&items[off[g]..off[g + 1]], want[g].as_slice(), "group {g}");
+        }
+        // Everywhere-side: empty offsets, empty items.
+        csr_bucket(None, &mut off, &mut items, &mut cursor, 3);
+        assert!(items.is_empty());
+        assert_eq!(off, vec![0; 4]);
+    }
+
+    #[test]
+    fn naive_executor_guard_restores() {
+        assert!(!naive_executor_forced());
+        with_naive_executor(|| assert!(naive_executor_forced()));
+        assert!(!naive_executor_forced());
+    }
+}

@@ -23,11 +23,11 @@ use std::collections::HashMap;
 /// more than the join itself for small tables. The threshold only selects
 /// serial vs. parallel execution of the *same* per-node decomposition, so
 /// results are bit-identical either way.
-const PAR_MIN_ROWS: usize = 1 << 14;
+pub(crate) const PAR_MIN_ROWS: usize = 1 << 14;
 
 /// The deterministic pool for `work` row-operations' worth of simulator
 /// work (inline below [`PAR_MIN_ROWS`]).
-fn par_pool(work: usize) -> Pool {
+pub(crate) fn par_pool(work: usize) -> Pool {
     if work >= PAR_MIN_ROWS {
         Pool::current()
     } else {
@@ -119,7 +119,41 @@ impl<'a> Executor<'a> {
     /// Returns the simulated runtime; if `budget` is given, execution is
     /// aborted once the accumulated time exceeds it and `None` is returned
     /// (the timeout optimization of Section 4.2).
+    ///
+    /// Routes to the columnar fast path ([`crate::columnar`]) unless
+    /// [`crate::with_naive_executor`] forces this row-at-a-time reference.
+    /// Allocates a fresh scratch; steady-state callers should hold an
+    /// [`crate::ExecScratch`] and use [`Self::execute_with`].
     pub fn execute(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        budget: Option<f64>,
+    ) -> Option<ExecResult> {
+        let mut scratch = crate::ExecScratch::default();
+        self.execute_with(query, plan, budget, &mut scratch)
+    }
+
+    /// [`Self::execute`] with a caller-provided reusable scratch.
+    pub fn execute_with(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        budget: Option<f64>,
+        scratch: &mut crate::ExecScratch,
+    ) -> Option<ExecResult> {
+        if crate::columnar::naive_executor_forced() {
+            self.execute_naive(query, plan, budget)
+        } else {
+            self.execute_columnar(query, plan, budget, scratch)
+        }
+    }
+
+    /// The row-at-a-time reference executor: allocating, per-node nested
+    /// loops. Kept verbatim as the differential oracle for the columnar
+    /// path — every charge below defines the contract the fast path must
+    /// reproduce bit-for-bit.
+    pub fn execute_naive(
         &self,
         query: &Query,
         plan: &QueryPlan,
@@ -201,7 +235,7 @@ impl<'a> Executor<'a> {
     /// Straggler multiplier of work every live node performs in full (e.g.
     /// scanning a replicated table): the step is as slow as the slowest
     /// node that is still up.
-    fn replicated_slowdown(&self) -> f64 {
+    pub(crate) fn replicated_slowdown(&self) -> f64 {
         self.faults
             .work_mult
             .iter()
@@ -263,12 +297,12 @@ impl<'a> Executor<'a> {
 
     /// Work multiplier of a node (1.0 when the fault state does not cover
     /// it, e.g. hand-built executors in tests).
-    fn node_work_mult(&self, node: usize) -> f64 {
+    pub(crate) fn node_work_mult(&self, node: usize) -> f64 {
         self.faults.work_mult.get(node).copied().unwrap_or(1.0)
     }
 
     /// Network receive-time multiplier of a node.
-    fn node_net_mult(&self, node: usize) -> f64 {
+    pub(crate) fn node_net_mult(&self, node: usize) -> f64 {
         self.faults.net_mult.get(node).copied().unwrap_or(1.0)
     }
 
@@ -646,18 +680,18 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn over(seconds: f64, budget: Option<f64>) -> bool {
+pub(crate) fn over(seconds: f64, budget: Option<f64>) -> bool {
     budget.map(|b| seconds > b).unwrap_or(false)
 }
 
 /// Slot index of `t` in the query's scan list; slot 0 if the planner ever
 /// hands us a foreign table (deterministic, and visibly wrong in traces
 /// rather than a mid-episode abort).
-fn slot_of(query: &Query, t: TableId) -> usize {
+pub(crate) fn slot_of(query: &Query, t: TableId) -> usize {
     query.tables.iter().position(|x| *x == t).unwrap_or(0)
 }
 
-fn hash_str(s: &str) -> u64 {
+pub(crate) fn hash_str(s: &str) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for b in s.bytes() {
         h ^= b as u64;

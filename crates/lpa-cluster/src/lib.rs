@@ -35,6 +35,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cluster;
+pub mod columnar;
 pub mod datagen;
 pub mod engine;
 pub mod executor;
@@ -43,6 +44,7 @@ pub mod hardware;
 pub mod optimizer;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterResumeState, QueryOutcome};
+pub use columnar::{naive_executor_forced, with_naive_executor, ExecScratch};
 pub use datagen::{Database, TableData};
 pub use engine::{EngineKind, EngineProfile};
 pub use faults::{ClusterHealth, FailReason, FaultAccounting, FaultPlan, FaultState};

@@ -282,7 +282,13 @@ fn is_sink(def: &FnDef) -> bool {
         return false;
     }
     match def.krate.as_str() {
-        "lpa_costmodel" | "lpa_nn" | "lpa_rl" => true,
+        "lpa_costmodel" | "lpa_nn" => true,
+        // lpa-rl is all sink except its phase-timer observability module:
+        // `profile.rs` reads wall clocks by design, and its accumulators
+        // never flow back into training (anything clock-derived passed
+        // *into* a real lpa-rl sink is still caught by the tainted-arg
+        // form of L011).
+        "lpa_rl" => !def.rel_path.contains("/profile.rs"),
         "lpa_partition" => {
             def.rel_path.contains("/encoder.rs") || def.rel_path.contains("/fingerprint.rs")
         }

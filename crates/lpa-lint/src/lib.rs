@@ -5,9 +5,9 @@
 //! flags — hash-order iteration feeding an encoder, a stray `Instant::now()`
 //! in the cost model, an `unwrap()` that aborts a training episode — corrupt
 //! the training signal silently. This crate walks every `.rs` file in the
-//! workspace and enforces rules L001–L012; see [`rules`] for the token-level
-//! catalogue (L001–L008) and [`callgraph`]/[`dataflow`] for the structural
-//! rules (L009–L012).
+//! workspace and enforces rules L001–L013; see [`rules`] for the token-level
+//! catalogue (L001–L008 plus the L013 allocation-free hot-path rule) and
+//! [`callgraph`]/[`dataflow`] for the structural rules (L009–L012).
 //!
 //! The pipeline has two phases:
 //!
@@ -215,6 +215,7 @@ fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Dia
                 | "L010"
                 | "L011"
                 | "L012"
+                | "L013"
         );
         if !known {
             bad.push(Diagnostic {

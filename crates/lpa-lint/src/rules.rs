@@ -31,6 +31,12 @@
 //!   a crash mid-write leaves a torn file that a later resume would read as
 //!   a checkpoint. All persistence goes through `lpa-store`'s
 //!   temp-file + fsync + rename discipline.
+//! - **L013** — no allocation (`Vec::new` / `vec![…]` / `.collect()`)
+//!   inside the columnar executor's per-window functions or the delta
+//!   encoder's per-step path. These run once per simulated window / per
+//!   encoded state; an allocation there is a per-step heap round-trip the
+//!   whole columnar/incremental design exists to avoid, and it creeps back
+//!   silently because the code still passes every correctness test.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -687,6 +693,124 @@ pub fn l008(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
     out
 }
 
+/// Allocation-free hot paths (L013): per scoped file, the functions whose
+/// bodies run once per executor window or once per encoded state. The
+/// constructors and cache-(re)build paths of the same files allocate
+/// freely — only the steady-state loops are listed.
+const L013_HOT_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/lpa-cluster/src/columnar.rs",
+        &[
+            "max_shard_fraction_col",
+            "max_node_fraction_col",
+            "filtered_rows_into",
+            "seed_inter_col",
+            "join_step_col",
+        ],
+    ),
+    (
+        "crates/lpa-partition/src/delta_encoder.rs",
+        &["state_prefix", "encode_input", "encode_batch"],
+    ),
+];
+
+/// L013: `Vec::new` / `vec![…]` / `.collect()` inside an allocation-free
+/// hot function (see [`L013_HOT_FNS`]). `Vec::with_capacity` on a reused
+/// scratch field, `clear()` + `extend`, and allocations in the files'
+/// other functions are all fine — the rule only polices the per-window /
+/// per-step bodies.
+pub fn l013(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    let Some((_, hot_fns)) = L013_HOT_FNS
+        .iter()
+        .find(|(file, _)| rel_path.contains(file))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_hot_fn_header = tokens[i].is_ident("fn")
+            && !in_test[i]
+            && next_sig(tokens, i).is_some_and(|j| {
+                tokens[j].kind == TokKind::Ident && hot_fns.contains(&tokens[j].text.as_str())
+            });
+        if !is_hot_fn_header {
+            i += 1;
+            continue;
+        }
+        let Some(fn_name) = next_sig(tokens, i)
+            .and_then(|j| tokens.get(j))
+            .map(|t| t.text.clone())
+        else {
+            break;
+        };
+        let Some(name_idx) = next_sig(tokens, i) else {
+            break;
+        };
+        // Body extent: first `{` after the signature (a `;` first means a
+        // bodiless trait declaration) to its matching `}`.
+        let mut j = name_idx + 1;
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                let alloc: Option<&str> = match t.text.as_str() {
+                    // `Vec :: new` (the lexer splits `::` into two puncts).
+                    "Vec" => {
+                        let c1 = next_sig(tokens, j).filter(|&k| tokens[k].is_punct(':'));
+                        let c2 = c1
+                            .and_then(|k| next_sig(tokens, k))
+                            .filter(|&k| tokens[k].is_punct(':'));
+                        c2.and_then(|k| next_sig(tokens, k))
+                            .filter(|&k| tokens[k].is_ident("new"))
+                            .map(|_| "Vec::new()")
+                    }
+                    "vec" if next_sig(tokens, j).is_some_and(|k| tokens[k].is_punct('!')) => {
+                        Some("vec![…]")
+                    }
+                    "collect"
+                        if prev_sig(tokens, j).is_some_and(|k| tokens[k].is_punct('.'))
+                            && next_sig(tokens, j).is_some_and(|k| {
+                                tokens[k].is_punct('(') || tokens[k].is_punct(':')
+                            }) =>
+                    {
+                        Some(".collect()")
+                    }
+                    _ => None,
+                };
+                if let Some(what) = alloc {
+                    out.push(diag(
+                        "L013",
+                        rel_path,
+                        t.line,
+                        format!(
+                            "`{what}` inside `{fn_name}`, an allocation-free hot path (runs once per executor window / encoded state); reuse a scratch buffer (`clear()` + `extend`) instead",
+                        ),
+                    ));
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
 /// Run every rule over one file's token stream.
 pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
     let in_test = test_regions(tokens);
@@ -700,6 +824,7 @@ pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic
         out.extend(l006(rel_path, tokens, &in_test));
         out.extend(l007(rel_path, tokens, &in_test));
         out.extend(l008(rel_path, tokens, &in_test));
+        out.extend(l013(rel_path, tokens, &in_test));
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out

@@ -279,3 +279,66 @@ fn waiver_requires_matching_rule() {
     let report = lint_source("crates/lpa-costmodel/src/x.rs", src, FileKind::Lib).expect("lexes");
     assert!(report.diagnostics.iter().any(|d| d.rule == "L001"));
 }
+
+#[test]
+fn l013_fixture_flags_hot_fn_allocations_only() {
+    let src = fixture("l013_hot_alloc.rs");
+    // Linted under the columnar executor's path, where the hot-fn list
+    // (`join_step_col`, `seed_inter_col`, …) applies.
+    let report =
+        lint_source("crates/lpa-cluster/src/columnar.rs", &src, FileKind::Lib).expect("lexes");
+    let l013: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L013")
+        .collect();
+    assert_eq!(l013.len(), 3, "{:?}", report.diagnostics);
+    for d in &l013 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING"),
+            "line {} not marked: {text}",
+            d.line
+        );
+        assert!(d.message.contains("join_step_col"), "{}", d.message);
+    }
+    // Outside the two scoped files the same source is clean.
+    let elsewhere =
+        lint_source("crates/lpa-cluster/src/cluster.rs", &src, FileKind::Lib).expect("lexes");
+    assert!(
+        !elsewhere.diagnostics.iter().any(|d| d.rule == "L013"),
+        "{:?}",
+        elsewhere.diagnostics
+    );
+}
+
+#[test]
+fn l013_covers_delta_encoder_path_and_waives() {
+    // The encoder scope polices `encode_batch`; a waived finding is
+    // suppressed like any other rule.
+    let src = "impl E {\n    fn encode_batch(&mut self) -> Vec<f32> {\n        self.tmp.iter().copied().collect() // lint: allow(L013) one-off warmup; buffer is cached after the first call\n    }\n}\n";
+    let report = lint_source(
+        "crates/lpa-partition/src/delta_encoder.rs",
+        src,
+        FileKind::Lib,
+    )
+    .expect("lexes");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.rule == "L013"),
+        "{:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
+    // Without the waiver it fires.
+    let bare = src.replace(
+        " // lint: allow(L013) one-off warmup; buffer is cached after the first call",
+        "",
+    );
+    let report = lint_source(
+        "crates/lpa-partition/src/delta_encoder.rs",
+        &bare,
+        FileKind::Lib,
+    )
+    .expect("lexes");
+    assert!(report.diagnostics.iter().any(|d| d.rule == "L013"));
+}

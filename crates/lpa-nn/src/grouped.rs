@@ -1,0 +1,516 @@
+//! Grouped forward/backward over *several same-depth networks at once* —
+//! the cross-expert training batcher.
+//!
+//! The committee trains one expert per subspace. Each expert's train step
+//! is a chain of small matmuls (replay minibatches of 16–32 rows), far too
+//! small to occupy a wide pool on their own. This module stacks the
+//! same-shaped work of all members into **one pool dispatch per layer per
+//! stage**: every member's forward bands, then every member's gradient
+//! rows, each as an independent task in a single `par_map_owned` region.
+//!
+//! Bit-exactness (DESIGN.md §12): grouping only changes *which dispatch
+//! region* a task runs in, never what a task computes. Each forward band
+//! is the same [`matmul_band_dyn`] call the per-network driver makes; each
+//! gradient row accumulates over the batch in index order on exactly one
+//! task, just as `train_scalar`'s `par_chunks_mut` loops do; all
+//! cross-member reductions (loss, `db`, the Adam step, the delta swap) run
+//! serially per member in member order. Members share no buffers, so the
+//! result is bit-identical to calling [`Mlp::train_mse_with`] (or the
+//! Huber variant) once per member, in any order, at any thread count.
+//! Under [`crate::with_naive_kernels`] the forward degrades to the
+//! per-member naive driver, so the differential harness composes with
+//! grouped training unchanged.
+
+use crate::adam::Adam;
+use crate::matrix::{matmul_band_dyn, naive_kernels_forced, Matrix, ROW_BLOCK};
+use crate::mlp::{Mlp, MlpScratch};
+use lpa_par::Pool;
+
+/// One member of a grouped forward pass.
+#[derive(Debug)]
+pub struct GroupForward<'a> {
+    pub net: &'a Mlp,
+    pub x: &'a Matrix,
+    pub scratch: &'a mut MlpScratch,
+}
+
+/// One member of a grouped scalar-regression train step. `huber_delta`
+/// selects the loss exactly as in [`Mlp::train_huber_with`]; `None` is
+/// MSE.
+#[derive(Debug)]
+pub struct GroupTrain<'a> {
+    pub net: &'a mut Mlp,
+    pub x: &'a Matrix,
+    pub targets: &'a [f32],
+    pub opt: &'a mut Adam,
+    pub huber_delta: Option<f32>,
+    pub scratch: &'a mut MlpScratch,
+}
+
+/// A `ROW_BLOCK`-row output band of one member's layer forward. Tasks
+/// from all members are dispatched together; each writes only its own
+/// disjoint slice of that member's activation buffer.
+struct BandTask<'t> {
+    x: &'t Matrix,
+    w: &'t Matrix,
+    bias: &'t [f32],
+    b0: usize,
+    band: &'t mut [f32],
+    out_cols: usize,
+    relu: bool,
+}
+
+/// A contiguous run of gradient rows of one member's backward pass —
+/// either `dW` rows (unit-outer, batch-index-ordered accumulation) or
+/// previous-layer delta rows (row-outer accumulation plus the ReLU mask).
+/// Both replicate the closure bodies of `train_scalar` exactly.
+enum BackTask<'t> {
+    DwRows {
+        delta: &'t Matrix,
+        a_prev: &'t Matrix,
+        rows: &'t mut [f32],
+        o0: usize,
+        in_dim: usize,
+        batch: usize,
+    },
+    PrevDeltaRows {
+        delta: &'t Matrix,
+        w: &'t Matrix,
+        acts: &'t Matrix,
+        rows: &'t mut [f32],
+        b0: usize,
+        in_dim: usize,
+    },
+}
+
+impl BackTask<'_> {
+    fn run(self) {
+        match self {
+            BackTask::DwRows {
+                delta,
+                a_prev,
+                rows,
+                o0,
+                in_dim,
+                batch,
+            } => {
+                for (k, wrow) in rows.chunks_mut(in_dim.max(1)).enumerate() {
+                    let o = o0 + k;
+                    for b in 0..batch {
+                        let d = delta.row(b)[o];
+                        if d == 0.0 {
+                            continue;
+                        }
+                        for (wi, a) in wrow.iter_mut().zip(a_prev.row(b)) {
+                            *wi += d * a;
+                        }
+                    }
+                }
+            }
+            BackTask::PrevDeltaRows {
+                delta,
+                w,
+                acts,
+                rows,
+                b0,
+                in_dim,
+            } => {
+                for (k, prow) in rows.chunks_mut(in_dim.max(1)).enumerate() {
+                    let b = b0 + k;
+                    let drow = delta.row(b);
+                    for (o, d) in drow.iter().enumerate() {
+                        if *d == 0.0 {
+                            continue;
+                        }
+                        for (p, wv) in prow.iter_mut().zip(w.row(o)) {
+                            *p += d * wv;
+                        }
+                    }
+                    // ReLU derivative: zero where the activation was
+                    // clamped (same mask pass as `train_scalar`).
+                    for (p, a) in prow.iter_mut().zip(acts.row(b)) {
+                        if *a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rows per backward task: enough rows that task bookkeeping amortizes,
+/// few enough that a handful of members still load-balances a wide pool.
+/// Pure structure, not contract — any value gives the same bits.
+const BACK_ROWS_PER_TASK: usize = 16;
+
+fn common_depth(depths: impl Iterator<Item = usize>) -> usize {
+    let mut depth = 0usize;
+    for (i, d) in depths.enumerate() {
+        if i == 0 {
+            depth = d;
+        }
+        assert_eq!(d, depth, "grouped members must have the same layer count");
+    }
+    depth
+}
+
+/// Forward every member through its network, layer by layer, with all
+/// members' bands of one layer dispatched as a single pool region.
+/// Activations land in each member's scratch exactly as
+/// [`Mlp::forward_into`] leaves them.
+pub fn forward_group(pool: Pool, members: &mut [GroupForward<'_>]) {
+    let depth = common_depth(members.iter().map(|m| m.net.layers().len()));
+    if depth == 0 || members.is_empty() {
+        return;
+    }
+    // The naive oracle and the one-thread case both skip the shared
+    // dispatch: per-member sequential forwards are bit-identical and the
+    // naive guard lives inside the per-network driver.
+    if naive_kernels_forced() || pool.threads() == 1 {
+        for m in members.iter_mut() {
+            m.net.forward_into(pool, m.x, m.scratch);
+        }
+        return;
+    }
+    let last = depth - 1;
+    for i in 0..depth {
+        let mut tasks: Vec<BandTask<'_>> = Vec::new();
+        for m in members.iter_mut() {
+            let Some(layer) = m.net.layers().get(i) else {
+                continue;
+            };
+            if m.scratch.outs.len() < depth {
+                m.scratch.outs.resize_with(depth, || Matrix::zeros(0, 0));
+            }
+            let (done, rest) = m.scratch.outs.split_at_mut(i);
+            let Some(cur) = rest.first_mut() else {
+                continue;
+            };
+            let input: &Matrix = done.last().unwrap_or(m.x);
+            cur.resize_for_overwrite(input.rows(), layer.output_dim());
+            let out_cols = layer.output_dim();
+            if out_cols == 0 || input.rows() == 0 {
+                continue;
+            }
+            let band_len = ROW_BLOCK * out_cols;
+            for (band, band_data) in cur.data_mut().chunks_mut(band_len).enumerate() {
+                tasks.push(BandTask {
+                    x: input,
+                    w: &layer.w,
+                    bias: &layer.b,
+                    b0: band * ROW_BLOCK,
+                    band: band_data,
+                    out_cols,
+                    relu: i != last,
+                });
+            }
+        }
+        pool.par_map_owned(tasks, |_, t| {
+            matmul_band_dyn(t.relu, t.x, t.w, t.bias, t.b0, t.band, t.out_cols);
+        });
+    }
+}
+
+/// Scalar predictions of the most recent [`forward_group`] pass for one
+/// member (output dim must be 1) — the grouped analogue of
+/// [`Mlp::predict_batch_into`]'s epilogue.
+pub fn copy_predictions(net: &Mlp, scratch: &MlpScratch, out: &mut Vec<f32>) {
+    assert_eq!(net.output_dim(), 1);
+    out.clear();
+    if let Some(last) = scratch.outs.get(net.layers().len().saturating_sub(1)) {
+        out.extend_from_slice(last.data());
+    }
+}
+
+/// One grouped SGD step over every member: forward (grouped per layer),
+/// loss + output delta (serial per member), then per layer from the top:
+/// all members' `dW` and previous-delta rows in one dispatch, followed by
+/// the serial per-member `db` sums, Adam updates and delta swaps. Returns
+/// each member's batch loss in member order, bit-identical to running
+/// [`Mlp::train_mse_with`] / [`Mlp::train_huber_with`] per member.
+pub fn train_scalar_group(pool: Pool, members: &mut [GroupTrain<'_>]) -> Vec<f32> {
+    let depth = common_depth(members.iter().map(|m| m.net.layers().len()));
+    if members.is_empty() {
+        return Vec::new();
+    }
+    // Forward with cached activations, batched across members.
+    {
+        let mut fwd: Vec<GroupForward<'_>> = members
+            .iter_mut()
+            .map(|m| GroupForward {
+                net: &*m.net,
+                x: m.x,
+                scratch: &mut *m.scratch,
+            })
+            .collect();
+        forward_group(pool, &mut fwd);
+    }
+
+    // Loss and output delta, serial per member (identical loop to
+    // `train_scalar`).
+    let mut losses = Vec::with_capacity(members.len());
+    for m in members.iter_mut() {
+        assert_eq!(m.net.output_dim(), 1);
+        assert_eq!(m.x.rows(), m.targets.len());
+        let batch = m.x.rows();
+        let mut loss = 0.0f32;
+        m.scratch.delta.resize_for_overwrite(batch, 1);
+        {
+            let MlpScratch { outs, delta, .. } = &mut *m.scratch;
+            let Some(preds) = outs.get(depth - 1) else {
+                // Unreachable: `forward_group` sized every member's outs
+                // to `depth`. Keep the member's slots consistent anyway.
+                losses.push(0.0);
+                m.opt.begin_step();
+                continue;
+            };
+            for (b, &target) in m.targets.iter().enumerate().take(batch) {
+                let err = preds.get(b, 0) - target;
+                match m.huber_delta {
+                    None => {
+                        loss += err * err;
+                        delta.set(b, 0, 2.0 * err / batch as f32);
+                    }
+                    Some(d) => {
+                        if err.abs() <= d {
+                            loss += 0.5 * err * err;
+                            delta.set(b, 0, err / batch as f32);
+                        } else {
+                            loss += d * (err.abs() - 0.5 * d);
+                            delta.set(b, 0, d * err.signum() / batch as f32);
+                        }
+                    }
+                }
+            }
+        }
+        loss /= batch as f32;
+        losses.push(loss);
+        m.opt.begin_step();
+    }
+
+    // Backward, top layer down. Per layer: one dispatch region holding
+    // every member's dW-row and prev-delta-row tasks, then the serial
+    // per-member epilogue (db, Adam step, swap) in member order.
+    for i in (0..depth).rev() {
+        let mut tasks: Vec<BackTask<'_>> = Vec::new();
+        for m in members.iter_mut() {
+            let Some(layer) = m.net.layers().get(i) else {
+                continue;
+            };
+            let out_dim = layer.output_dim();
+            let in_dim = layer.input_dim();
+            let batch = m.x.rows();
+            let MlpScratch {
+                outs,
+                delta,
+                prev_delta,
+                dw,
+                db,
+            } = &mut *m.scratch;
+            let a_prev: &Matrix = if i == 0 { m.x } else { &outs[i - 1] };
+            dw.resize_zeroed(out_dim, in_dim);
+            if in_dim > 0 {
+                let rows_len = BACK_ROWS_PER_TASK * in_dim;
+                for (chunk, rows) in dw.data_mut().chunks_mut(rows_len).enumerate() {
+                    tasks.push(BackTask::DwRows {
+                        delta,
+                        a_prev,
+                        rows,
+                        o0: chunk * BACK_ROWS_PER_TASK,
+                        in_dim,
+                        batch,
+                    });
+                }
+            }
+            // db: serial batch-index-ordered sum, same as `train_scalar`.
+            db.clear();
+            db.resize(out_dim, 0.0);
+            for b in 0..batch {
+                for (o, d) in delta.row(b).iter().enumerate() {
+                    if *d == 0.0 {
+                        continue;
+                    }
+                    db[o] += d;
+                }
+            }
+            if i > 0 {
+                prev_delta.resize_zeroed(batch, in_dim);
+                let rows_len = BACK_ROWS_PER_TASK * in_dim.max(1);
+                for (chunk, rows) in prev_delta.data_mut().chunks_mut(rows_len).enumerate() {
+                    tasks.push(BackTask::PrevDeltaRows {
+                        delta,
+                        w: &layer.w,
+                        acts: &outs[i - 1],
+                        rows,
+                        b0: chunk * BACK_ROWS_PER_TASK,
+                        in_dim,
+                    });
+                }
+            }
+        }
+        if pool.threads() == 1 {
+            for t in tasks {
+                t.run();
+            }
+        } else {
+            pool.par_map_owned(tasks, |_, t| t.run());
+        }
+        for m in members.iter_mut() {
+            let Some(layer) = m.net.layers_mut().get_mut(i) else {
+                continue;
+            };
+            let MlpScratch {
+                delta,
+                prev_delta,
+                dw,
+                db,
+                ..
+            } = &mut *m.scratch;
+            m.opt.step_layer(i, layer, dw, db);
+            if i > 0 {
+                std::mem::swap(delta, prev_delta);
+            }
+        }
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_par::with_threads;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn member_net(seed: u64, dims: &[usize]) -> (Mlp, Adam) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(dims, &mut rng);
+        let opt = Adam::new(2e-3, net.layers());
+        (net, opt)
+    }
+
+    fn batch_for(seed: usize, rows: usize, cols: usize) -> (Matrix, Vec<f32>) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|k| ((seed * 131 + k) as f32 * 0.173).sin())
+            .collect();
+        let targets: Vec<f32> = (0..rows)
+            .map(|b| ((seed + b) as f32 * 0.41).cos())
+            .collect();
+        (Matrix::from_vec(rows, cols, data), targets)
+    }
+
+    /// The tentpole contract: many grouped train steps over heterogeneous
+    /// members (different widths, batch sizes and losses, same depth) must
+    /// leave every member's weights bit-identical to training it alone,
+    /// at one and at eight threads.
+    #[test]
+    fn grouped_training_is_bit_identical_to_sequential() {
+        for threads in [1usize, 8] {
+            let dims: [&[usize]; 3] = [&[6, 16, 8, 1], &[4, 12, 8, 1], &[6, 16, 8, 1]];
+            let mut grouped: Vec<(Mlp, Adam)> = (0..3)
+                .map(|k| member_net(0x6A0 + k as u64, dims[k]))
+                .collect();
+            let mut solo = grouped.clone();
+            let mut g_scratch: Vec<MlpScratch> = (0..3).map(|_| MlpScratch::new()).collect();
+            let mut s_scratch: Vec<MlpScratch> = (0..3).map(|_| MlpScratch::new()).collect();
+            with_threads(threads, || {
+                let pool = Pool::current();
+                for step in 0..25 {
+                    let batches: Vec<(Matrix, Vec<f32>)> = (0..3)
+                        .map(|k| batch_for(step * 3 + k, 1 + (step * 5 + k) % 13, dims[k][0]))
+                        .collect();
+                    let huber = [None, Some(1.0f32), None];
+                    let losses = {
+                        let mut members: Vec<GroupTrain<'_>> = grouped
+                            .iter_mut()
+                            .zip(g_scratch.iter_mut())
+                            .zip(&batches)
+                            .zip(&huber)
+                            .map(|((((net, opt), scratch), (x, t)), h)| GroupTrain {
+                                net,
+                                x,
+                                targets: t,
+                                opt,
+                                huber_delta: *h,
+                                scratch,
+                            })
+                            .collect();
+                        train_scalar_group(pool, &mut members)
+                    };
+                    for (k, ((net, opt), scratch)) in
+                        solo.iter_mut().zip(s_scratch.iter_mut()).enumerate()
+                    {
+                        let (x, t) = &batches[k];
+                        let l = match huber[k] {
+                            None => net.train_mse_with(pool, x, t, opt, scratch),
+                            Some(d) => net.train_huber_with(pool, x, t, opt, d, scratch),
+                        };
+                        assert_eq!(
+                            losses[k].to_bits(),
+                            l.to_bits(),
+                            "threads {threads} step {step} member {k} loss"
+                        );
+                    }
+                }
+            });
+            for (k, ((g, _), (s, _))) in grouped.iter().zip(&solo).enumerate() {
+                assert_eq!(
+                    crate::reference::mlp_bits(g),
+                    crate::reference::mlp_bits(s),
+                    "threads {threads} member {k} weights diverged"
+                );
+            }
+        }
+    }
+
+    /// Grouped forward + `copy_predictions` must reproduce
+    /// `predict_batch_into` exactly, and compose with the naive-kernel
+    /// guard (the differential harness wraps whole runs in it).
+    #[test]
+    fn grouped_forward_matches_predict_batch() {
+        let (net_a, _) = member_net(31, &[5, 10, 1]);
+        let (net_b, _) = member_net(32, &[7, 10, 1]);
+        let (xa, _) = batch_for(1, 9, 5);
+        let (xb, _) = batch_for(2, 4, 7);
+        for naive in [false, true] {
+            let run = || {
+                with_threads(4, || {
+                    let pool = Pool::current();
+                    let mut sa = MlpScratch::new();
+                    let mut sb = MlpScratch::new();
+                    {
+                        let mut members = vec![
+                            GroupForward {
+                                net: &net_a,
+                                x: &xa,
+                                scratch: &mut sa,
+                            },
+                            GroupForward {
+                                net: &net_b,
+                                x: &xb,
+                                scratch: &mut sb,
+                            },
+                        ];
+                        forward_group(pool, &mut members);
+                    }
+                    let mut out_a = Vec::new();
+                    let mut out_b = Vec::new();
+                    copy_predictions(&net_a, &sa, &mut out_a);
+                    copy_predictions(&net_b, &sb, &mut out_b);
+                    (out_a, out_b)
+                })
+            };
+            let (got_a, got_b) = if naive {
+                crate::with_naive_kernels(run)
+            } else {
+                run()
+            };
+            let expect_a = net_a.predict_batch(&xa);
+            let expect_b = net_b.predict_batch(&xb);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got_a), bits(&expect_a), "naive={naive}");
+            assert_eq!(bits(&got_b), bits(&expect_b), "naive={naive}");
+        }
+    }
+}

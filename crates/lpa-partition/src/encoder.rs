@@ -20,7 +20,7 @@ const ACTION_KINDS: usize = 4;
 /// invariants are asserted against the buffer length on entry to each
 /// encode method; a stale offset must degrade the encoding, not abort the
 /// training episode.
-fn put(out: &mut [f32], i: usize, v: f32) {
+pub(crate) fn put(out: &mut [f32], i: usize, v: f32) {
     if let Some(slot) = out.get_mut(i) {
         *slot = v;
     }
@@ -30,16 +30,16 @@ fn put(out: &mut [f32], i: usize, v: f32) {
 /// workload size.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StateEncoder {
-    table_offsets: Vec<usize>,
-    table_dims: Vec<usize>,
-    edge_offset: usize,
-    n_edges: usize,
-    freq_offset: usize,
-    freq_slots: usize,
-    state_dim: usize,
-    n_tables: usize,
-    max_attrs: usize,
-    action_dim: usize,
+    pub(crate) table_offsets: Vec<usize>,
+    pub(crate) table_dims: Vec<usize>,
+    pub(crate) edge_offset: usize,
+    pub(crate) n_edges: usize,
+    pub(crate) freq_offset: usize,
+    pub(crate) freq_slots: usize,
+    pub(crate) state_dim: usize,
+    pub(crate) n_tables: usize,
+    pub(crate) max_attrs: usize,
+    pub(crate) action_dim: usize,
 }
 
 impl StateEncoder {

@@ -18,11 +18,13 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod action;
+pub mod delta_encoder;
 pub mod encoder;
 pub mod fingerprint;
 pub mod partitioning;
 
 pub use action::{valid_actions, Action, ActionError};
+pub use delta_encoder::{full_encode_forced, with_full_encode, DeltaEncoder};
 pub use encoder::StateEncoder;
 pub use fingerprint::{fingerprint64, ActionSetCache, InternedKey, KeyInterner};
 pub use partitioning::{Partitioning, TableState};

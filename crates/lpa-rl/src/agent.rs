@@ -3,6 +3,7 @@
 use crate::buffer::{ReplayBuffer, Transition};
 use crate::config::{DqnConfig, QLoss};
 use crate::env::QEnvironment;
+use crate::profile::{self, Phase};
 use lpa_nn::{Adam, Matrix, Mlp, MlpScratch, Pool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,24 +20,75 @@ pub fn greedy_argmax<A: Clone>(qs: &[f32], actions: &[A]) -> Option<A> {
         .map(|(_, a)| a.clone())
 }
 
+/// Borrowed pieces of one staged network forward, in the order
+/// [`lpa_nn::GroupForward`] consumes them: network, pre-encoded input
+/// rows, network scratch, output vector.
+pub(crate) type ForwardParts<'a> = (&'a Mlp, &'a Matrix, &'a mut MlpScratch, &'a mut Vec<f32>);
+
+/// Borrowed pieces of one staged backward pass, in the order
+/// [`lpa_nn::GroupTrain`] consumes them: network, encoded training rows,
+/// targets, optimizer, Huber delta (`None` = MSE), network scratch.
+pub(crate) type BackwardParts<'a> = (
+    &'a mut Mlp,
+    &'a Matrix,
+    &'a [f32],
+    &'a mut Adam,
+    Option<f32>,
+    &'a mut MlpScratch,
+);
+
 /// Reusable buffers for the agent's hot paths (action selection and the
 /// replay-minibatch train step): network scratch plus the encoded input
-/// matrices and Q-value vectors. Purely transient — never checkpointed,
-/// never affects results.
-#[derive(Debug, Default)]
-struct AgentScratch {
+/// matrices, Q-value vectors and flattened action arenas. Purely
+/// transient — never checkpointed, never affects results. Generic over
+/// the environment's action type so candidate actions land in reused
+/// arenas instead of fresh vectors each step.
+#[derive(Debug)]
+struct AgentScratch<A> {
     mlp: MlpScratch,
     /// Encoded candidate actions for one state (action selection).
     input: Matrix,
     q_out: Vec<f32>,
+    /// Candidate actions of the state being selected on.
+    sel_actions: Vec<A>,
     /// Encoded next-state candidate actions for a whole minibatch.
     next_inputs: Matrix,
     next_q: Vec<f32>,
     next_q_online: Vec<f32>,
+    /// Flattened next-state candidate actions, indexed by `ranges`.
+    next_actions: Vec<A>,
+    /// Replay-buffer slot indices of the current minibatch.
+    sample_idx: Vec<usize>,
+    /// Total candidate rows staged in `next_inputs` (see `ranges`).
+    total: usize,
+    /// Whether the staged step evaluates the online net (double DQN).
+    use_online: bool,
     /// Encoded (state, action) training rows.
     inputs: Matrix,
     targets: Vec<f32>,
     ranges: Vec<(usize, usize)>,
+}
+
+// Manual impl: a derive would demand `A: Default` for no reason.
+impl<A> Default for AgentScratch<A> {
+    fn default() -> Self {
+        Self {
+            mlp: MlpScratch::default(),
+            input: Matrix::default(),
+            q_out: Vec::new(),
+            sel_actions: Vec::new(),
+            next_inputs: Matrix::default(),
+            next_q: Vec::new(),
+            next_q_online: Vec::new(),
+            next_actions: Vec::new(),
+            sample_idx: Vec::new(),
+            total: 0,
+            use_online: false,
+            inputs: Matrix::default(),
+            targets: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
 }
 
 /// A Deep-Q agent over some environment type.
@@ -49,7 +101,7 @@ pub struct DqnAgent<E: QEnvironment> {
     epsilon: f64,
     buffer: ReplayBuffer<E::State, E::Action>,
     rng: StdRng,
-    scratch: AgentScratch,
+    scratch: AgentScratch<E::Action>,
 }
 
 impl<E: QEnvironment> DqnAgent<E> {
@@ -105,19 +157,6 @@ impl<E: QEnvironment> DqnAgent<E> {
         self.q.predict_batch(&batch)
     }
 
-    /// [`Self::q_values`] into the agent's scratch buffers — no per-call
-    /// allocation. Results land in `scratch.q_out`.
-    fn fill_q_values(&mut self, pool: Pool, env: &E, state: &E::State, actions: &[E::Action]) {
-        let dim = env.input_dim();
-        let s = &mut self.scratch;
-        // Zeroed, not just reshaped: encoders may fill rows sparsely over
-        // the zero background the old `Matrix::zeros` provided.
-        s.input.resize_zeroed(actions.len(), dim);
-        env.encode_batch(state, actions, s.input.data_mut());
-        self.q
-            .predict_batch_into(pool, &s.input, &mut s.mlp, &mut s.q_out);
-    }
-
     /// Q-network forward over pre-encoded input rows, reusing the agent's
     /// scratch — the batched-inference entry point for callers (committee
     /// coalescing) that assemble their own row batches.
@@ -128,17 +167,79 @@ impl<E: QEnvironment> DqnAgent<E> {
 
     /// ε-greedy action selection (greedy when `explore` is false).
     pub fn select_action(&mut self, env: &E, state: &E::State, explore: bool) -> E::Action {
-        let actions = env.actions(state);
-        assert!(!actions.is_empty(), "environment has no valid actions");
-        if explore && self.rng.gen::<f64>() < self.epsilon {
-            let i = self.rng.gen_range(0..actions.len());
-            if let Some(a) = actions.get(i) {
-                return a.clone();
-            }
+        if let Some(a) = self.select_begin(env, state, explore) {
+            return a;
         }
         let pool = Pool::current();
-        self.fill_q_values(pool, env, state, &actions);
-        greedy_argmax(&self.scratch.q_out, &actions).unwrap_or_else(|| actions[0].clone())
+        let t0 = profile::start();
+        {
+            let Self { q, scratch, .. } = self;
+            q.predict_batch_into(pool, &scratch.input, &mut scratch.mlp, &mut scratch.q_out);
+        }
+        profile::stop(t0, Phase::Nn);
+        self.select_finish()
+    }
+
+    /// First stage of action selection: enumerate candidates into the
+    /// scratch arena, take the ε draw, and — on the greedy path — encode
+    /// the candidate rows into `scratch.input`. Returns the chosen action
+    /// directly when exploration fires; otherwise returns `None` and
+    /// leaves the encoded rows staged for a Q forward (whose results
+    /// [`Self::select_finish`] turns into an action). Splitting selection
+    /// this way lets the lockstep committee driver run *one grouped
+    /// forward across every expert* between the two stages; the
+    /// RNG draws and encode order are exactly those of
+    /// [`Self::select_action`], so staging never changes a decision.
+    pub(crate) fn select_begin(
+        &mut self,
+        env: &E,
+        state: &E::State,
+        explore: bool,
+    ) -> Option<E::Action> {
+        let s = &mut self.scratch;
+        s.sel_actions.clear();
+        let t0 = profile::start();
+        env.actions_into(state, &mut s.sel_actions);
+        profile::stop(t0, Phase::Env);
+        assert!(
+            !s.sel_actions.is_empty(),
+            "environment has no valid actions"
+        );
+        if explore && self.rng.gen::<f64>() < self.epsilon {
+            let i = self.rng.gen_range(0..s.sel_actions.len());
+            if let Some(a) = s.sel_actions.get(i) {
+                return Some(a.clone());
+            }
+        }
+        let dim = env.input_dim();
+        let t1 = profile::start();
+        // Zeroed unless the encoder promises full-row writes: sparse
+        // encoders fill rows over the zero background the old
+        // `Matrix::zeros` provided.
+        if env.encode_overwrites_fully() {
+            s.input.resize_for_overwrite(s.sel_actions.len(), dim);
+        } else {
+            s.input.resize_zeroed(s.sel_actions.len(), dim);
+        }
+        env.encode_batch(state, &s.sel_actions, s.input.data_mut());
+        profile::stop(t1, Phase::Encode);
+        None
+    }
+
+    /// Second stage of staged selection: greedy argmax over the Q values
+    /// a forward pass left in `scratch.q_out` (same tie-breaking as the
+    /// sequential path — it routes through [`greedy_argmax`] too).
+    pub(crate) fn select_finish(&self) -> E::Action {
+        let s = &self.scratch;
+        greedy_argmax(&s.q_out, &s.sel_actions).unwrap_or_else(|| s.sel_actions[0].clone())
+    }
+
+    /// Borrow the parts of a staged greedy selection the grouped forward
+    /// needs: Q-net, encoded candidate rows, network scratch and the
+    /// output vector ([`Self::select_finish`] reads the latter).
+    pub(crate) fn select_forward_parts(&mut self) -> ForwardParts<'_> {
+        let Self { q, scratch, .. } = self;
+        (&*q, &scratch.input, &mut scratch.mlp, &mut scratch.q_out)
     }
 
     /// Store a transition in the replay buffer.
@@ -166,65 +267,176 @@ impl<E: QEnvironment> DqnAgent<E> {
     /// evaluated in a single batched forward pass — the dominant cost of a
     /// training step.
     pub fn train_step(&mut self, env: &E) -> Option<f32> {
-        if self.buffer.len() < self.cfg.batch_size {
+        if !self.train_begin(env) {
             return None;
         }
         // The ambient pool is resolved once per train step and passed
         // through every kernel below — no per-matmul environment lookups.
         let pool = Pool::current();
-        let dim = env.input_dim();
-        // Sampled transitions stay borrowed from the buffer — the later
-        // network/optimizer accesses touch disjoint fields, so nothing
-        // needs to be cloned out.
-        let batch = self.buffer.sample(&mut self.rng, self.cfg.batch_size);
-
-        // Encode every next-state candidate action into one big matrix,
-        // one batched (prefix-reused) encode per transition, reusing the
-        // scratch matrices across steps (zeroed — encoders may fill rows
-        // sparsely over the zero background `Matrix::zeros` used to give).
-        let s = &mut self.scratch;
-        s.ranges.clear();
-        let mut total = 0usize;
-        let per_sample_actions: Vec<Vec<E::Action>> = batch
-            .iter()
-            .map(|t| {
-                let a = env.actions(&t.next_state);
-                s.ranges.push((total, total + a.len()));
-                total += a.len();
-                a
-            })
-            .collect();
-        s.next_inputs.resize_zeroed(total.max(1), dim);
-        let mut row = 0;
-        for (t, actions) in batch.iter().zip(&per_sample_actions) {
-            let span = &mut s.next_inputs.data_mut()[row * dim..(row + actions.len()) * dim];
-            env.encode_batch(&t.next_state, actions, span);
-            row += actions.len();
-        }
+        let t0 = profile::start();
         // The dominant cost of a training step: one batched target-net
         // forward over every candidate row.
-        if total > 0 {
-            self.target
-                .predict_batch_into(pool, &s.next_inputs, &mut s.mlp, &mut s.next_q);
+        if self.scratch.total > 0 {
+            let Self {
+                target, scratch, ..
+            } = self;
+            target.predict_batch_into(
+                pool,
+                &scratch.next_inputs,
+                &mut scratch.mlp,
+                &mut scratch.next_q,
+            );
         } else {
-            s.next_q.clear();
+            self.scratch.next_q.clear();
         }
         // Double DQN: the online network selects the next action, the
         // target network evaluates it.
-        let use_online = self.cfg.double_dqn && total > 0;
-        if use_online {
-            self.q
-                .predict_batch_into(pool, &s.next_inputs, &mut s.mlp, &mut s.next_q_online);
+        if self.scratch.use_online {
+            let Self { q, scratch, .. } = self;
+            q.predict_batch_into(
+                pool,
+                &scratch.next_inputs,
+                &mut scratch.mlp,
+                &mut scratch.next_q_online,
+            );
         }
+        profile::stop(t0, Phase::Nn);
+        self.train_targets();
+        let t1 = profile::start();
+        let loss = {
+            let (q, x, targets, opt, huber, mlp) = self.train_backward_parts();
+            match huber {
+                None => q.train_mse_with(pool, x, targets, opt, mlp),
+                Some(d) => q.train_huber_with(pool, x, targets, opt, d, mlp),
+            }
+        };
+        self.train_finish();
+        profile::stop(t1, Phase::Nn);
+        Some(loss)
+    }
 
-        s.inputs.resize_zeroed(batch.len(), dim);
-        s.targets.clear();
-        for (i, t) in batch.iter().enumerate() {
+    /// Stage 1 of a (possibly lockstep-grouped) train step: sample the
+    /// minibatch, enumerate and encode every next-state candidate row and
+    /// every `(state, action)` training row into the scratch arenas.
+    /// Returns `false` (staging nothing) while the buffer is smaller than
+    /// the batch size. RNG consumption and the encoder call sequence are
+    /// exactly those of the former monolithic step — the current-state
+    /// rows were always encoded with the same arguments in the same
+    /// relative order, and the forwards in between touch no env state.
+    pub(crate) fn train_begin(&mut self, env: &E) -> bool {
+        if self.buffer.len() < self.cfg.batch_size {
+            return false;
+        }
+        let dim = env.input_dim();
+        let overwrites = env.encode_overwrites_fully();
+        let Self {
+            buffer,
+            rng,
+            cfg,
+            scratch: s,
+            ..
+        } = self;
+        let t0 = profile::start();
+        buffer.sample_indices(rng, cfg.batch_size, &mut s.sample_idx);
+        profile::stop(t0, Phase::Replay);
+        // Enumerate next-state candidates into the flat arena, one
+        // `(lo, hi)` range per transition.
+        let t1 = profile::start();
+        s.ranges.clear();
+        s.next_actions.clear();
+        let mut total = 0usize;
+        for &bi in &s.sample_idx {
+            let before = s.next_actions.len();
+            env.actions_into(&buffer.items()[bi].next_state, &mut s.next_actions);
+            let n = s.next_actions.len() - before;
+            s.ranges.push((total, total + n));
+            total += n;
+        }
+        s.total = total;
+        s.use_online = cfg.double_dqn && total > 0;
+        profile::stop(t1, Phase::Env);
+        // Encode every candidate row (batched, prefix-reused) and every
+        // training row, reusing the scratch matrices across steps.
+        let t2 = profile::start();
+        if overwrites {
+            s.next_inputs.resize_for_overwrite(total.max(1), dim);
+        } else {
+            s.next_inputs.resize_zeroed(total.max(1), dim);
+        }
+        let mut row = 0usize;
+        for (i, &bi) in s.sample_idx.iter().enumerate() {
+            let (lo, hi) = s.ranges.get(i).copied().unwrap_or((0, 0));
+            let actions = &s.next_actions[lo..hi];
+            let span = &mut s.next_inputs.data_mut()[row * dim..(row + actions.len()) * dim];
+            env.encode_batch(&buffer.items()[bi].next_state, actions, span);
+            row += actions.len();
+        }
+        if overwrites {
+            s.inputs.resize_for_overwrite(s.sample_idx.len(), dim);
+        } else {
+            s.inputs.resize_zeroed(s.sample_idx.len(), dim);
+        }
+        for (i, &bi) in s.sample_idx.iter().enumerate() {
+            let t = &buffer.items()[bi];
             env.encode(&t.state, &t.action, s.inputs.row_mut(i));
+        }
+        profile::stop(t2, Phase::Encode);
+        true
+    }
+
+    /// Candidate rows staged by [`Self::train_begin`] (0 = terminal-only).
+    pub(crate) fn staged_total(&self) -> usize {
+        self.scratch.total
+    }
+
+    /// Whether the staged step also needs an online-net forward.
+    pub(crate) fn staged_use_online(&self) -> bool {
+        self.scratch.use_online
+    }
+
+    /// Borrow the target-net forward of a staged train step (fills
+    /// `next_q`). Only meaningful when [`Self::staged_total`] `> 0`.
+    pub(crate) fn target_forward_parts(&mut self) -> ForwardParts<'_> {
+        let Self {
+            target, scratch, ..
+        } = self;
+        (
+            &*target,
+            &scratch.next_inputs,
+            &mut scratch.mlp,
+            &mut scratch.next_q,
+        )
+    }
+
+    /// Borrow the online-net forward of a staged train step (fills
+    /// `next_q_online`, double DQN only).
+    pub(crate) fn online_forward_parts(&mut self) -> ForwardParts<'_> {
+        let Self { q, scratch, .. } = self;
+        (
+            &*q,
+            &scratch.next_inputs,
+            &mut scratch.mlp,
+            &mut scratch.next_q_online,
+        )
+    }
+
+    /// Stage 3: fold the staged forwards into Bellman targets — the exact
+    /// per-transition loop of the monolithic step (including the
+    /// last-max-wins `total_cmp` tie-breaking of double DQN).
+    pub(crate) fn train_targets(&mut self) {
+        let Self {
+            buffer,
+            cfg,
+            scratch: s,
+            ..
+        } = self;
+        s.targets.clear();
+        for (i, &bi) in s.sample_idx.iter().enumerate() {
+            let t = &buffer.items()[bi];
             let (lo, hi) = s.ranges.get(i).copied().unwrap_or((0, 0));
             let max_next = if lo == hi {
                 0.0
-            } else if use_online {
+            } else if s.use_online {
                 let online = &s.next_q_online;
                 let best = (lo..hi)
                     .max_by(|a, b| online[*a].total_cmp(&online[*b]))
@@ -236,21 +448,31 @@ impl<E: QEnvironment> DqnAgent<E> {
                     .cloned()
                     .fold(f32::NEG_INFINITY, f32::max) as f64
             };
-            s.targets
-                .push((t.reward + self.cfg.gamma * max_next) as f32);
+            s.targets.push((t.reward + cfg.gamma * max_next) as f32);
         }
-        let loss = match self.cfg.loss {
-            QLoss::Mse => {
-                self.q
-                    .train_mse_with(pool, &s.inputs, &s.targets, &mut self.opt, &mut s.mlp)
-            }
-            QLoss::Huber(d) => {
-                self.q
-                    .train_huber_with(pool, &s.inputs, &s.targets, &mut self.opt, d, &mut s.mlp)
-            }
+    }
+
+    /// Borrow everything the grouped backward pass needs for this agent's
+    /// staged minibatch: online net, encoded rows, targets, optimizer,
+    /// Huber delta (`None` = MSE) and network scratch.
+    pub(crate) fn train_backward_parts(&mut self) -> BackwardParts<'_> {
+        let Self {
+            q,
+            opt,
+            cfg,
+            scratch: s,
+            ..
+        } = self;
+        let huber = match cfg.loss {
+            QLoss::Mse => None,
+            QLoss::Huber(d) => Some(d),
         };
+        (q, &s.inputs, &s.targets, opt, huber, &mut s.mlp)
+    }
+
+    /// Final stage: the target-network soft update (Algorithm 1, l. 13).
+    pub(crate) fn train_finish(&mut self) {
         self.target.soft_update_from(&self.q, self.cfg.tau);
-        Some(loss)
     }
 
     /// Per-episode ε decay (Algorithm 1, line 12).

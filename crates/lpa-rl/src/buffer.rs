@@ -89,6 +89,20 @@ impl<S: Clone, A: Clone> ReplayBuffer<S, A> {
             .map(|i| &self.items[i])
             .collect()
     }
+
+    /// Slot indices of a uniform sample without replacement — the arena
+    /// form of [`Self::sample`]: identical RNG consumption (same
+    /// `index_sample` call behind the same full-buffer short-circuit), but
+    /// the caller's index buffer is reused instead of allocating a vector
+    /// of references per train step.
+    pub fn sample_indices<R: Rng>(&self, rng: &mut R, batch: usize, out: &mut Vec<usize>) {
+        out.clear();
+        if self.items.len() <= batch {
+            out.extend(0..self.items.len());
+            return;
+        }
+        out.extend(index_sample(rng, self.items.len(), batch));
+    }
 }
 
 #[cfg(test)]

@@ -125,6 +125,25 @@ pub trait QEnvironment {
     /// Valid actions in a state. Must be non-empty for reachable states.
     fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
 
+    /// Append the valid actions for `state` to `out` — the arena form of
+    /// [`Self::actions`], letting hot paths reuse one buffer instead of
+    /// allocating a vector per step. Must push exactly the actions
+    /// [`Self::actions`] would return, in the same order. The default
+    /// delegates; environments with cached action sets override this to
+    /// copy straight out of the cache.
+    fn actions_into(&self, state: &Self::State, out: &mut Vec<Self::Action>) {
+        out.extend(self.actions(state));
+    }
+
+    /// True when [`Self::encode`] / [`Self::encode_batch`] write *every*
+    /// slot of their output rows. Callers may then skip re-zeroing reused
+    /// row buffers before encoding into them. Defaults to `false` —
+    /// encoders that fill rows sparsely over an assumed-zero background
+    /// must keep the default.
+    fn encode_overwrites_fully(&self) -> bool {
+        false
+    }
+
     /// Featurize `(state, action)` into `out` (length `input_dim`).
     fn encode(&self, state: &Self::State, action: &Self::Action, out: &mut [f32]);
 
@@ -149,5 +168,13 @@ pub trait QEnvironment {
     /// to all zeros for environments without caches.
     fn counters(&self) -> EnvCounters {
         EnvCounters::default()
+    }
+
+    /// Counters accumulated since the start of the current episode (i.e.
+    /// since the last [`Self::reset`]). Environments that snapshot a
+    /// baseline at reset override this; the default returns the lifetime
+    /// totals, which is only correct for single-episode probes.
+    fn episode_counters(&self) -> EnvCounters {
+        self.counters()
     }
 }

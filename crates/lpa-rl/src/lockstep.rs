@@ -1,0 +1,330 @@
+//! Lockstep training of several independent agents — the cross-expert
+//! batching behind the committee's grouped train path.
+//!
+//! Each committee expert trains against its own environment with its own
+//! RNG streams; one expert's minibatch matmuls (16–32 rows through a
+//! 128-64 net) are far too small to occupy a wide pool. [`train_lockstep`]
+//! advances every `(agent, env)` pair through the *same* episode/step
+//! schedule and, at each network stage, stacks all members' same-shaped
+//! work into one [`lpa_nn::grouped`] dispatch: one grouped forward for
+//! action selection, one for the target nets, one for the online nets
+//! (double DQN), and one grouped backward pass per train step.
+//!
+//! Bit-exactness: members share no state — not the networks, not the
+//! replay buffers, not the RNGs, not the environments. Every per-member
+//! stage runs serially in member order with exactly the code the
+//! sequential loop ([`crate::train::train_from`]) runs, and the grouped
+//! network stages are bit-identical to per-member calls (proven by the
+//! `lpa-nn` grouped differential tests). Training members A and B in
+//! lockstep therefore produces, for each member, exactly the bits that
+//! training it alone would — the schedule interleaving is unobservable.
+
+use crate::agent::DqnAgent;
+use crate::buffer::Transition;
+use crate::env::QEnvironment;
+use crate::train::EpisodeStats;
+use lpa_nn::{copy_predictions, forward_group, train_scalar_group, GroupForward, GroupTrain, Pool};
+
+/// Run one grouped forward over staged `(net, x, scratch, out)` parts and
+/// copy each member's scalar predictions into its output vector.
+fn grouped_predict(pool: Pool, parts: &mut [crate::agent::ForwardParts<'_>]) {
+    {
+        let mut views: Vec<GroupForward<'_>> = parts
+            .iter_mut()
+            .map(|(net, x, scratch, _)| GroupForward { net, x, scratch })
+            .collect();
+        forward_group(pool, &mut views);
+    }
+    for (net, _, scratch, out) in parts.iter_mut() {
+        copy_predictions(net, scratch, out);
+    }
+}
+
+/// Train every `(agent, env)` member for `episodes` episodes in lockstep,
+/// batching the network work of all members into grouped kernels.
+/// `on_episode` fires once per episode with every member's stats (indexed
+/// by member order). All members must share `tmax` and `train_every`
+/// (they define the common schedule); other config fields — seed, loss,
+/// double-DQN, learning rate — may differ per member.
+pub fn train_lockstep<E: QEnvironment>(
+    members: &mut [(&mut DqnAgent<E>, &mut E)],
+    episodes: usize,
+    mut on_episode: impl FnMut(usize, &[EpisodeStats]),
+) {
+    let Some((first, _)) = members.first() else {
+        return;
+    };
+    let tmax = first.config().tmax;
+    let train_every = first.config().train_every.max(1);
+    for (agent, _) in members.iter() {
+        assert_eq!(
+            agent.config().tmax,
+            tmax,
+            "lockstep members must share tmax"
+        );
+        assert_eq!(
+            agent.config().train_every.max(1),
+            train_every,
+            "lockstep members must share train_every"
+        );
+    }
+    let n = members.len();
+    let pool = Pool::current();
+
+    struct Episode<S> {
+        state: S,
+        total_reward: f64,
+        best_reward: f64,
+        loss_sum: f32,
+        loss_n: u32,
+        steps: usize,
+        counters_at_start: crate::env::EnvCounters,
+    }
+
+    let mut pending: Vec<Option<E::Action>> = Vec::with_capacity(n);
+    let mut ready: Vec<bool> = Vec::with_capacity(n);
+    for episode in 0..episodes {
+        let mut eps: Vec<Episode<E::State>> = members
+            .iter_mut()
+            .map(|(_, env)| {
+                let counters_at_start = env.counters();
+                Episode {
+                    state: env.reset(),
+                    total_reward: 0.0,
+                    best_reward: f64::NEG_INFINITY,
+                    loss_sum: 0.0,
+                    loss_n: 0,
+                    steps: 0,
+                    counters_at_start,
+                }
+            })
+            .collect();
+        for t in 0..tmax {
+            // Selection stage 1 (member order): ε draws + candidate
+            // encodes.
+            pending.clear();
+            for ((agent, env), ep) in members.iter_mut().zip(&eps) {
+                pending.push(agent.select_begin(env, &ep.state, true));
+            }
+            // Selection stage 2: one grouped Q forward over every member
+            // that went greedy.
+            {
+                let mut parts: Vec<_> = members
+                    .iter_mut()
+                    .zip(&pending)
+                    .filter(|(_, p)| p.is_none())
+                    .map(|((agent, _), _)| agent.select_forward_parts())
+                    .collect();
+                grouped_predict(pool, &mut parts);
+            }
+            // Act, observe, remember (member order).
+            for (k, (agent, env)) in members.iter_mut().enumerate() {
+                let action = match pending[k].take() {
+                    Some(a) => a,
+                    None => agent.select_finish(),
+                };
+                let ep = &mut eps[k];
+                let (next, reward) = env.step(&ep.state, &action);
+                ep.steps += 1;
+                ep.total_reward += reward;
+                ep.best_reward = ep.best_reward.max(reward);
+                agent.remember(Transition {
+                    state: ep.state.clone(),
+                    action,
+                    reward,
+                    next_state: next.clone(),
+                });
+                ep.state = next;
+            }
+            if t % train_every != 0 {
+                continue;
+            }
+            // Train stage 1 (member order): sample + encode arenas.
+            ready.clear();
+            for (agent, env) in members.iter_mut() {
+                ready.push(agent.train_begin(env));
+            }
+            // Grouped target forwards. Members whose minibatch staged no
+            // candidate rows keep whatever is in `next_q` — the target
+            // loop never reads it through an empty range.
+            {
+                let mut parts: Vec<_> = members
+                    .iter_mut()
+                    .zip(&ready)
+                    .filter(|((agent, _), r)| **r && agent.staged_total() > 0)
+                    .map(|((agent, _), _)| agent.target_forward_parts())
+                    .collect();
+                grouped_predict(pool, &mut parts);
+            }
+            // Grouped online forwards (double-DQN members only).
+            {
+                let mut parts: Vec<_> = members
+                    .iter_mut()
+                    .zip(&ready)
+                    .filter(|((agent, _), r)| **r && agent.staged_use_online())
+                    .map(|((agent, _), _)| agent.online_forward_parts())
+                    .collect();
+                grouped_predict(pool, &mut parts);
+            }
+            // Targets (member order), then one grouped backward pass.
+            for ((agent, _), r) in members.iter_mut().zip(&ready) {
+                if *r {
+                    agent.train_targets();
+                }
+            }
+            let losses = {
+                let mut views: Vec<GroupTrain<'_>> = members
+                    .iter_mut()
+                    .zip(&ready)
+                    .filter(|(_, r)| **r)
+                    .map(|((agent, _), _)| {
+                        let (net, x, targets, opt, huber_delta, scratch) =
+                            agent.train_backward_parts();
+                        GroupTrain {
+                            net,
+                            x,
+                            targets,
+                            opt,
+                            huber_delta,
+                            scratch,
+                        }
+                    })
+                    .collect();
+                train_scalar_group(pool, &mut views)
+            };
+            let mut li = 0usize;
+            for (k, (agent, _)) in members.iter_mut().enumerate() {
+                if !ready[k] {
+                    continue;
+                }
+                agent.train_finish();
+                if let Some(l) = losses.get(li) {
+                    eps[k].loss_sum += l;
+                    eps[k].loss_n += 1;
+                }
+                li += 1;
+            }
+        }
+        let stats: Vec<EpisodeStats> = members
+            .iter_mut()
+            .zip(&eps)
+            .map(|((agent, env), ep)| {
+                agent.decay_epsilon();
+                EpisodeStats {
+                    episode,
+                    total_reward: ep.total_reward,
+                    best_reward: ep.best_reward,
+                    epsilon: agent.epsilon(),
+                    mean_loss: if ep.loss_n > 0 {
+                        ep.loss_sum / ep.loss_n as f32
+                    } else {
+                        0.0
+                    },
+                    steps: ep.steps,
+                    train_steps: ep.loss_n as usize,
+                    counters: env.counters().since(&ep.counters_at_start),
+                }
+            })
+            .collect();
+        on_episode(episode, &stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DqnConfig;
+    use crate::train::tests::LineWorld;
+    use crate::train::train;
+    use lpa_par::with_threads;
+
+    fn cfg(seed: u64) -> DqnConfig {
+        DqnConfig {
+            episodes: 30,
+            tmax: 10,
+            batch_size: 16,
+            hidden: vec![32],
+            epsilon_decay: 0.93,
+            learning_rate: 3e-3,
+            tau: 0.05,
+            ..DqnConfig::paper()
+        }
+        .with_seed(seed)
+    }
+
+    /// The lockstep contract: interleaved grouped training of several
+    /// members leaves every member's networks, ε and greedy policy
+    /// bit-identical to training it alone with the sequential loop — at
+    /// one and at eight threads, with per-member loss configs (MSE,
+    /// double-DQN + Huber) in the mix.
+    #[test]
+    fn lockstep_training_is_bit_identical_to_sequential() {
+        let configs = [cfg(5), cfg(6).with_double_dqn().with_huber(1.0), cfg(7)];
+        let mut reference: Vec<(Vec<u32>, Vec<u32>, f64)> = Vec::new();
+        for (k, c) in configs.iter().enumerate() {
+            let mut env = LineWorld::new();
+            let mut agent = DqnAgent::new(env.input_dim(), c.clone());
+            with_threads(1, || {
+                train(&mut agent, &mut env, c.episodes, |_| {});
+            });
+            let _ = k;
+            reference.push((
+                lpa_nn::reference::mlp_bits(agent.q_network()),
+                lpa_nn::reference::mlp_bits(agent.target_network()),
+                agent.epsilon(),
+            ));
+        }
+        for threads in [1usize, 8] {
+            let mut envs: Vec<LineWorld> = (0..3).map(|_| LineWorld::new()).collect();
+            let mut agents: Vec<DqnAgent<LineWorld>> = configs
+                .iter()
+                .zip(&envs)
+                .map(|(c, env)| DqnAgent::new(env.input_dim(), c.clone()))
+                .collect();
+            let episodes = configs[0].episodes;
+            let mut episodes_seen = 0usize;
+            with_threads(threads, || {
+                let mut members: Vec<(&mut DqnAgent<LineWorld>, &mut LineWorld)> =
+                    agents.iter_mut().zip(envs.iter_mut()).collect();
+                train_lockstep(&mut members, episodes, |_, stats| {
+                    assert_eq!(stats.len(), 3);
+                    episodes_seen += 1;
+                });
+            });
+            assert_eq!(episodes_seen, episodes);
+            for (k, agent) in agents.iter().enumerate() {
+                let (q_bits, t_bits, eps) = &reference[k];
+                assert_eq!(
+                    &lpa_nn::reference::mlp_bits(agent.q_network()),
+                    q_bits,
+                    "threads {threads} member {k}: q-net diverged"
+                );
+                assert_eq!(
+                    &lpa_nn::reference::mlp_bits(agent.target_network()),
+                    t_bits,
+                    "threads {threads} member {k}: target net diverged"
+                );
+                assert_eq!(agent.epsilon(), *eps, "threads {threads} member {k}: ε");
+            }
+        }
+    }
+
+    /// A single lockstep member is just the sequential loop with extra
+    /// steps — same stats, same learning outcome.
+    #[test]
+    fn single_member_lockstep_learns_lineworld() {
+        let c = cfg(5);
+        let mut env = LineWorld::new();
+        let mut agent = DqnAgent::new(env.input_dim(), c.clone());
+        let mut last_reward = f64::NEG_INFINITY;
+        {
+            let mut members = [(&mut agent, &mut env)];
+            train_lockstep(&mut members, c.episodes, |_, stats| {
+                last_reward = stats[0].total_reward;
+            });
+        }
+        let traj = crate::train::rollout(&mut agent, &mut env, 10);
+        assert_eq!(*traj.best_state(), 6, "states: {:?}", traj.states);
+        assert!(last_reward.is_finite());
+    }
+}

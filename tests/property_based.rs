@@ -349,3 +349,127 @@ fn batched_forward_rows_match_single_row_forward() {
         }
     }
 }
+
+/// ISSUE 8: 256 random action sequences (TPC-CH + SSB) assert the
+/// dirty-tracked incremental encoder patches to the exact bytes a full
+/// re-encode produces — state prefix and whole Q-input batches alike.
+#[test]
+fn delta_encoder_matches_full_encode_byte_for_byte() {
+    use lpa::partition::DeltaEncoder;
+    let schemas = [
+        ("tpcch", tpcch()),
+        (
+            "ssb",
+            lpa::schema::ssb::schema(0.001).expect("schema builds"),
+        ),
+    ];
+    for (name, schema) in &schemas {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(0x8000 + case);
+            let enc = StateEncoder::new(schema, 13);
+            let mut delta = DeltaEncoder::new(enc.clone());
+            let mut p = Partitioning::initial(schema);
+            let mut freqs = FrequencyVector::uniform(13);
+            for step in 0..rng.gen_range(2..24usize) {
+                // Random valid action; occasionally resample frequencies
+                // (the other dirty axis) or leave the state untouched.
+                if rng.gen_range(0..4) > 0 {
+                    let actions = lpa::partition::valid_actions(schema, &p);
+                    let a = actions[rng.gen_range(0..actions.len())];
+                    p = a.apply(schema, &p).expect("valid action applies");
+                }
+                if rng.gen_range(0..3) == 0 {
+                    let n = rng.gen_range(1..13usize);
+                    let counts: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..8.0f64)).collect();
+                    freqs = FrequencyVector::from_counts(&counts, 13);
+                }
+                let want_state = enc.encode_state(&p, &freqs);
+                let got_state = delta.state_prefix(&p, &freqs);
+                assert!(
+                    got_state
+                        .iter()
+                        .zip(&want_state)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{name} case {case} step {step}: state prefix differs"
+                );
+                let actions = lpa::partition::valid_actions(schema, &p);
+                let dim = enc.input_dim();
+                let mut want = vec![0.5f32; actions.len() * dim];
+                let mut got = vec![-0.5f32; actions.len() * dim];
+                enc.encode_batch(&p, &freqs, &actions, &mut want);
+                delta.encode_batch(&p, &freqs, &actions, &mut got);
+                assert!(
+                    got.iter()
+                        .zip(&want)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{name} case {case} step {step}: encode_batch differs"
+                );
+            }
+        }
+    }
+}
+
+/// ISSUE 8: the columnar executor is bit-identical to the row-at-a-time
+/// `execute_naive` reference — same seconds, rows and shuffled bytes for
+/// every query — across random deployments, fault-storm plans, bulk
+/// updates, timeout budgets and thread counts.
+#[test]
+fn columnar_executor_matches_naive_across_fault_storms() {
+    use lpa::cluster::FaultPlan;
+
+    fn outcome_key(o: &lpa::cluster::QueryOutcome) -> (u64, String) {
+        (o.seconds().to_bits(), format!("{o:?}"))
+    }
+
+    for &threads in &[1usize, 8] {
+        lpa::par::with_threads(threads, || {
+            for case in 0..3u64 {
+                let schema = lpa::schema::ssb::schema(0.004).expect("schema builds");
+                let workload = lpa::workload::ssb::workload(&schema).expect("workload builds");
+                let mk = || {
+                    let mut c = Cluster::new(
+                        schema.clone(),
+                        ClusterConfig::new(EngineProfile::pgxl(), HardwareProfile::standard()),
+                    );
+                    c.set_fault_plan(FaultPlan::storm(0xFA_0000 + case));
+                    c
+                };
+                let mut fast = mk();
+                let mut naive = mk();
+                let mut rng = StdRng::seed_from_u64(0xC01 + case);
+                let mut p = Partitioning::initial(&schema);
+                for round in 0..3usize {
+                    // Mutate the deployment a few steps, deploy on both.
+                    for _ in 0..rng.gen_range(1..4usize) {
+                        let actions = lpa::partition::valid_actions(&schema, &p);
+                        p = actions[rng.gen_range(0..actions.len())]
+                            .apply(&schema, &p)
+                            .expect("valid action applies");
+                    }
+                    let rf = fast.deploy(&p);
+                    let rn = lpa::cluster::with_naive_executor(|| naive.deploy(&p));
+                    assert_eq!(rf.to_bits(), rn.to_bits(), "deploy seconds differ");
+                    if round == 1 {
+                        fast.bulk_update(0.3);
+                        naive.bulk_update(0.3);
+                    }
+                    for (qi, q) in workload.queries().iter().enumerate() {
+                        let budget = match qi % 3 {
+                            0 => None,
+                            1 => Some(1e-4),
+                            _ => Some(5.0),
+                        };
+                        let a = fast.run_query(q, budget);
+                        let b = lpa::cluster::with_naive_executor(|| naive.run_query(q, budget));
+                        assert_eq!(
+                            outcome_key(&a),
+                            outcome_key(&b),
+                            "threads {threads} case {case} round {round} query {qi}"
+                        );
+                    }
+                }
+                assert_eq!(fast.clock().to_bits(), naive.clock().to_bits());
+            }
+        });
+    }
+}

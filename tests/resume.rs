@@ -443,3 +443,114 @@ fn naive_kernels_match_fast_kernels_across_resume_boundary() {
         "fast kernels + resume boundary diverged from uninterrupted naive kernels"
     );
 }
+
+/// Everything observable from a guarded end-to-end session: the offline
+/// fingerprint plus the simulated runtimes of the advised layout deployed
+/// on a cluster (which exercises the columnar executor).
+#[derive(PartialEq, Debug)]
+struct ComposedFingerprint {
+    offline: Fingerprint,
+    runtimes: Vec<(u64, u64)>,
+}
+
+/// Train (with checkpointing), optionally crash + restore, then deploy the
+/// advice and run every workload query on a fresh cluster. The cluster leg
+/// routes through the columnar executor accounting, so the
+/// `with_naive_executor` guard is genuinely load-bearing here.
+fn composed_session(
+    template: &OfflineTemplate,
+    mix: &FrequencyVector,
+    dir_tag: &str,
+    crash: bool,
+) -> ComposedFingerprint {
+    let dir = test_dir(dir_tag, 0);
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let offline = if crash {
+        let mut victim_rewards = Vec::new();
+        {
+            let mut victim = fresh_offline(template);
+            train_checkpointed(&mut victim, &mut store, 0, CRASH_AFTER, EVERY, |s| {
+                victim_rewards.push(s.total_reward.to_bits());
+            });
+        } // <- crash
+        let mut store2 = CheckpointStore::open(&dir).unwrap();
+        let (seq, ck) = store2.load_latest(&template.schema).unwrap().unwrap();
+        let resumed = restore_offline(ck.into_session().unwrap(), template).unwrap();
+        let mut fp = finish_and_fingerprint(resumed, &mut store2, seq as usize + 1, mix);
+        let mut rewards = victim_rewards[..=seq as usize].to_vec();
+        rewards.append(&mut fp.episode_rewards);
+        fp.episode_rewards = rewards;
+        fp
+    } else {
+        finish_and_fingerprint(fresh_offline(template), &mut store, 0, mix)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cluster = Cluster::new(
+        template.schema.clone(),
+        ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
+    );
+    cluster.deploy(&offline.advice);
+    let mut runtimes = Vec::new();
+    for q in template.workload.queries() {
+        match cluster.run_query(q, None) {
+            QueryOutcome::Completed {
+                seconds,
+                output_rows,
+                ..
+            } => runtimes.push((seconds.to_bits(), output_rows)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    ComposedFingerprint { offline, runtimes }
+}
+
+/// The capstone differential for this PR's three fast paths. Reference: all
+/// three guards composed — naive NN kernels × full state re-encode × naive
+/// executor — over an uninterrupted training run plus a deployed-cluster
+/// query sweep, on one thread. Candidates: every fast path enabled, killed
+/// mid-training and restored from checkpoint, at one and eight threads, on
+/// SSB *and* TPC-CH. Bitwise equality of weights, rewards, advice, and
+/// simulated runtimes proves the fused/batched/incremental paths change
+/// nothing observable, even across a crash/resume boundary.
+#[test]
+fn composed_guards_match_fast_paths_across_resume_boundary() {
+    for bench in ["ssb", "tpcch"] {
+        let (schema, workload) = match bench {
+            "ssb" => {
+                let s = lpa::schema::ssb::schema(0.001).unwrap();
+                let w = lpa::workload::ssb::workload(&s).unwrap();
+                (s, w)
+            }
+            _ => {
+                let s = lpa::schema::tpcch::schema(0.001).unwrap();
+                let w = lpa::workload::tpcch::workload(&s).unwrap();
+                (s, w)
+            }
+        };
+        let template = OfflineTemplate {
+            schema,
+            workload,
+            model: NetworkCostModel::new(CostParams::standard()),
+        };
+        let mix = template.workload.uniform_frequencies();
+        let reference = lpa::par::with_threads(1, || {
+            lpa::nn::with_naive_kernels(|| {
+                lpa::partition::with_full_encode(|| {
+                    lpa::cluster::with_naive_executor(|| {
+                        composed_session(&template, &mix, &format!("oracle-{bench}"), false)
+                    })
+                })
+            })
+        });
+        for &threads in &THREAD_COUNTS {
+            let got = lpa::par::with_threads(threads, || {
+                composed_session(&template, &mix, &format!("fast-{bench}-{threads}"), true)
+            });
+            assert_eq!(
+                got, reference,
+                "{bench}: fast paths + resume diverged from composed oracle at threads={threads}"
+            );
+        }
+    }
+}
