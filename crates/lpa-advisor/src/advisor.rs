@@ -306,6 +306,17 @@ impl Advisor {
         self.agent.snapshot()
     }
 
+    /// A stable 64-bit fingerprint of the learned weights (Q and target
+    /// networks, FNV-1a over raw `f32` bits). Equal fingerprints mean the
+    /// advisor is bitwise the same trained artifact — the fleet's
+    /// isolation tests compare these to prove chaos in one tenant never
+    /// perturbs another tenant's training.
+    pub fn weight_fingerprint(&self) -> u64 {
+        let q = lpa_nn::reference::mlp_fingerprint(self.agent.q_network());
+        let t = lpa_nn::reference::mlp_fingerprint(self.agent.target_network());
+        q ^ t.rotate_left(32)
+    }
+
     /// Rebuild an advisor from a persisted policy plus a freshly
     /// constructed environment. Panics if the environment's input
     /// dimension does not match the snapshot's network.

@@ -1,0 +1,170 @@
+//! Experiment 8 — multi-tenant fleet throughput (`lpa-service::fleet`).
+//!
+//! The fleet manager multiplexes many per-tenant advisors over one
+//! deterministic round-robin scheduler; this experiment measures what the
+//! multiplexing costs. It reports admission throughput (schema, workload,
+//! cluster and advisor built per tenant), steady-state slice throughput
+//! (tenant-slices/sec and effective tenants/sec over a full round), the
+//! overhead of fleet-wide checkpointing at two cadences, and the
+//! whole-fleet resume time. The checkpointed run must leave every
+//! tenant's Q-network bit-identical to the plain run — checkpointing is
+//! read-only by construction — and that is asserted here, as is
+//! bit-identical resume.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa_bench::{bar, figure, save_json};
+use lpa_service::{Benchmark, Fleet, FleetConfig, TenantSpec};
+use lpa_store::CheckpointedFleet;
+use serde_json::json;
+use std::time::Instant;
+
+const TENANTS: usize = 64;
+const ROUNDS: u64 = 8;
+const CADENCES: [u64; 2] = [4, 1];
+
+fn fleet_seed() -> u64 {
+    std::env::var("LPA_FLEET_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xF1EE7D)
+}
+
+fn cfg() -> FleetConfig {
+    FleetConfig {
+        seed: fleet_seed(),
+        max_tenants: TENANTS,
+        ..FleetConfig::default()
+    }
+}
+
+fn specs() -> Vec<TenantSpec> {
+    (0..TENANTS)
+        .map(|i| {
+            let bench = if i % 2 == 0 {
+                Benchmark::Ssb
+            } else {
+                Benchmark::TpcCh
+            };
+            let mut spec = TenantSpec::new(format!("tenant-{i:03}"), bench, 0.001, 1000 + i as u64);
+            spec.episodes = 4;
+            spec
+        })
+        .collect()
+}
+
+fn fingerprints(fleet: &Fleet) -> Vec<u64> {
+    (0..fleet.tenant_count())
+        .map(|t| fleet.tenant_weight_fingerprint(t).unwrap())
+        .collect()
+}
+
+fn main() {
+    figure(
+        "Exp. 8",
+        "multi-tenant fleet — admission, slice throughput, checkpoint overhead, resume",
+    );
+
+    let dir = std::env::temp_dir().join(format!("lpa-exp8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Admission: the cost of building a tenant (schema, workload, cluster,
+    // advisor) under the admission controller.
+    let mut fleet = Fleet::new(cfg());
+    let t0 = Instant::now();
+    for spec in specs() {
+        fleet.admit(spec).unwrap();
+    }
+    let admit_s = t0.elapsed().as_secs_f64();
+    bar(
+        &format!("admission ({TENANTS} tenants)"),
+        TENANTS as f64 / admit_s,
+        "tenants/s",
+    );
+
+    // Steady state: full rounds of the cooperative scheduler (train slice
+    // + greedy advice + probe queries + clock advance, per tenant).
+    let t0 = Instant::now();
+    fleet.run_rounds(ROUNDS);
+    let plain_s = t0.elapsed().as_secs_f64();
+    let slices = (TENANTS as u64 * ROUNDS) as f64;
+    bar("slice throughput (plain)", slices / plain_s, "slices/s");
+    bar(
+        "effective round rate",
+        ROUNDS as f64 / plain_s * TENANTS as f64,
+        "tenant-rounds/s",
+    );
+    let report = fleet.report();
+    assert_eq!(report.quarantined, 0, "healthy fleet must stay healthy");
+    let reference = fingerprints(&fleet);
+
+    // Checkpointing overhead: same fleet, durable lineages + manifest at
+    // cadence `every`; trajectories must stay bit-identical.
+    let mut runs = Vec::new();
+    let mut resume_s = 0.0f64;
+    for every in CADENCES {
+        let root = dir.join(format!("every-{every}"));
+        let mut ckpt = CheckpointedFleet::create(cfg(), &root, every).unwrap();
+        for spec in specs() {
+            ckpt.admit(spec).unwrap();
+        }
+        let t0 = Instant::now();
+        ckpt.run_rounds(ROUNDS);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            fingerprints(ckpt.fleet()),
+            reference,
+            "checkpointing must not perturb training (every={every})"
+        );
+        let store = ckpt.report().store;
+        assert_eq!(store.write_failures, 0, "no write may fail");
+        bar(
+            &format!(
+                "slice throughput (ckpt every={every}, {} written)",
+                store.checkpoints_written
+            ),
+            slices / elapsed,
+            "slices/s",
+        );
+        runs.push(json!({
+            "checkpoint_every": every,
+            "seconds": elapsed,
+            "checkpoints_written": store.checkpoints_written,
+            "overhead_pct_vs_plain": (elapsed / plain_s - 1.0) * 100.0,
+        }));
+
+        // Whole-fleet resume from the last cadence boundary (measured on
+        // the every=1 lineage, where the boundary is the final round).
+        if every == 1 {
+            let t0 = Instant::now();
+            let resumed = CheckpointedFleet::resume_or(cfg(), specs(), &root, every).unwrap();
+            resume_s = t0.elapsed().as_secs_f64();
+            assert_eq!(resumed.fleet().round(), ROUNDS, "resume lands on round");
+            assert_eq!(
+                fingerprints(resumed.fleet()),
+                reference,
+                "resume must be bit-identical"
+            );
+            bar(
+                &format!("whole-fleet resume ({TENANTS} tenants)"),
+                TENANTS as f64 / resume_s,
+                "tenants/s",
+            );
+        }
+    }
+
+    save_json(
+        "exp8_fleet",
+        &json!({
+            "tenants": TENANTS,
+            "rounds": ROUNDS,
+            "seed": fleet_seed(),
+            "admission_tenants_per_s": TENANTS as f64 / admit_s,
+            "plain_slices_per_s": slices / plain_s,
+            "resume_tenants_per_s": TENANTS as f64 / resume_s,
+            "checkpointed_runs": runs,
+            "bitwise_identical_plain_ckpt_resume": true,
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -103,6 +103,19 @@ impl FaultPlan {
         }
     }
 
+    /// The same plan with its root seed re-derived through `stream` — the
+    /// fleet's per-tenant salt. Two tenants handed `plan.salted(i)` and
+    /// `plan.salted(j)` draw from decorrelated fault schedules, so chaos
+    /// landing on tenant *i* is bit-neutral for tenant *j* even though
+    /// both were configured from the same storm template. Inert plans stay
+    /// inert (seed is irrelevant when every rate is zero).
+    pub fn salted(&self, stream: u64) -> Self {
+        Self {
+            seed: derive_stream(self.seed, stream),
+            ..*self
+        }
+    }
+
     /// True when the plan can never produce a fault.
     pub fn is_inert(&self) -> bool {
         self.crash_rate == 0.0
@@ -338,6 +351,20 @@ mod tests {
                 b.transient_failure(clock, w as u64)
             );
         }
+    }
+
+    #[test]
+    fn salted_plans_diverge_per_stream_but_stay_pure() {
+        let base = FaultPlan::storm(0xF1EE7);
+        let a = base.salted(3);
+        let b = base.salted(4);
+        assert_eq!(a, base.salted(3), "salting must be pure in the stream");
+        let diverged = (0..200).any(|w| {
+            let clock = w as f64 * base.window_seconds + 1e-3;
+            a.state_at(clock, 4) != b.state_at(clock, 4)
+        });
+        assert!(diverged, "distinct salts must yield distinct schedules");
+        assert!(FaultPlan::none().salted(9).is_inert());
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! flags — hash-order iteration feeding an encoder, a stray `Instant::now()`
 //! in the cost model, an `unwrap()` that aborts a training episode — corrupt
 //! the training signal silently. This crate walks every `.rs` file in the
-//! workspace and enforces rules L001–L013; see [`rules`] for the token-level
-//! catalogue (L001–L008 plus the L013 allocation-free hot-path rule) and
+//! workspace and enforces rules L001–L014; see [`rules`] for the token-level
+//! catalogue (L001–L008 plus the L013 allocation-free hot-path rule and
+//! the L014 tenant-isolation boundary) and
 //! [`callgraph`]/[`dataflow`] for the structural rules (L009–L012).
 //!
 //! The pipeline has two phases:
@@ -216,6 +217,7 @@ fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Dia
                 | "L011"
                 | "L012"
                 | "L013"
+                | "L014"
         );
         if !known {
             bad.push(Diagnostic {

@@ -37,6 +37,11 @@
 //!   encoded state; an allocation there is a per-step heap round-trip the
 //!   whole columnar/incremental design exists to avoid, and it creeps back
 //!   silently because the code still passes every correctness test.
+//! - **L014** — no direct tenant-state access outside the fleet module
+//!   (`crates/lpa-service/src/fleet.rs`): naming the private `TenantSlot`
+//!   struct or reading a `.tenants` field bypasses the quarantine funnel
+//!   that keeps one tenant's failure from perturbing another's training
+//!   state. All tenant state flows through `Fleet`'s accessor API.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -811,6 +816,49 @@ pub fn l013(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
     out
 }
 
+/// The one file allowed to touch tenant slots directly: the fleet module
+/// owns `TenantSlot` and the `tenants` vector; everything else goes
+/// through `Fleet`'s accessor API.
+const L014_FLEET_MODULE: &[&str] = &["crates/lpa-service/src/fleet.rs"];
+
+/// L014: tenant-state isolation. Outside the fleet module, naming the
+/// private `TenantSlot` struct or reaching into a `tenants` collection
+/// field (`.tenants[i]`, `.tenants.iter()`, …) bypasses the per-tenant
+/// error domain: every mutation of tenant state must flow through
+/// `Fleet`'s accessors so the quarantine funnel sees every failure and
+/// one tenant's fault cannot leak into another's slot. A method *call*
+/// `.tenants(...)` is an accessor and stays legal.
+pub fn l014(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if in_scope(rel_path, L014_FLEET_MODULE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] {
+            continue;
+        }
+        if t.text == "TenantSlot" {
+            out.push(diag(
+                "L014",
+                rel_path,
+                t.line,
+                "`TenantSlot` named outside the fleet module; tenant slots are private to `crates/lpa-service/src/fleet.rs` — go through `Fleet`'s accessor API so the per-tenant error domain stays intact",
+            ));
+        } else if t.text == "tenants"
+            && prev_sig(tokens, i).is_some_and(|j| tokens[j].is_punct('.'))
+            && !next_sig(tokens, i).is_some_and(|j| tokens[j].is_punct('('))
+        {
+            out.push(diag(
+                "L014",
+                rel_path,
+                t.line,
+                "direct `.tenants` field access outside the fleet module bypasses the quarantine funnel; use `Fleet`'s accessors (`tenant_count()`, `tenant_advisor()`, `report()`, …) instead",
+            ));
+        }
+    }
+    out
+}
+
 /// Run every rule over one file's token stream.
 pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
     let in_test = test_regions(tokens);
@@ -825,6 +873,7 @@ pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic
         out.extend(l007(rel_path, tokens, &in_test));
         out.extend(l008(rel_path, tokens, &in_test));
         out.extend(l013(rel_path, tokens, &in_test));
+        out.extend(l014(rel_path, tokens, &in_test));
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out

@@ -342,3 +342,35 @@ fn l013_covers_delta_encoder_path_and_waives() {
     .expect("lexes");
     assert!(report.diagnostics.iter().any(|d| d.rule == "L013"));
 }
+
+#[test]
+fn l014_fixture_flags_tenant_state_access_outside_fleet_module() {
+    let src = fixture("l014_tenant_access.rs");
+    let report = lint_source(
+        "crates/lpa-advisor/src/fleet_client.rs",
+        &src,
+        FileKind::Lib,
+    )
+    .expect("lexes");
+    let l014: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L014")
+        .collect();
+    assert_eq!(l014.len(), 3, "{:?}", report.diagnostics);
+    for d in &l014 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING"),
+            "line {} not marked: {text}",
+            d.line
+        );
+    }
+    // The fleet module itself owns the slots — same source, zero findings.
+    let owner = lint_source("crates/lpa-service/src/fleet.rs", &src, FileKind::Lib).expect("lexes");
+    assert!(
+        !owner.diagnostics.iter().any(|d| d.rule == "L014"),
+        "{:?}",
+        owner.diagnostics
+    );
+}

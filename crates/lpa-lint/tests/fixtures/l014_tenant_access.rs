@@ -1,0 +1,47 @@
+//! L014 fixture: tenant-state access outside the fleet module.
+//! Linted under a synthetic lib path outside
+//! `crates/lpa-service/src/fleet.rs`; the same source linted under the
+//! fleet module path itself must be clean.
+
+/// Redeclaring the slot type outside its owning module.
+pub struct TenantSlot { // FINDING L014
+    pub episode: usize,
+}
+
+pub struct Registry {
+    slots: Vec<usize>,
+}
+
+impl Registry {
+    /// An accessor *named* `tenants` — calls to it are legal everywhere.
+    pub fn tenants(&self) -> &[usize] {
+        &self.slots
+    }
+
+    pub fn peek(&self, other: &Registry) -> usize {
+        // Method call, not a field read: near-miss.
+        other.tenants().len()
+    }
+}
+
+pub struct RawFleet {
+    pub tenants: Vec<usize>,
+}
+
+pub fn reach_in(fleet: &RawFleet) -> usize {
+    let first = fleet.tenants.first().copied().unwrap_or(0); // FINDING L014
+    let total: usize = fleet.tenants.iter().sum(); // FINDING L014
+    // A bare local named `tenants` (no `.` before it): near-miss.
+    let tenants = first + total;
+    tenants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RawFleet;
+
+    /// Test code may poke tenant state directly.
+    fn poke(fleet: &RawFleet) -> usize {
+        fleet.tenants.len()
+    }
+}

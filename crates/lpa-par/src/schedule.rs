@@ -1,0 +1,212 @@
+//! Deterministic cooperative scheduling for multi-tenant work.
+//!
+//! The fleet manager in `lpa-service` interleaves per-tenant training and
+//! advice *slices*. For the fleet to stay bit-identical at any
+//! `LPA_THREADS`, the order in which tenants receive slices must be a pure
+//! function of the schedule state — never of thread timing. [`RoundRobin`]
+//! is that function: a fixed-order cursor over slot indices, advanced one
+//! slice at a time, with new slots admitted only at round boundaries so an
+//! admission can never reorder the slices of the round in progress.
+//!
+//! The scheduler knows nothing about tenants, quarantine, or budgets — it
+//! hands out `(slot, round)` pairs and the caller decides whether a slot
+//! actually runs (a quarantined tenant's slice is *issued* and then
+//! skipped, which keeps every other tenant's slice sequence unchanged —
+//! the heart of the fleet's isolation argument).
+
+/// One unit of issued work: slot `slot` runs its slice of round `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slice {
+    /// Index of the slot (tenant) this slice belongs to.
+    pub slot: usize,
+    /// Zero-based round number; every slot sees each round exactly once.
+    pub round: u64,
+}
+
+/// A fixed round-robin scheduler over `slots` cooperative slots.
+///
+/// Determinism contract: the sequence of [`Slice`]s produced by
+/// [`RoundRobin::next_slice`] depends only on (initial slot count, the
+/// rounds at which [`RoundRobin::admit`] was called, the call order) —
+/// never on wall-clock time or thread count. The entire state is three
+/// integers, so it serialises into any checkpoint trivially via
+/// [`RoundRobin::parts`] / [`RoundRobin::from_parts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundRobin {
+    slots: usize,
+    /// Next slot to issue within the current round.
+    cursor: usize,
+    round: u64,
+    /// Slots admitted mid-round; folded in when the round ends.
+    pending: usize,
+}
+
+impl RoundRobin {
+    /// A scheduler over `slots` initial slots, starting at round 0.
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots,
+            cursor: 0,
+            round: 0,
+            pending: 0,
+        }
+    }
+
+    /// Rebuild from checkpointed state. `cursor` is clamped into range so a
+    /// corrupt value degrades to "start of round" instead of skipping slots
+    /// forever.
+    pub fn from_parts(slots: usize, cursor: usize, round: u64) -> Self {
+        Self {
+            slots,
+            cursor: if cursor < slots { cursor } else { 0 },
+            round,
+            pending: 0,
+        }
+    }
+
+    /// `(slots, cursor, round)` — everything needed to resume.
+    pub fn parts(&self) -> (usize, usize, u64) {
+        (self.slots, self.cursor, self.round)
+    }
+
+    /// Number of scheduled slots, excluding pending admissions.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The round the next issued slice belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// True when the next slice starts a fresh round (admissions just
+    /// landed, checkpoints may be due).
+    pub fn at_round_start(&self) -> bool {
+        self.cursor == 0
+    }
+
+    /// Register one new slot. It first receives a slice in the round
+    /// *after* the current one completes, so in-flight rounds keep their
+    /// slice order. Returns the index the slot will occupy.
+    pub fn admit(&mut self) -> usize {
+        let idx = self.slots + self.pending;
+        self.pending += 1;
+        idx
+    }
+
+    /// Issue the next slice, advancing the cursor (and the round, folding
+    /// in pending admissions, when the cursor wraps). Returns `None` when
+    /// there are no slots at all.
+    pub fn next_slice(&mut self) -> Option<Slice> {
+        if self.slots == 0 {
+            // Admissions can still start the very first round.
+            if self.pending == 0 {
+                return None;
+            }
+            self.slots += self.pending;
+            self.pending = 0;
+        }
+        let slice = Slice {
+            slot: self.cursor,
+            round: self.round,
+        };
+        self.cursor += 1;
+        if self.cursor >= self.slots {
+            self.cursor = 0;
+            self.round += 1;
+            self.slots += self.pending;
+            self.pending = 0;
+        }
+        Some(slice)
+    }
+
+    /// Issue every remaining slice of the current round (or a full round if
+    /// positioned at a round start). Convenience for drivers that work in
+    /// whole rounds.
+    pub fn finish_round(&mut self) -> Vec<Slice> {
+        let mut out = Vec::new();
+        if self.slots == 0 && self.pending == 0 {
+            return out;
+        }
+        let round = self.round;
+        while let Some(s) = self.next_slice() {
+            out.push(s);
+            if self.at_round_start() && self.round > round {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fixed_order() {
+        let mut rr = RoundRobin::new(3);
+        let got: Vec<_> = (0..7).map(|_| rr.next_slice().unwrap()).collect();
+        let want: Vec<Slice> = [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1), (0, 2)]
+            .iter()
+            .map(|&(slot, round)| Slice { slot, round })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn admissions_defer_to_next_round() {
+        let mut rr = RoundRobin::new(2);
+        assert_eq!(rr.next_slice().unwrap().slot, 0);
+        // Admitted mid-round: must not appear in round 0.
+        assert_eq!(rr.admit(), 2);
+        assert_eq!(rr.next_slice().unwrap(), Slice { slot: 1, round: 0 });
+        // Round 1 includes the admitted slot, in index order.
+        let round1: Vec<_> = (0..3).map(|_| rr.next_slice().unwrap()).collect();
+        assert_eq!(
+            round1,
+            vec![
+                Slice { slot: 0, round: 1 },
+                Slice { slot: 1, round: 1 },
+                Slice { slot: 2, round: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_scheduler_yields_nothing_until_admission() {
+        let mut rr = RoundRobin::new(0);
+        assert_eq!(rr.next_slice(), None);
+        rr.admit();
+        assert_eq!(rr.next_slice(), Some(Slice { slot: 0, round: 0 }));
+    }
+
+    #[test]
+    fn parts_round_trip_resumes_mid_round() {
+        let mut rr = RoundRobin::new(3);
+        for _ in 0..4 {
+            rr.next_slice();
+        }
+        let (slots, cursor, round) = rr.parts();
+        let mut resumed = RoundRobin::from_parts(slots, cursor, round);
+        for _ in 0..5 {
+            assert_eq!(rr.next_slice(), resumed.next_slice());
+        }
+    }
+
+    #[test]
+    fn corrupt_cursor_clamps_to_round_start() {
+        let rr = RoundRobin::from_parts(3, 99, 5);
+        assert_eq!(rr.parts(), (3, 0, 5));
+    }
+
+    #[test]
+    fn finish_round_issues_exactly_one_round() {
+        let mut rr = RoundRobin::new(4);
+        rr.next_slice();
+        let rest: Vec<_> = rr.finish_round().iter().map(|s| s.slot).collect();
+        assert_eq!(rest, vec![1, 2, 3]);
+        assert_eq!(rr.round(), 1);
+        assert_eq!(rr.finish_round().len(), 4);
+    }
+}

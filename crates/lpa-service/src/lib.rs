@@ -24,10 +24,15 @@
 #![deny(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod fleet;
 pub mod forecast;
 pub mod monitor;
 pub mod service;
 
+pub use fleet::{
+    Benchmark, Fleet, FleetConfig, FleetError, FleetReport, FleetStoreCounters, QuarantinePolicy,
+    TenantCounters, TenantErrorKind, TenantReport, TenantSpec, TenantStatus,
+};
 pub use forecast::FrequencyForecaster;
 pub use monitor::{Observation, WorkloadMonitor};
 pub use service::{PartitioningService, ServiceConfig, ServiceEvent, WindowReport};

@@ -1,0 +1,322 @@
+//! Fleet-wide crash recovery: per-tenant checkpoint lineages plus the
+//! global manifest.
+//!
+//! [`CheckpointedFleet`] wraps an in-memory [`Fleet`] with one
+//! [`CheckpointStore`] per tenant (`<root>/tenant-NNNN/ckpt-*.lpa`) and a
+//! [`FleetManifest`] at `<root>/manifest.lpa`. At every checkpoint cadence
+//! boundary it snapshots *every* tenant (quarantined ones included —
+//! capture is read-only), then atomically rewrites the manifest, so a
+//! process kill at any moment restores the whole fleet from the last
+//! cadence boundary, bit-identical to the uninterrupted run.
+//!
+//! Failure philosophy (matches [`crate::service::CheckpointedService`]):
+//! durability failures are counted, attributed to the failing tenant
+//! through the fleet's quarantine funnel, and never fatal — one tenant's
+//! corrupt checkpoint quarantines *that tenant*; a corrupt manifest falls
+//! back to per-tenant directory scans; an all-corrupt tenant lineage
+//! degrades to a fresh tenant (plus a restore error), never a panic.
+
+use crate::manifest::{load_manifest, save_manifest, FleetManifest, ManifestEntry};
+use crate::session::{capture_advisor, restore_offline, OfflineTemplate};
+use crate::snapshot::{Checkpoint, TenantSnapshot};
+use crate::store::CheckpointStore;
+use crate::StoreError;
+use lpa_costmodel::{CostParams, NetworkCostModel};
+use lpa_service::{
+    Fleet, FleetConfig, FleetError, FleetReport, FleetStoreCounters, TenantErrorKind, TenantSpec,
+};
+use std::path::{Path, PathBuf};
+
+/// Capture one tenant's complete resumable state. Read-only; safe for
+/// quarantined tenants.
+pub fn capture_tenant(
+    fleet: &Fleet,
+    tenant: usize,
+    round: u64,
+) -> Result<TenantSnapshot, FleetError> {
+    Ok(TenantSnapshot {
+        tenant: tenant as u64,
+        round,
+        session: capture_advisor(
+            fleet.tenant_episode(tenant)? as u64,
+            fleet.tenant_advisor(tenant)?,
+        ),
+        cluster: fleet.tenant_cluster(tenant)?.resume_state(),
+        status: fleet.tenant_status(tenant)?,
+        errors_since_rejoin: fleet.tenant_errors_since_rejoin(tenant)?,
+        counters: fleet.tenant_counters(tenant)?,
+    })
+}
+
+/// Apply a tenant snapshot to an already-admitted tenant slot. The
+/// advisor's environment is rebuilt from the fleet's schema/workload (pure
+/// functions of the spec) under the fleet's cost-model convention
+/// (`CostParams::standard()`).
+pub fn restore_tenant(fleet: &mut Fleet, snap: TenantSnapshot) -> Result<(), StoreError> {
+    let tenant = snap.tenant as usize;
+    let to_store = |e: FleetError| StoreError::Incompatible(e.to_string());
+    let template = OfflineTemplate {
+        schema: fleet.tenant_schema(tenant).map_err(to_store)?.clone(),
+        workload: fleet.tenant_workload(tenant).map_err(to_store)?.clone(),
+        model: NetworkCostModel::new(CostParams::standard()),
+    };
+    let episode = snap.session.episode as usize;
+    let advisor = restore_offline(snap.session, &template)?;
+    fleet
+        .restore_tenant(
+            tenant,
+            advisor,
+            snap.cluster,
+            episode,
+            snap.status,
+            snap.errors_since_rejoin,
+            snap.counters,
+        )
+        .map_err(to_store)
+}
+
+fn tenant_dir(root: &Path, tenant: usize) -> PathBuf {
+    root.join(format!("tenant-{tenant:04}"))
+}
+
+/// A [`Fleet`] that checkpoints every tenant on a round cadence and
+/// restores the whole fleet — scheduler position, admission counters,
+/// every tenant's training state — after a process kill.
+#[derive(Debug)]
+pub struct CheckpointedFleet {
+    fleet: Fleet,
+    root: PathBuf,
+    /// Checkpoint cadence: snapshot the fleet after every `every` rounds.
+    every: u64,
+    stores: Vec<CheckpointStore>,
+    /// Last sequence durably written per tenant (kept in the manifest even
+    /// when a newer write fails).
+    last_good: Vec<Option<u64>>,
+    write_failures: u64,
+    manifest_fallbacks: u64,
+}
+
+impl CheckpointedFleet {
+    /// A fresh checkpointed fleet rooted at `root` (created if needed).
+    pub fn create(
+        cfg: FleetConfig,
+        root: impl Into<PathBuf>,
+        every: u64,
+    ) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self {
+            fleet: Fleet::new(cfg),
+            root,
+            every: every.max(1),
+            stores: Vec::new(),
+            last_good: Vec::new(),
+            write_failures: 0,
+            manifest_fallbacks: 0,
+        })
+    }
+
+    /// Admit a tenant and open its checkpoint lineage. Admission-control
+    /// rejections pass through; a store that cannot be opened surfaces as
+    /// [`FleetError::Storage`] (and the tenant is not admitted).
+    pub fn admit(&mut self, spec: TenantSpec) -> Result<usize, FleetError> {
+        let tenant = self.fleet.tenant_count();
+        let store = CheckpointStore::open(tenant_dir(&self.root, tenant)).map_err(|e| {
+            FleetError::Storage {
+                reason: e.to_string(),
+            }
+        })?;
+        let id = self.fleet.admit(spec)?;
+        debug_assert_eq!(id, tenant);
+        self.stores.push(store);
+        self.last_good.push(None);
+        Ok(id)
+    }
+
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    pub fn fleet_mut(&mut self) -> &mut Fleet {
+        &mut self.fleet
+    }
+
+    /// Run one round; checkpoint the whole fleet when the cadence lands.
+    pub fn run_round(&mut self) {
+        self.fleet.run_round();
+        if self.fleet.round().is_multiple_of(self.every) {
+            self.checkpoint_now();
+        }
+    }
+
+    /// Advance the fleet by `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// Snapshot every tenant, then atomically rewrite the manifest.
+    /// Failures are counted and routed through the quarantine funnel,
+    /// never propagated — a lost checkpoint costs recovery granularity,
+    /// not fleet progress.
+    pub fn checkpoint_now(&mut self) {
+        let round = self.fleet.round();
+        for tenant in 0..self.fleet.tenant_count() {
+            let written = match capture_tenant(&self.fleet, tenant, round) {
+                Ok(snap) => self.stores[tenant].save(&Checkpoint::Tenant(snap)).is_ok(),
+                Err(_) => false,
+            };
+            if written {
+                self.last_good[tenant] = Some(round);
+            } else {
+                self.write_failures += 1;
+                // The slot exists, so the funnel cannot reject it.
+                let _ = self
+                    .fleet
+                    .record_tenant_error(tenant, TenantErrorKind::Checkpoint);
+            }
+        }
+        let manifest = FleetManifest {
+            round,
+            rejected_admissions: self.fleet.report().rejected_admissions,
+            entries: self
+                .last_good
+                .iter()
+                .enumerate()
+                .filter_map(|(tenant, seq)| {
+                    seq.map(|sequence| ManifestEntry {
+                        tenant: tenant as u64,
+                        sequence,
+                    })
+                })
+                .collect(),
+        };
+        if save_manifest(&self.root, &manifest).is_err() {
+            self.write_failures += 1;
+        }
+    }
+
+    /// Rebuild a fleet from `specs` and restore whatever `root` holds —
+    /// the whole-process recovery path. A valid manifest drives the
+    /// restore (scheduler round, admission counters, tenant → latest-good
+    /// sequence); a corrupt manifest is counted and degrades to per-tenant
+    /// directory scans; a missing manifest means a fresh fleet. Per-tenant
+    /// restore failures (corrupt lineage, template mismatch) leave that
+    /// tenant fresh and are recorded as restore errors, so the quarantine
+    /// policy contains the blast radius to the tenant that lost state.
+    pub fn resume_or(
+        cfg: FleetConfig,
+        specs: Vec<TenantSpec>,
+        root: impl Into<PathBuf>,
+        every: u64,
+    ) -> Result<Self, StoreError> {
+        let mut me = Self::create(cfg, root, every)?;
+        for spec in specs {
+            match me.admit(spec) {
+                Ok(_) => {}
+                // Over-budget specs are rejected here exactly as they were
+                // in the original process; the counter is restored below.
+                Err(FleetError::AdmissionRejected { .. }) => {}
+                Err(e) => return Err(StoreError::Incompatible(e.to_string())),
+            }
+        }
+        let manifest = match load_manifest(&me.root) {
+            Ok(m) => m,
+            Err(_) => {
+                me.manifest_fallbacks += 1;
+                None
+            }
+        };
+        // Phase 1: pull the newest valid snapshot out of every tenant's
+        // lineage (corruptions and fallbacks are counted by the stores).
+        let mut loaded: Vec<Option<(u64, TenantSnapshot)>> = Vec::new();
+        for tenant in 0..me.fleet.tenant_count() {
+            let schema = match me.fleet.tenant_schema(tenant) {
+                Ok(s) => s.clone(),
+                Err(_) => {
+                    loaded.push(None);
+                    continue;
+                }
+            };
+            let snap = match me.stores[tenant].load_latest(&schema) {
+                Ok(Some((seq, ck))) => ck.into_tenant().ok().map(|s| (seq, s)),
+                Ok(None) => None,
+                Err(_) => None,
+            };
+            loaded.push(snap);
+        }
+        // Phase 2: position the scheduler *before* applying snapshots, so
+        // quarantine decisions made for restore failures are relative to
+        // the resumed round. Without a manifest the round degrades to the
+        // newest round any tenant checkpointed.
+        let resume_round = match &manifest {
+            Some(m) => m.round,
+            None => loaded
+                .iter()
+                .flatten()
+                .map(|(_, s)| s.round)
+                .max()
+                .unwrap_or(0),
+        };
+        me.fleet.restore_scheduler(0, resume_round);
+        if let Some(m) = &manifest {
+            me.fleet.restore_rejected_admissions(m.rejected_admissions);
+        }
+        for (tenant, entry) in loaded.into_iter().enumerate() {
+            let expected = manifest.as_ref().and_then(|m| m.sequence_of(tenant as u64));
+            let mut failed = false;
+            match entry {
+                Some((seq, snap)) => {
+                    me.last_good[tenant] = Some(seq);
+                    // Restoring an older boundary than the manifest
+                    // promised means this tenant lost its newest state
+                    // (corrupt newest file): it is out of lockstep with
+                    // the fleet and must answer to the quarantine policy.
+                    if expected.is_some_and(|e| e != seq) {
+                        failed = true;
+                    }
+                    if restore_tenant(&mut me.fleet, snap).is_err() {
+                        failed = true;
+                    }
+                }
+                None => {
+                    // No usable snapshot. Only an error if the manifest
+                    // (or leftover files) say there should have been one —
+                    // a genuinely new tenant starts fresh silently.
+                    if expected.is_some() || !me.stores[tenant].list().is_empty() {
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                let _ = me
+                    .fleet
+                    .record_tenant_error(tenant, TenantErrorKind::Restore);
+            }
+        }
+        Ok(me)
+    }
+
+    /// Fleet report with the durable-store counters filled in (the fleet
+    /// alone reports zeros there): checkpoints written, corruptions
+    /// detected, restores, last-good fallbacks, write failures, manifest
+    /// fallbacks — aggregated across every tenant's lineage.
+    pub fn report(&self) -> FleetReport {
+        let mut report = self.fleet.report();
+        let mut store = FleetStoreCounters {
+            write_failures: self.write_failures,
+            manifest_fallbacks: self.manifest_fallbacks,
+            ..FleetStoreCounters::default()
+        };
+        for s in &self.stores {
+            let c = s.counters();
+            store.checkpoints_written += c.checkpoints_written;
+            store.corruptions_detected += c.checkpoint_corruptions_detected;
+            store.restores += c.checkpoint_restores;
+            store.fallbacks += c.checkpoint_fallbacks;
+        }
+        report.store = store;
+        report
+    }
+}

@@ -33,17 +33,26 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod codec;
+pub mod fleet;
+pub mod manifest;
 pub mod service;
 pub mod session;
 pub mod snapshot;
 pub mod store;
 
+pub use fleet::{capture_tenant, restore_tenant, CheckpointedFleet};
+pub use manifest::{
+    load_manifest, save_manifest, FleetManifest, ManifestEntry, MANIFEST_FILE, MANIFEST_MAGIC,
+    MANIFEST_VERSION,
+};
 pub use service::{capture_service, restore_service, CheckpointedService, ServiceTemplate};
 pub use session::{
     capture_advisor, capture_committee, restore_committee, restore_offline, restore_online,
     train_checkpointed, CheckpointingReport, OfflineTemplate, OnlineTemplate,
 };
-pub use snapshot::{BackendState, Checkpoint, CommitteeSnapshot, ServiceSnapshot, SessionSnapshot};
+pub use snapshot::{
+    BackendState, Checkpoint, CommitteeSnapshot, ServiceSnapshot, SessionSnapshot, TenantSnapshot,
+};
 pub use store::{
     atomic_write, decode_checkpoint, encode_checkpoint, CheckpointStore, FORMAT_VERSION, MAGIC,
 };

@@ -28,7 +28,7 @@ use lpa_nn::{Adam, Dense, Matrix, Mlp};
 use lpa_partition::{Action, InternedKey, KeyInterner, Partitioning, TableState};
 use lpa_rl::{DqnAgent, DqnConfig, EnvCounters, QLoss, ReplayBuffer, Transition};
 use lpa_schema::{AttrId, EdgeId, Schema, TableId};
-use lpa_service::ServiceConfig;
+use lpa_service::{ServiceConfig, TenantCounters, TenantStatus};
 use lpa_workload::{FrequencyVector, MixSampler, QueryId};
 
 // ---------------------------------------------------------------------------
@@ -1103,6 +1103,100 @@ impl CommitteeSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tenant snapshot (fleet member).
+
+/// One fleet tenant's complete resumable state: the training session
+/// (agent + environment), the simulated cluster, and the fleet-level
+/// bookkeeping (quarantine status, error budget, fairness counters) that
+/// must survive a process kill for recovery to be bit-identical. Schema,
+/// workload and mix are *not* stored — they are pure functions of the
+/// tenant's spec, rebuilt at restore time.
+#[derive(Debug)]
+pub struct TenantSnapshot {
+    /// Tenant id (slot index) inside the fleet.
+    pub tenant: u64,
+    /// Fleet round the snapshot was taken at — the store sequence number.
+    pub round: u64,
+    pub session: SessionSnapshot,
+    pub cluster: ClusterResumeState,
+    pub status: TenantStatus,
+    pub errors_since_rejoin: u64,
+    pub counters: TenantCounters,
+}
+
+fn put_tenant_status(w: &mut ByteWriter, s: &TenantStatus) {
+    match s {
+        TenantStatus::Active => w.put_u8(0),
+        TenantStatus::Quarantined { until_round } => {
+            w.put_u8(1);
+            w.put_u64(*until_round);
+        }
+    }
+}
+
+fn take_tenant_status(r: &mut ByteReader) -> Result<TenantStatus, StoreError> {
+    match r.take_u8()? {
+        0 => Ok(TenantStatus::Active),
+        1 => Ok(TenantStatus::Quarantined {
+            until_round: r.take_u64()?,
+        }),
+        t => Err(StoreError::Corrupt(format!("tenant status tag {t}"))),
+    }
+}
+
+fn put_tenant_counters(w: &mut ByteWriter, c: &TenantCounters) {
+    w.put_u64(c.slices_issued);
+    w.put_u64(c.slices_run);
+    w.put_u64(c.slices_skipped);
+    w.put_u64(c.step_errors);
+    w.put_u64(c.restore_errors);
+    w.put_u64(c.checkpoint_errors);
+    w.put_u64(c.quarantines);
+    w.put_u64(c.rejoins);
+    w.put_u64(c.deployments);
+    w.put_u64(c.degraded_windows);
+}
+
+fn take_tenant_counters(r: &mut ByteReader) -> Result<TenantCounters, StoreError> {
+    Ok(TenantCounters {
+        slices_issued: r.take_u64()?,
+        slices_run: r.take_u64()?,
+        slices_skipped: r.take_u64()?,
+        step_errors: r.take_u64()?,
+        restore_errors: r.take_u64()?,
+        checkpoint_errors: r.take_u64()?,
+        quarantines: r.take_u64()?,
+        rejoins: r.take_u64()?,
+        deployments: r.take_u64()?,
+        degraded_windows: r.take_u64()?,
+    })
+}
+
+impl TenantSnapshot {
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.tenant);
+        w.put_u64(self.round);
+        self.session.encode(w);
+        put_cluster_state(w, &self.cluster);
+        put_tenant_status(w, &self.status);
+        w.put_u64(self.errors_since_rejoin);
+        put_tenant_counters(w, &self.counters);
+    }
+
+    pub fn decode(r: &mut ByteReader, schema: &Schema) -> Result<Self, StoreError> {
+        Ok(Self {
+            tenant: r.take_u64()?,
+            round: r.take_u64()?,
+            session: SessionSnapshot::decode(r, schema)?,
+            cluster: take_cluster_state(r, schema)?,
+            status: take_tenant_status(r)?,
+            errors_since_rejoin: r.take_u64()?,
+            counters: take_tenant_counters(r)?,
+        })
+    }
+}
+
 /// Everything a checkpoint file can hold.
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)] // one value per checkpoint file; boxing buys nothing
@@ -1110,6 +1204,7 @@ pub enum Checkpoint {
     Session(SessionSnapshot),
     Service(ServiceSnapshot),
     Committee(CommitteeSnapshot),
+    Tenant(TenantSnapshot),
 }
 
 impl Checkpoint {
@@ -1119,6 +1214,7 @@ impl Checkpoint {
             Self::Session(s) => s.episode,
             Self::Service(s) => s.windows,
             Self::Committee(_) => 0,
+            Self::Tenant(t) => t.round,
         }
     }
 
@@ -1159,11 +1255,22 @@ impl Checkpoint {
         }
     }
 
+    pub fn into_tenant(self) -> Result<TenantSnapshot, StoreError> {
+        match self {
+            Self::Tenant(t) => Ok(t),
+            other => Err(StoreError::Incompatible(format!(
+                "expected a tenant checkpoint, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
     pub fn kind_name(&self) -> &'static str {
         match self {
             Self::Session(_) => "session",
             Self::Service(_) => "service",
             Self::Committee(_) => "committee",
+            Self::Tenant(_) => "tenant",
         }
     }
 
@@ -1172,6 +1279,7 @@ impl Checkpoint {
             Self::Session(_) => 1,
             Self::Service(_) => 2,
             Self::Committee(_) => 3,
+            Self::Tenant(_) => 4,
         }
     }
 
@@ -1180,6 +1288,7 @@ impl Checkpoint {
             Self::Session(s) => s.encode(w),
             Self::Service(s) => s.encode(w),
             Self::Committee(c) => c.encode(w),
+            Self::Tenant(t) => t.encode(w),
         }
     }
 
@@ -1192,6 +1301,7 @@ impl Checkpoint {
             1 => Ok(Self::Session(SessionSnapshot::decode(r, schema)?)),
             2 => Ok(Self::Service(ServiceSnapshot::decode(r, schema)?)),
             3 => Ok(Self::Committee(CommitteeSnapshot::decode(r, schema)?)),
+            4 => Ok(Self::Tenant(TenantSnapshot::decode(r, schema)?)),
             t => Err(StoreError::Corrupt(format!("checkpoint kind tag {t}"))),
         }
     }

@@ -7,7 +7,7 @@
 //! offset  size  field
 //! 0       8     magic  "LPACKPT\x01"
 //! 8       4     format version (little-endian u32, currently 1)
-//! 12      1     kind tag (1 = session, 2 = service, 3 = committee)
+//! 12      1     kind tag (1 = session, 2 = service, 3 = committee, 4 = tenant)
 //! 13      8     payload length (little-endian u64)
 //! 21      n     payload (see snapshot module)
 //! 21+n    4     CRC-32 over bytes [0, 21+n)

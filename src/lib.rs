@@ -88,7 +88,10 @@ pub mod prelude {
     pub use lpa_partition::{Action, Partitioning, StateEncoder, TableState};
     pub use lpa_rl::DqnConfig;
     pub use lpa_schema::{Schema, SchemaBuilder};
-    pub use lpa_service::{PartitioningService, ServiceConfig, WorkloadMonitor};
+    pub use lpa_service::{
+        Benchmark, Fleet, FleetConfig, FleetReport, PartitioningService, QuarantinePolicy,
+        ServiceConfig, TenantSpec, TenantStatus, WorkloadMonitor,
+    };
     pub use lpa_sql::parse_query;
     pub use lpa_workload::{FrequencyVector, MixSampler, QueryBuilder, Workload};
 }

@@ -1,0 +1,458 @@
+//! Keystone differential for the multi-tenant fleet (`lpa-service::fleet`
+//! plus `lpa-store` manifest recovery): a 100+ tenant fleet — mixed SSB
+//! and TPC-CH, several tenants under seeded fault storms, a few with
+//! deliberately corrupted checkpoints — must
+//!
+//! 1. advance **bit-identically** at `LPA_THREADS={1,8}`,
+//! 2. survive a whole-process kill-and-resume bit-identical to the
+//!    uninterrupted run (healthy tenants), with corrupt-checkpoint
+//!    tenants quarantined — never panicking, never perturbing others,
+//! 3. contain tenant-local chaos: healthy tenants' final weights are
+//!    bitwise unchanged vs a storm-free control fleet.
+//!
+//! The CI `fleet` leg runs this file at `LPA_THREADS={1,8}` with a pinned
+//! `LPA_FLEET_SEED`.
+
+#![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
+
+use lpa::cluster::FaultPlan;
+use lpa::partition::Partitioning;
+use lpa::prelude::*;
+use lpa::service::{TenantCounters, TenantErrorKind};
+use lpa::store::{load_manifest, CheckpointStore, CheckpointedFleet, MANIFEST_FILE};
+use std::path::{Path, PathBuf};
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+const TENANTS: usize = 104;
+const ROUNDS: u64 = 6;
+/// Checkpoint cadence in rounds.
+const EVERY: u64 = 2;
+/// The victim process dies after this many rounds (a cadence boundary).
+const KILL_AFTER: u64 = 4;
+/// Tenants under seeded fault storms + injected step errors.
+const STORM: [usize; 4] = [3, 10, 47, 90];
+/// Tenants whose newest checkpoint is corrupted before the resume.
+const CORRUPT: [usize; 2] = [5, 60];
+
+fn fleet_seed() -> u64 {
+    std::env::var("LPA_FLEET_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xF1EE7D)
+}
+
+fn test_dir(name: &str, threads: usize) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("lpa-fleet-{name}-{threads}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn keystone_cfg() -> FleetConfig {
+    FleetConfig {
+        seed: fleet_seed(),
+        max_tenants: TENANTS,
+        episodes_per_slice: 1,
+        probe_queries: 2,
+        window_seconds: 1.0,
+        quarantine: QuarantinePolicy {
+            max_errors: 0,
+            cooldown_rounds: 1,
+        },
+        hidden: vec![16, 8],
+        batch_size: 8,
+        tmax: 3,
+    }
+}
+
+/// The keystone population: alternating SSB/TPC-CH tenants, with storms
+/// (cluster chaos + injected step errors) on the `STORM` set when
+/// `storms` is true. The control fleet uses `storms = false` and is
+/// otherwise identical.
+fn keystone_specs(storms: bool) -> Vec<TenantSpec> {
+    (0..TENANTS)
+        .map(|i| {
+            let benchmark = if i % 2 == 0 {
+                Benchmark::Ssb
+            } else {
+                Benchmark::TpcCh
+            };
+            let mut spec = TenantSpec {
+                episodes: 4,
+                ..TenantSpec::new(format!("tenant-{i:03}"), benchmark, 0.001, 1_000 + i as u64)
+            };
+            if storms && STORM.contains(&i) {
+                spec.fault_plan = FaultPlan::storm(7_700 + i as u64);
+                spec.step_error_rate = 0.5;
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Everything observable about one tenant, as raw bits.
+#[derive(Clone, Debug, PartialEq)]
+struct TenantFp {
+    weights: u64,
+    episode: usize,
+    clock: u64,
+    deployed: Partitioning,
+    status: TenantStatus,
+    counters: TenantCounters,
+}
+
+fn fingerprints(fleet: &Fleet) -> Vec<TenantFp> {
+    (0..fleet.tenant_count())
+        .map(|t| TenantFp {
+            weights: fleet.tenant_weight_fingerprint(t).unwrap(),
+            episode: fleet.tenant_episode(t).unwrap(),
+            clock: fleet.tenant_cluster(t).unwrap().clock().to_bits(),
+            deployed: fleet.tenant_cluster(t).unwrap().deployed().clone(),
+            status: fleet.tenant_status(t).unwrap(),
+            counters: fleet.tenant_counters(t).unwrap(),
+        })
+        .collect()
+}
+
+fn admit_all(fleet: &mut CheckpointedFleet, specs: Vec<TenantSpec>) {
+    for spec in specs {
+        fleet.admit(spec).unwrap();
+    }
+    // One admission past the budget: must be rejected and counted, and
+    // must not disturb the admitted population.
+    let overflow = fleet.admit(TenantSpec::new("overflow", Benchmark::Micro, 0.01, 9_999));
+    assert!(matches!(
+        overflow,
+        Err(lpa::service::FleetError::AdmissionRejected { .. })
+    ));
+}
+
+/// Flip one pseudo-random bit in the newest checkpoint of `tenant`'s
+/// lineage under `root`.
+fn corrupt_newest(root: &Path, tenant: usize, salt: u64) {
+    let dir = root.join(format!("tenant-{tenant:04}"));
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("ckpt-") && name.ends_with(".lpa")
+        })
+        .max_by_key(|e| e.file_name())
+        .unwrap()
+        .path();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let seed = fleet_seed().wrapping_add(salt);
+    let byte = (seed % bytes.len() as u64) as usize;
+    let bit = (seed / 7) % 8;
+    bytes[byte] ^= 1 << bit;
+    std::fs::write(&newest, &bytes).unwrap();
+}
+
+/// One full keystone protocol at a fixed thread count; returns the
+/// reference (uninterrupted) fingerprints so the caller can compare
+/// across thread counts.
+fn keystone_at(threads: usize) -> Vec<TenantFp> {
+    lpa::par::with_threads(threads, || {
+        // Reference: uninterrupted, checkpointing on (writing checkpoints
+        // must not perturb the fleet).
+        let dir_ref = test_dir("ref", threads);
+        let mut reference = CheckpointedFleet::create(keystone_cfg(), &dir_ref, EVERY).unwrap();
+        admit_all(&mut reference, keystone_specs(true));
+        reference.run_rounds(ROUNDS);
+        let fp_ref = fingerprints(reference.fleet());
+        let report_ref = reference.report();
+        assert_eq!(report_ref.rejected_admissions, 1);
+        assert!(report_ref.store.checkpoints_written >= TENANTS as u64 * (ROUNDS / EVERY));
+
+        // Storm tenants must actually have lived through the machinery:
+        // injected failures, quarantines, and at least one rejoin.
+        let storm_counters: Vec<TenantCounters> =
+            STORM.iter().map(|&i| fp_ref[i].counters).collect();
+        assert!(storm_counters.iter().map(|c| c.step_errors).sum::<u64>() > 0);
+        assert!(storm_counters.iter().map(|c| c.quarantines).sum::<u64>() > 0);
+        assert!(
+            storm_counters.iter().map(|c| c.rejoins).sum::<u64>() > 0,
+            "no storm tenant ever recovered and rejoined"
+        );
+        // Chaos stayed where it was configured.
+        for (i, fp) in fp_ref.iter().enumerate() {
+            if !STORM.contains(&i) {
+                assert_eq!(fp.counters.step_errors, 0, "tenant {i} caught stray errors");
+                assert_eq!(fp.counters.quarantines, 0);
+            }
+        }
+
+        // Victim: same fleet, killed at a cadence boundary.
+        let dir_kill = test_dir("kill", threads);
+        {
+            let mut victim = CheckpointedFleet::create(keystone_cfg(), &dir_kill, EVERY).unwrap();
+            admit_all(&mut victim, keystone_specs(true));
+            victim.run_rounds(KILL_AFTER);
+        } // <- process dies
+
+        // A few tenants lose their newest checkpoint to corruption.
+        for (k, &tenant) in CORRUPT.iter().enumerate() {
+            corrupt_newest(&dir_kill, tenant, k as u64);
+        }
+
+        // Resume the whole fleet from the manifest and finish the run.
+        let mut resumed =
+            CheckpointedFleet::resume_or(keystone_cfg(), keystone_specs(true), &dir_kill, EVERY)
+                .unwrap();
+        assert_eq!(resumed.fleet().round(), KILL_AFTER);
+        resumed.run_rounds(ROUNDS - KILL_AFTER);
+        let fp_res = fingerprints(resumed.fleet());
+        let report_res = resumed.report();
+
+        // Healthy tenants: kill-and-resume is bit-identical to never
+        // having crashed — weights, episodes, clocks, deployments,
+        // statuses, counters.
+        for i in 0..TENANTS {
+            if CORRUPT.contains(&i) {
+                continue;
+            }
+            assert_eq!(
+                fp_res[i], fp_ref[i],
+                "tenant {i} diverged across the kill/resume boundary (threads={threads})"
+            );
+        }
+        // Corrupted tenants: contained, quarantined, counted — and only
+        // them.
+        for &i in &CORRUPT {
+            assert!(
+                fp_res[i].counters.restore_errors >= 1,
+                "tenant {i} lost its newest checkpoint but recorded no restore error"
+            );
+            assert!(fp_res[i].counters.quarantines >= 1);
+            assert!(matches!(fp_res[i].status, TenantStatus::Quarantined { .. }));
+        }
+        assert_eq!(report_res.rejected_admissions, 1);
+        assert!(report_res.store.corruptions_detected >= CORRUPT.len() as u64);
+        assert!(report_res.store.fallbacks >= CORRUPT.len() as u64);
+        assert!(report_res.store.restores >= (TENANTS - CORRUPT.len()) as u64);
+        assert_eq!(report_res.store.manifest_fallbacks, 0);
+
+        // Control: the identical fleet with no storms anywhere. Healthy
+        // tenants must be bitwise indistinguishable — chaos in tenant i is
+        // bit-neutral for tenant j.
+        let mut control = Fleet::new(keystone_cfg());
+        for spec in keystone_specs(false) {
+            control.admit(spec).unwrap();
+        }
+        control.run_rounds(ROUNDS);
+        let fp_ctl = fingerprints(&control);
+        for i in 0..TENANTS {
+            if STORM.contains(&i) {
+                continue;
+            }
+            assert_eq!(
+                fp_ctl[i], fp_ref[i],
+                "tenant {i}: a storm in another tenant leaked into this one (threads={threads})"
+            );
+        }
+        // ... while the storm set itself visibly lived through chaos.
+        assert!(
+            STORM.iter().any(|&i| fp_ctl[i] != fp_ref[i]),
+            "storms were configured but changed nothing anywhere"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir_ref);
+        let _ = std::fs::remove_dir_all(&dir_kill);
+        fp_ref
+    })
+}
+
+#[test]
+fn keystone_fleet_chaos_resume_bit_identical_across_threads() {
+    let reference = keystone_at(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = keystone_at(threads);
+        assert_eq!(
+            got, reference,
+            "fleet diverged between {} and {threads} threads",
+            THREAD_COUNTS[0]
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QuarantinePolicy edge cases (cheap Micro fleets).
+
+fn micro_fleet(policy: QuarantinePolicy, step_error_rate: f64) -> Fleet {
+    let mut fleet = Fleet::new(FleetConfig {
+        seed: fleet_seed(),
+        max_tenants: 2,
+        quarantine: policy,
+        ..FleetConfig::default()
+    });
+    fleet
+        .admit(TenantSpec {
+            episodes: 3,
+            step_error_rate,
+            ..TenantSpec::new("edge", Benchmark::Micro, 0.01, 42)
+        })
+        .unwrap();
+    fleet
+}
+
+#[test]
+fn threshold_zero_quarantines_on_first_error() {
+    // max_errors = 0 tolerates nothing: the first error quarantines.
+    let mut fleet = micro_fleet(
+        QuarantinePolicy {
+            max_errors: 0,
+            cooldown_rounds: 2,
+        },
+        1.0,
+    );
+    fleet.run_rounds(6);
+    let c = fleet.tenant_counters(0).unwrap();
+    // Round 0 errors → quarantined until round 3; rounds 1–2 skipped;
+    // round 3 rejoins and errors again → quarantined until round 6.
+    assert_eq!(c.step_errors, 2);
+    assert_eq!(c.quarantines, 2, "rejoining must re-arm the policy");
+    assert_eq!(c.rejoins, 1);
+    assert_eq!(c.slices_skipped, 4);
+    assert_eq!(c.slices_run, 0);
+}
+
+#[test]
+fn never_policy_counts_errors_but_never_quarantines() {
+    let mut fleet = micro_fleet(QuarantinePolicy::never(), 1.0);
+    fleet.run_rounds(6);
+    let c = fleet.tenant_counters(0).unwrap();
+    assert_eq!(c.step_errors, 6);
+    assert_eq!(c.quarantines, 0);
+    assert_eq!(fleet.tenant_status(0).unwrap(), TenantStatus::Active);
+}
+
+#[test]
+fn cooldown_expires_exactly_on_the_round_boundary() {
+    let mut fleet = micro_fleet(
+        QuarantinePolicy {
+            max_errors: 0,
+            cooldown_rounds: 1,
+        },
+        0.0,
+    );
+    // Error recorded at round 0 → quarantined until exactly round 2.
+    let status = fleet.record_tenant_error(0, TenantErrorKind::Step).unwrap();
+    assert_eq!(status, TenantStatus::Quarantined { until_round: 2 });
+    fleet.run_rounds(2);
+    // Rounds 0 and 1 were inside the cool-down: skipped.
+    let c = fleet.tenant_counters(0).unwrap();
+    assert_eq!(c.slices_skipped, 2);
+    assert_eq!(c.slices_run, 0);
+    // The slice *at* the boundary round runs.
+    fleet.run_rounds(1);
+    let c = fleet.tenant_counters(0).unwrap();
+    assert_eq!(c.rejoins, 1);
+    assert_eq!(c.slices_run, 1);
+    assert_eq!(fleet.tenant_status(0).unwrap(), TenantStatus::Active);
+    assert_eq!(fleet.tenant_errors_since_rejoin(0).unwrap(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest-level recovery edge cases (cheap Micro fleets).
+
+fn micro_specs(n: usize) -> Vec<TenantSpec> {
+    (0..n)
+        .map(|i| TenantSpec {
+            episodes: 3,
+            ..TenantSpec::new(format!("m{i}"), Benchmark::Micro, 0.01, 500 + i as u64)
+        })
+        .collect()
+}
+
+fn micro_cfg() -> FleetConfig {
+    FleetConfig {
+        seed: fleet_seed(),
+        max_tenants: 3,
+        quarantine: QuarantinePolicy {
+            max_errors: 0,
+            cooldown_rounds: 1,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn all_corrupt_lineage_restores_fresh_and_quarantines_only_that_tenant() {
+    let dir = test_dir("allcorrupt", 0);
+    {
+        let mut fleet = CheckpointedFleet::create(micro_cfg(), &dir, 1).unwrap();
+        for spec in micro_specs(3) {
+            fleet.admit(spec).unwrap();
+        }
+        fleet.run_rounds(2); // checkpoints at rounds 1 and 2
+    }
+    // Destroy tenant 1's *entire* lineage.
+    let lineage = dir.join("tenant-0001");
+    for entry in std::fs::read_dir(&lineage).unwrap().flatten() {
+        let mut bytes = std::fs::read(entry.path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(entry.path(), &bytes).unwrap();
+    }
+    // The all-corrupt lineage yields a clean `None` at the store level...
+    let mut probe = CheckpointStore::open(&lineage).unwrap();
+    let schema = lpa::schema::microbench::schema(0.01).unwrap();
+    assert!(probe.load_latest(&schema).unwrap().is_none());
+    assert_eq!(probe.counters().checkpoint_corruptions_detected, 2);
+
+    // ...and the manifest-driven resume degrades that tenant to a fresh
+    // start plus a restore error, leaving the other tenants bit-restored.
+    let resumed = CheckpointedFleet::resume_or(micro_cfg(), micro_specs(3), &dir, 1).unwrap();
+    let report = resumed.report();
+    assert_eq!(resumed.fleet().round(), 2);
+    assert_eq!(resumed.fleet().tenant_episode(1).unwrap(), 0, "fresh");
+    assert_eq!(report.per_tenant[1].counters.restore_errors, 1);
+    assert!(matches!(
+        report.per_tenant[1].status,
+        TenantStatus::Quarantined { .. }
+    ));
+    for t in [0usize, 2] {
+        assert_eq!(resumed.fleet().tenant_episode(t).unwrap(), 2);
+        assert_eq!(report.per_tenant[t].counters.restore_errors, 0);
+        assert_eq!(report.per_tenant[t].status, TenantStatus::Active);
+    }
+    assert!(report.store.corruptions_detected >= 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_manifest_falls_back_to_per_tenant_scans() {
+    let dir = test_dir("badmanifest", 0);
+    {
+        let mut fleet = CheckpointedFleet::create(micro_cfg(), &dir, 1).unwrap();
+        for spec in micro_specs(3) {
+            fleet.admit(spec).unwrap();
+        }
+        fleet.run_rounds(2);
+    }
+    let path = dir.join(MANIFEST_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(load_manifest(&dir).is_err(), "corruption must be detected");
+
+    let mut resumed = CheckpointedFleet::resume_or(micro_cfg(), micro_specs(3), &dir, 1).unwrap();
+    let report = resumed.report();
+    assert_eq!(report.store.manifest_fallbacks, 1);
+    // The scheduler round degrades to the newest checkpointed round, and
+    // every tenant still restores from its own directory scan.
+    assert_eq!(resumed.fleet().round(), 2);
+    for t in 0..3 {
+        assert_eq!(resumed.fleet().tenant_episode(t).unwrap(), 2);
+        assert_eq!(report.per_tenant[t].counters.restore_errors, 0);
+    }
+    assert!(report.store.restores >= 3);
+    // The fleet keeps going, and the next cadence rewrites a good
+    // manifest.
+    resumed.run_rounds(1);
+    assert!(load_manifest(&dir).unwrap().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
