@@ -4,7 +4,7 @@
 
 use crate::accounting::CostAccounting;
 use crate::cache::{CachedRuntime, SharedRuntimeCache};
-use lpa_cluster::{Cluster, FaultAccounting, QueryOutcome};
+use lpa_cluster::{direct_deploy, Cluster, FaultAccounting, QueryOutcome};
 use lpa_costmodel::NetworkCostModel;
 use lpa_partition::Partitioning;
 use lpa_schema::Schema;
@@ -156,8 +156,8 @@ impl OnlineBackend {
         workload: &Workload,
         p_offline: &Partitioning,
     ) -> Vec<f64> {
-        full.deploy(p_offline);
-        sample.deploy(p_offline);
+        direct_deploy(full, p_offline);
+        direct_deploy(sample, p_offline);
         workload
             .queries()
             .iter()
@@ -274,7 +274,7 @@ impl OnlineBackend {
             } else {
                 partitioning.clone()
             };
-            self.accounting.lazy_repartition_seconds += cluster.deploy(&target);
+            self.accounting.lazy_repartition_seconds += direct_deploy(&mut cluster, &target);
 
             // Execute fully to learn the true runtime, retrying failed
             // attempts with deterministic simulated-time backoff; apply

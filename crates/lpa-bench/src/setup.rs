@@ -5,7 +5,9 @@ use lpa_advisor::{
     shared_cluster, Advisor, OnlineBackend, OnlineOptimizations, RetryPolicy, SharedCluster,
 };
 use lpa_baselines::SchemaClass;
-use lpa_cluster::{Cluster, ClusterConfig, EngineKind, EngineProfile, FaultPlan, HardwareProfile};
+use lpa_cluster::{
+    direct_deploy, Cluster, ClusterConfig, EngineKind, EngineProfile, FaultPlan, HardwareProfile,
+};
 use lpa_costmodel::{CostParams, NetworkCostModel};
 use lpa_partition::Partitioning;
 use lpa_rl::DqnConfig;
@@ -277,7 +279,7 @@ pub fn eval_partitioning(
     freqs: &FrequencyVector,
     p: &Partitioning,
 ) -> f64 {
-    cluster.deploy(p);
+    direct_deploy(cluster, p);
     cluster.run_workload(workload, freqs)
 }
 

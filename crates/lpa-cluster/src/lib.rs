@@ -40,6 +40,7 @@ pub mod datagen;
 pub mod engine;
 pub mod executor;
 pub mod faults;
+pub mod guardrail;
 pub mod hardware;
 pub mod optimizer;
 
@@ -48,5 +49,10 @@ pub use columnar::{naive_executor_forced, with_naive_executor, ExecScratch};
 pub use datagen::{Database, TableData};
 pub use engine::{EngineKind, EngineProfile};
 pub use faults::{ClusterHealth, FailReason, FaultAccounting, FaultPlan, FaultState};
+pub use guardrail::{
+    direct_deploy, observe_window, CanaryState, CanaryStep, CanaryVerdict, CandidateDeploy,
+    Guardrail, GuardrailAccounting, GuardrailConfig, GuardrailEvent, GuardrailResumeState,
+    LayoutDigest, RejectReason, RollbackReason, WindowObservation,
+};
 pub use hardware::HardwareProfile;
 pub use optimizer::OptimizerEstimator;

@@ -5,9 +5,10 @@
 //! flags — hash-order iteration feeding an encoder, a stray `Instant::now()`
 //! in the cost model, an `unwrap()` that aborts a training episode — corrupt
 //! the training signal silently. This crate walks every `.rs` file in the
-//! workspace and enforces rules L001–L014; see [`rules`] for the token-level
-//! catalogue (L001–L008 plus the L013 allocation-free hot-path rule and
-//! the L014 tenant-isolation boundary) and
+//! workspace and enforces rules L001–L015; see [`rules`] for the token-level
+//! catalogue (L001–L008 plus the L013 allocation-free hot-path rule, the
+//! L014 tenant-isolation boundary and the L015 deployment-isolation
+//! boundary) and
 //! [`callgraph`]/[`dataflow`] for the structural rules (L009–L012).
 //!
 //! The pipeline has two phases:
@@ -218,6 +219,7 @@ fn parse_waivers(rel_path: &str, tokens: &[lexer::Tok]) -> (Vec<Waiver>, Vec<Dia
                 | "L012"
                 | "L013"
                 | "L014"
+                | "L015"
         );
         if !known {
             bad.push(Diagnostic {

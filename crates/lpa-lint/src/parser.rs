@@ -834,7 +834,9 @@ impl Parser {
                 }
                 break;
             }
-            if self.at_punct('<') {
+            // A generics opener — but not the `<` of `<=`, which follows a
+            // cast used as a comparison operand (`x as f64 <= y`).
+            if self.at_punct('<') && !self.at_punct2('<', '=') {
                 self.expect_punct('<')?;
                 while !self.at_punct('>') {
                     if self.peek(0).is_some_and(|t| t.kind == TokKind::Lifetime) {

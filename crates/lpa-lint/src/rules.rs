@@ -42,6 +42,13 @@
 //!   struct or reading a `.tenants` field bypasses the quarantine funnel
 //!   that keeps one tenant's failure from perturbing another's training
 //!   state. All tenant state flows through `Fleet`'s accessor API.
+//! - **L015** — no direct `Cluster::deploy` calls outside the guardrail
+//!   module (`crates/lpa-cluster/src/guardrail.rs`). A bare `.deploy(…)`
+//!   changes a production layout without canary observation, rollback
+//!   protection, budget accounting or a journal entry. Deployment flows
+//!   through `Guardrail::end_window` (or, for bootstrap/evaluation code
+//!   that owns a throwaway cluster, the sanctioned `direct_deploy`
+//!   free function).
 
 use crate::lexer::{Tok, TokKind};
 
@@ -859,6 +866,41 @@ pub fn l014(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic>
     out
 }
 
+/// The one file allowed to call `Cluster::deploy` directly: the guardrail
+/// module owns every layout change (canary staging, rollback, and the
+/// sanctioned `direct_deploy` bypass for bootstrap/evaluation code).
+const L015_GUARDRAIL_MODULE: &[&str] = &["crates/lpa-cluster/src/guardrail.rs"];
+
+/// L015: deployment isolation. Outside the guardrail module, a method
+/// call `.deploy(…)` swaps a production layout with no baseline, no
+/// canary observation, no rollback path, no budget charge and no journal
+/// entry — exactly the unguarded path this subsystem exists to close.
+/// A field read `.deploy` (no call parens) or a free function named
+/// `deploy` is a near-miss and stays legal; so does calling
+/// `direct_deploy(…)`, the module's sanctioned bypass.
+pub fn l015(rel_path: &str, tokens: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    if in_scope(rel_path, L015_GUARDRAIL_MODULE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] || t.text != "deploy" {
+            continue;
+        }
+        if prev_sig(tokens, i).is_some_and(|j| tokens[j].is_punct('.'))
+            && next_sig(tokens, i).is_some_and(|j| tokens[j].is_punct('('))
+        {
+            out.push(diag(
+                "L015",
+                rel_path,
+                t.line,
+                "direct `.deploy(…)` outside the guardrail module bypasses canary windows, rollback and the deployment journal; stage layouts through `Guardrail::end_window` (or `lpa_cluster::guardrail::direct_deploy` for bootstrap/evaluation code)",
+            ));
+        }
+    }
+    out
+}
+
 /// Run every rule over one file's token stream.
 pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic> {
     let in_test = test_regions(tokens);
@@ -874,6 +916,7 @@ pub fn run_all(rel_path: &str, tokens: &[Tok], lib_code: bool) -> Vec<Diagnostic
         out.extend(l008(rel_path, tokens, &in_test));
         out.extend(l013(rel_path, tokens, &in_test));
         out.extend(l014(rel_path, tokens, &in_test));
+        out.extend(l015(rel_path, tokens, &in_test));
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out

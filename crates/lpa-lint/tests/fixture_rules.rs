@@ -374,3 +374,32 @@ fn l014_fixture_flags_tenant_state_access_outside_fleet_module() {
         owner.diagnostics
     );
 }
+
+#[test]
+fn l015_fixture_flags_direct_deploy_outside_guardrail_module() {
+    let src = fixture("l015_direct_deploy.rs");
+    let report =
+        lint_source("crates/lpa-service/src/service.rs", &src, FileKind::Lib).expect("lexes");
+    let l015: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L015")
+        .collect();
+    assert_eq!(l015.len(), 2, "{:?}", report.diagnostics);
+    for d in &l015 {
+        let text = src.lines().nth(d.line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("FINDING"),
+            "line {} not marked: {text}",
+            d.line
+        );
+    }
+    // The guardrail module itself owns deployment — same source, clean.
+    let owner =
+        lint_source("crates/lpa-cluster/src/guardrail.rs", &src, FileKind::Lib).expect("lexes");
+    assert!(
+        !owner.diagnostics.iter().any(|d| d.rule == "L015"),
+        "{:?}",
+        owner.diagnostics
+    );
+}

@@ -1,0 +1,58 @@
+//! L015 fixture: direct `Cluster::deploy` calls outside the guardrail
+//! module. Linted under a synthetic lib path outside
+//! `crates/lpa-cluster/src/guardrail.rs`; the same source linted under the
+//! guardrail module path itself must be clean.
+
+pub struct Cluster {
+    pub deploy: u64,
+}
+
+impl Cluster {
+    pub fn deploy(&mut self, target: u64) -> f64 {
+        self.deploy = target;
+        0.0
+    }
+}
+
+pub fn swap_layout(cluster: &mut Cluster, target: u64) -> f64 {
+    cluster.deploy(target) // FINDING L015
+}
+
+pub fn swap_chained(clusters: &mut [Cluster], target: u64) -> f64 {
+    clusters.iter_mut().map(|c| c.deploy(target)).sum() // FINDING L015
+}
+
+/// Reading a *field* named `deploy` (no call parens): near-miss.
+pub fn peek(cluster: &Cluster) -> u64 {
+    cluster.deploy
+}
+
+/// A free function named `deploy` (no receiver dot): near-miss.
+pub fn deploy(target: u64) -> u64 {
+    target
+}
+
+/// Calling the free function: near-miss — no `.` before the ident.
+pub fn call_free(target: u64) -> u64 {
+    deploy(target)
+}
+
+/// The sanctioned bypass is a different identifier entirely: near-miss.
+pub fn bootstrap(cluster: &mut Cluster, target: u64) -> f64 {
+    direct_deploy(cluster, target)
+}
+
+pub fn direct_deploy(cluster: &mut Cluster, target: u64) -> f64 {
+    cluster.deploy = target;
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Cluster;
+
+    /// Test code may deploy directly.
+    fn poke(cluster: &mut Cluster) -> f64 {
+        cluster.deploy(7)
+    }
+}

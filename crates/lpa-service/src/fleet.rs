@@ -35,14 +35,16 @@
 
 use lpa_advisor::{Advisor, AdvisorEnv, RewardBackend};
 use lpa_cluster::{
-    Cluster, ClusterConfig, ClusterHealth, ClusterResumeState, EngineProfile, FaultPlan,
-    HardwareProfile, QueryOutcome,
+    CandidateDeploy, Cluster, ClusterConfig, ClusterHealth, ClusterResumeState, EngineProfile,
+    FaultPlan, Guardrail, GuardrailAccounting, GuardrailConfig, GuardrailEvent,
+    GuardrailResumeState, HardwareProfile, QueryOutcome,
 };
 use lpa_costmodel::{CostParams, NetworkCostModel};
 use lpa_par::schedule::RoundRobin;
 use lpa_par::{derive_stream, derive_stream3};
+use lpa_partition::{Partitioning, TableState};
 use lpa_rl::DqnConfig;
-use lpa_schema::Schema;
+use lpa_schema::{Schema, TableId};
 use lpa_workload::{FrequencyVector, MixSampler, Workload};
 
 /// Purpose salts for [`derive_stream3`] — one per independent per-tenant
@@ -53,6 +55,13 @@ pub const SALT_AGENT: u64 = 0xA6E7_0001;
 pub const SALT_FAULTS: u64 = 0xFA17_0002;
 /// Salt for injected per-slice step errors.
 pub const SALT_STEP_ERR: u64 = 0x57E9_0003;
+/// Salt for adversarially poisoned advice (guardrail keystone tests).
+pub const SALT_POISON: u64 = 0xB015_0004;
+
+/// In-memory deployment-journal buffer cap. The durable layer drains the
+/// buffer every round; a fleet running without one drops the oldest
+/// records past this bound (counted) instead of growing without limit.
+const JOURNAL_BUFFER_CAP: usize = 1 << 16;
 
 /// Benchmark family a tenant's schema + workload are generated from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +94,13 @@ pub struct TenantSpec {
     /// injection, drawn from the tenant's `SALT_STEP_ERR` stream) — the
     /// fleet's source of step errors for exercising quarantine.
     pub step_error_rate: f64,
+    /// Adversarial-advice injection: from this round on, every candidate
+    /// the tenant's slice would stage is replaced by a known-bad layout
+    /// derived from the tenant's `SALT_POISON` stream, presented with a
+    /// fabricated predicted benefit that sails through the economic gate.
+    /// The guardrail keystone's way of proving rollbacks fire from
+    /// *observed* evidence. `None` (the default) disables poisoning.
+    pub poison_from_round: Option<u64>,
 }
 
 impl TenantSpec {
@@ -98,6 +114,7 @@ impl TenantSpec {
             episodes: 12,
             fault_plan: FaultPlan::none(),
             step_error_rate: 0.0,
+            poison_from_round: None,
         }
     }
 }
@@ -153,6 +170,14 @@ pub struct FleetConfig {
     pub batch_size: usize,
     /// Episode horizon (steps per episode) for tenant DQN configs.
     pub tmax: usize,
+    /// Per-tenant safe-deployment policy. [`GuardrailConfig::inert`]
+    /// reproduces the legacy deploy-on-predicted-improvement path (the
+    /// guardrail experiments' control arm).
+    pub guardrail: GuardrailConfig,
+    /// Fleet-wide aggregate deploy budget: at most this many canaries may
+    /// start across *all* tenants within any `guardrail.budget_window`
+    /// consecutive rounds. `u64::MAX` disables the aggregate cap.
+    pub fleet_budget_deploys: u64,
 }
 
 impl Default for FleetConfig {
@@ -167,6 +192,8 @@ impl Default for FleetConfig {
             hidden: vec![16, 8],
             batch_size: 8,
             tmax: 3,
+            guardrail: GuardrailConfig::default(),
+            fleet_budget_deploys: u64::MAX,
         }
     }
 }
@@ -271,6 +298,19 @@ struct TenantSlot {
     /// Errors since admission or the last rejoin — the quarantine budget.
     errors_since_rejoin: u64,
     counters: TenantCounters,
+    /// Safe-deployment state machine; the only path to the tenant's
+    /// cluster deploys.
+    guardrail: Guardrail,
+}
+
+/// One deployment-journal record: which tenant, which fleet round, what
+/// the guardrail decided. Drained by the durable layer (`lpa-store`) into
+/// the CRC-framed on-disk journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalRecord {
+    pub tenant: u64,
+    pub round: u64,
+    pub event: GuardrailEvent,
 }
 
 /// Report for one tenant inside a [`FleetReport`].
@@ -286,6 +326,8 @@ pub struct TenantReport {
     pub health: ClusterHealth,
     /// Stable fingerprint of the tenant's learned weights.
     pub weight_fingerprint: u64,
+    /// The tenant's cumulative guardrail ledger.
+    pub guardrail: GuardrailAccounting,
 }
 
 /// Durable-store activity, aggregated fleet-wide. Filled in by the
@@ -313,15 +355,55 @@ pub struct FleetReport {
     /// Tenants currently quarantined.
     pub quarantined: usize,
     pub store: FleetStoreCounters,
+    /// Guardrail ledger summed over every tenant.
+    pub guardrail: GuardrailAccounting,
+    /// Journal records dropped because the in-memory buffer overflowed
+    /// (no durable layer was draining it).
+    pub journal_dropped: u64,
+}
+
+/// Fleet-level roll-up of per-tenant `WindowReport.health`-style evidence.
+/// Quarantined tenants contribute nothing: their slices are skipped, so
+/// their stale cluster state says nothing about the current window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthRollup {
+    /// Active tenants whose cluster closed the round fault-free.
+    pub active_healthy: usize,
+    /// Active tenants with any fault activity at report time.
+    pub active_degraded: usize,
+    /// Tenants excluded from the roll-up (quarantined).
+    pub quarantined: usize,
+    /// Cumulative degraded/failed measurements across *active* tenants.
+    pub degraded_measurements: u64,
 }
 
 impl FleetReport {
-    /// Tenants whose cluster closed the window with any fault activity.
+    /// Tenants whose cluster closed the window with any fault activity,
+    /// regardless of scheduling status (includes quarantined tenants —
+    /// see [`Self::health_rollup`] for the quarantine-aware view).
     pub fn degraded_tenants(&self) -> usize {
         self.per_tenant
             .iter()
             .filter(|t| !t.health.healthy())
             .count()
+    }
+
+    /// Aggregate per-tenant health into the fleet-level summary.
+    pub fn health_rollup(&self) -> HealthRollup {
+        let mut rollup = HealthRollup::default();
+        for t in &self.per_tenant {
+            if matches!(t.status, TenantStatus::Quarantined { .. }) {
+                rollup.quarantined += 1;
+                continue;
+            }
+            if t.health.healthy() {
+                rollup.active_healthy += 1;
+            } else {
+                rollup.active_degraded += 1;
+            }
+            rollup.degraded_measurements += t.health.degraded_measurements();
+        }
+        rollup
     }
 }
 
@@ -332,6 +414,15 @@ pub struct Fleet {
     scheduler: RoundRobin,
     tenants: Vec<TenantSlot>,
     rejected_admissions: u64,
+    /// Rounds in which any tenant started a canary, pruned to the budget
+    /// horizon — the fleet-wide aggregate deploy budget's working set.
+    /// Checkpointed via the manifest so a resumed fleet enforces the same
+    /// budget the killed process would have.
+    stage_rounds: Vec<u64>,
+    /// Guardrail events awaiting the durable layer (drained every round by
+    /// `lpa-store`'s deployment journal).
+    journal: Vec<JournalRecord>,
+    journal_dropped: u64,
 }
 
 impl Fleet {
@@ -341,6 +432,9 @@ impl Fleet {
             scheduler: RoundRobin::new(0),
             tenants: Vec::new(),
             rejected_admissions: 0,
+            stage_rounds: Vec::new(),
+            journal: Vec::new(),
+            journal_dropped: 0,
         }
     }
 
@@ -461,7 +555,50 @@ impl Fleet {
             status: TenantStatus::Active,
             errors_since_rejoin: 0,
             counters: TenantCounters::default(),
+            guardrail: Guardrail::new(self.cfg.guardrail),
         })
+    }
+
+    /// The adversarially poisoned candidate for `(tenant, round)`: every
+    /// table moved *away* from its currently deployed state onto a
+    /// salted-stream-chosen partitioning attribute. Scrambling every
+    /// co-partitioning at once forces network joins across the board — a
+    /// known-bad layout by construction — while staying a valid
+    /// [`Partitioning`] the advisor could have suggested. Pure in
+    /// `(fleet seed, tenant, round, deployed)`, so a resumed fleet replays
+    /// the identical poison.
+    fn poison_layout(&self, tenant: usize, round: u64, slot: &TenantSlot) -> Partitioning {
+        let stream = derive_stream3(self.cfg.seed, tenant as u64, SALT_POISON);
+        let deployed = slot.cluster.deployed();
+        let tables = slot
+            .schema
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(i, table)| {
+                let attrs: Vec<_> = table.partitionable_attrs().collect();
+                let draw = derive_stream(stream ^ round, i as u64) as usize;
+                match deployed.table_state(TableId(i)) {
+                    TableState::PartitionedBy(current) => {
+                        let pool: Vec<_> =
+                            attrs.iter().copied().filter(|a| *a != current).collect();
+                        if pool.is_empty() {
+                            TableState::Replicated
+                        } else {
+                            TableState::PartitionedBy(pool[draw % pool.len()])
+                        }
+                    }
+                    TableState::Replicated => {
+                        if attrs.is_empty() {
+                            TableState::Replicated
+                        } else {
+                            TableState::PartitionedBy(attrs[draw % attrs.len()])
+                        }
+                    }
+                }
+            })
+            .collect();
+        Partitioning::from_states(&slot.schema, tables)
     }
 
     fn slot(&self, tenant: usize) -> Result<&TenantSlot, FleetError> {
@@ -569,6 +706,25 @@ impl Fleet {
         let episodes_per_slice = self.cfg.episodes_per_slice;
         let probe_queries = self.cfg.probe_queries;
         let window_seconds = self.cfg.window_seconds;
+        // Fleet-wide aggregate deploy budget, evaluated before the slot is
+        // borrowed: canaries started inside the budget horizon, across all
+        // tenants.
+        let budget_window = self.cfg.guardrail.budget_window;
+        self.stage_rounds.retain(|r| *r + budget_window > round);
+        let fleet_budget_ok = (self.stage_rounds.len() as u64) < self.cfg.fleet_budget_deploys;
+        // Poisoned advice is derived while the slot is still borrowed
+        // immutably (the layout depends on the deployed state).
+        let poison = {
+            let Some(slot) = self.tenants.get(tenant) else {
+                return;
+            };
+            match slot.spec.poison_from_round {
+                Some(from) if round >= from && !slot.guardrail.canary_open() => {
+                    Some(self.poison_layout(tenant, round, slot))
+                }
+                _ => None,
+            }
+        };
         let Some(slot) = self.tenants.get_mut(tenant) else {
             return;
         };
@@ -582,13 +738,46 @@ impl Fleet {
             slot.episode = end;
         }
         // Advice: greedy rollout (draws no RNG — does not perturb
-        // training), deploy only on predicted improvement.
-        let suggestion = slot.advisor.suggest(&slot.mix);
-        let current_cost = slot.advisor.cost_of(slot.cluster.deployed(), &slot.mix);
-        let suggested_cost = slot.advisor.cost_of(&suggestion.partitioning, &slot.mix);
-        if suggested_cost < current_cost {
-            slot.cluster.deploy(&suggestion.partitioning);
-            slot.counters.deployments += 1;
+        // training). The deploy decision belongs to the guardrail — the
+        // fleet no longer deploys on raw predicted improvement; the same
+        // economic gate, hysteresis, budget and canary protocol the
+        // standalone service applies run here per tenant.
+        let candidate = if slot.guardrail.canary_open() {
+            None
+        } else if let Some(partitioning) = poison {
+            // Fabricated benefit: the point of the poison is that *paper*
+            // numbers lie, and only observed evidence catches the lie.
+            Some(CandidateDeploy {
+                partitioning,
+                benefit_per_run: 1e12,
+            })
+        } else {
+            let suggestion = slot.advisor.suggest(&slot.mix);
+            let current_cost = slot.advisor.cost_of(slot.cluster.deployed(), &slot.mix);
+            let suggested_cost = slot.advisor.cost_of(&suggestion.partitioning, &slot.mix);
+            Some(CandidateDeploy {
+                partitioning: suggestion.partitioning,
+                benefit_per_run: current_cost - suggested_cost,
+            })
+        };
+        let events = slot.guardrail.end_window(
+            &mut slot.cluster,
+            &slot.workload,
+            &slot.mix,
+            candidate,
+            fleet_budget_ok,
+        );
+        let mut staged = false;
+        for event in &events {
+            match event {
+                GuardrailEvent::CanaryStarted { .. } => {
+                    staged = true;
+                    slot.counters.deployments += 1;
+                }
+                // A rollback migrates the previous layout back in.
+                GuardrailEvent::RolledBack { .. } => slot.counters.deployments += 1,
+                _ => {}
+            }
         }
         // Probe traffic: exercises the fault layer so ClusterHealth
         // reflects the tenant's storm (or calm). Outcomes are accounted,
@@ -604,13 +793,28 @@ impl Fleet {
         if !slot.cluster.health().healthy() {
             slot.counters.degraded_windows += 1;
         }
+        if staged {
+            self.stage_rounds.push(round);
+        }
+        if self.journal.len() + events.len() > JOURNAL_BUFFER_CAP {
+            let drop = (self.journal.len() + events.len()) - JOURNAL_BUFFER_CAP;
+            let drop = drop.min(self.journal.len());
+            self.journal.drain(..drop);
+            self.journal_dropped += drop as u64;
+        }
+        self.journal
+            .extend(events.into_iter().map(|event| JournalRecord {
+                tenant: tenant as u64,
+                round,
+                event,
+            }));
     }
 
     /// Fleet-wide report: per-tenant fairness counters, health, weight
     /// fingerprints, admission-control totals. Store counters are zero
     /// here; the checkpointing layer fills them in.
     pub fn report(&self) -> FleetReport {
-        let per_tenant = self
+        let per_tenant: Vec<TenantReport> = self
             .tenants
             .iter()
             .enumerate()
@@ -622,8 +826,13 @@ impl Fleet {
                 counters: slot.counters,
                 health: slot.cluster.health(),
                 weight_fingerprint: slot.advisor.weight_fingerprint(),
+                guardrail: slot.guardrail.accounting(),
             })
             .collect();
+        let mut guardrail = GuardrailAccounting::default();
+        for t in &per_tenant {
+            guardrail.merge(&t.guardrail);
+        }
         FleetReport {
             round: self.scheduler.round(),
             per_tenant,
@@ -634,6 +843,8 @@ impl Fleet {
                 .filter(|t| matches!(t.status, TenantStatus::Quarantined { .. }))
                 .count(),
             store: FleetStoreCounters::default(),
+            guardrail,
+            journal_dropped: self.journal_dropped,
         }
     }
 
@@ -686,6 +897,28 @@ impl Fleet {
         Ok(self.slot(tenant)?.advisor.weight_fingerprint())
     }
 
+    /// The tenant's guardrail (read-only; decisions run inside the slice).
+    pub fn tenant_guardrail(&self, tenant: usize) -> Result<&Guardrail, FleetError> {
+        Ok(&self.slot(tenant)?.guardrail)
+    }
+
+    /// Drain the buffered deployment-journal records (the durable layer's
+    /// per-round pickup).
+    pub fn drain_journal(&mut self) -> Vec<JournalRecord> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Rounds with a canary start inside the current budget horizon — the
+    /// fleet-wide budget state, checkpointed via the manifest.
+    pub fn stage_rounds(&self) -> &[u64] {
+        &self.stage_rounds
+    }
+
+    /// Restore the fleet-wide budget state (crash recovery).
+    pub fn restore_stage_rounds(&mut self, stage_rounds: Vec<u64>) {
+        self.stage_rounds = stage_rounds;
+    }
+
     /// Replace a tenant's live state from checkpointed parts — the crash
     /// recovery path. The tenant must already be admitted (fleets are
     /// rebuilt from specs, then restored tenant-by-tenant); schema,
@@ -701,7 +934,9 @@ impl Fleet {
         status: TenantStatus,
         errors_since_rejoin: u64,
         counters: TenantCounters,
+        guardrail: GuardrailResumeState,
     ) -> Result<(), FleetError> {
+        let guardrail_cfg = self.cfg.guardrail;
         let slot = self.slot_mut(tenant)?;
         slot.cluster
             .restore_resume_state(cluster_state)
@@ -711,6 +946,7 @@ impl Fleet {
         slot.status = status;
         slot.errors_since_rejoin = errors_since_rejoin;
         slot.counters = counters;
+        slot.guardrail = Guardrail::restore(guardrail_cfg, guardrail);
         Ok(())
     }
 }

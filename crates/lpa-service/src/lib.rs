@@ -14,11 +14,14 @@
 //!    approach with systems that predict future workloads to pro-actively
 //!    re-partition");
 //! 3. [`service::PartitioningService`] asks the advisor for a partitioning
-//!    for the (forecast) mix and deploys it **only when the predicted
-//!    benefit amortizes the repartitioning cost** (the paper's future
-//!    work: "decide whether the costs for repartitioning pay off in the
-//!    long run"), and triggers incremental training when enough new
-//!    queries accumulate (Section 5).
+//!    for the (forecast) mix and stages it **through the deployment
+//!    guardrail** (`lpa_cluster::guardrail`): the candidate must amortize
+//!    its repartitioning cost (the paper's future work: "decide whether
+//!    the costs for repartitioning pay off in the long run"), survive a
+//!    canary window of *observed* runtimes, and respect the
+//!    repartitioning budget — otherwise it is rejected or rolled back.
+//!    Incremental training triggers when enough new queries accumulate
+//!    (Section 5).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -30,8 +33,9 @@ pub mod monitor;
 pub mod service;
 
 pub use fleet::{
-    Benchmark, Fleet, FleetConfig, FleetError, FleetReport, FleetStoreCounters, QuarantinePolicy,
-    TenantCounters, TenantErrorKind, TenantReport, TenantSpec, TenantStatus,
+    Benchmark, Fleet, FleetConfig, FleetError, FleetReport, FleetStoreCounters, HealthRollup,
+    JournalRecord, QuarantinePolicy, TenantCounters, TenantErrorKind, TenantReport, TenantSpec,
+    TenantStatus,
 };
 pub use forecast::FrequencyForecaster;
 pub use monitor::{Observation, WorkloadMonitor};

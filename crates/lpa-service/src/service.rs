@@ -1,23 +1,23 @@
-//! The repartitioning controller: observe → forecast → suggest → deploy
-//! when the benefit amortizes the cost.
+//! The repartitioning controller: observe → forecast → suggest → stage
+//! through the deployment guardrail (canary, observed-regression rollback,
+//! budget) when the benefit amortizes the cost.
 
 use crate::forecast::FrequencyForecaster;
 use crate::monitor::{Observation, WorkloadMonitor};
 use lpa_advisor::{incremental, Advisor};
-use lpa_cluster::Cluster;
+use lpa_cluster::{
+    CandidateDeploy, Cluster, Guardrail, GuardrailAccounting, GuardrailConfig, GuardrailEvent,
+};
 use lpa_partition::Partitioning;
 use lpa_workload::FrequencyVector;
 
 /// Controller knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
-    /// Expected full-workload executions per decision window — converts a
-    /// per-run benefit into a per-window benefit.
-    pub runs_per_window: f64,
-    /// Deploy only if `benefit × runs_per_window × amortization_windows ≥
-    /// repartitioning cost` (the paper's "does repartitioning pay off in
-    /// the long run").
-    pub amortization_windows: f64,
+    /// Safe-deployment policy: canary windows, regression threshold,
+    /// hysteresis, repartitioning budget, and the economic
+    /// (`runs_per_window × amortization_windows`) gate.
+    pub guardrail: GuardrailConfig,
     /// Forecast horizon in windows (0 = react to the smoothed present).
     pub forecast_horizon: f64,
     /// Trigger incremental training once this many distinct new queries
@@ -30,8 +30,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
-            runs_per_window: 20.0,
-            amortization_windows: 4.0,
+            guardrail: GuardrailConfig::default(),
             forecast_horizon: 1.0,
             incremental_threshold: 2,
             incremental_episodes: 20,
@@ -42,19 +41,14 @@ impl Default for ServiceConfig {
 /// What happened during a window decision.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServiceEvent {
-    Repartitioned {
-        benefit_per_run: f64,
-        repartition_cost: f64,
-    },
-    KeptCurrent {
-        benefit_per_run: f64,
-        repartition_cost: f64,
-    },
     NoTraffic,
     IncrementallyTrained {
         added: usize,
         skipped: usize,
     },
+    /// A guardrail decision: candidate kept/rejected/staged, canary
+    /// observed/extended, commit, rollback.
+    Guardrail(GuardrailEvent),
 }
 
 /// Summary returned by [`PartitioningService::end_window`].
@@ -67,6 +61,8 @@ pub struct WindowReport {
     /// fault-layer counters (degraded measurements, failovers, timeouts) so
     /// operators can tell representative windows from stormy ones.
     pub health: lpa_cluster::ClusterHealth,
+    /// Cumulative guardrail ledger at window close.
+    pub guardrail: GuardrailAccounting,
 }
 
 /// The advisor wired into a production database.
@@ -76,6 +72,7 @@ pub struct PartitioningService {
     cluster: Cluster,
     monitor: WorkloadMonitor,
     forecaster: FrequencyForecaster,
+    guardrail: Guardrail,
     cfg: ServiceConfig,
 }
 
@@ -90,6 +87,7 @@ impl PartitioningService {
             cluster,
             monitor,
             forecaster,
+            guardrail: Guardrail::new(cfg.guardrail),
             cfg,
         }
     }
@@ -119,6 +117,12 @@ impl PartitioningService {
         &self.cfg
     }
 
+    /// The deployment guardrail (read-only; decisions go through
+    /// [`Self::end_window`]).
+    pub fn guardrail(&self) -> &Guardrail {
+        &self.guardrail
+    }
+
     /// Borrow every component at once (checkpoint capture by the
     /// durable-state layer).
     pub fn parts(
@@ -128,6 +132,7 @@ impl PartitioningService {
         &Cluster,
         &WorkloadMonitor,
         &FrequencyForecaster,
+        &Guardrail,
         &ServiceConfig,
     ) {
         (
@@ -135,18 +140,21 @@ impl PartitioningService {
             &self.cluster,
             &self.monitor,
             &self.forecaster,
+            &self.guardrail,
             &self.cfg,
         )
     }
 
     /// Reassemble a service from restored components — the checkpoint
-    /// restore path. Unlike [`Self::new`] the monitor and forecaster keep
-    /// their mid-window state instead of starting fresh.
+    /// restore path. Unlike [`Self::new`] the monitor, forecaster and
+    /// guardrail keep their mid-window state (an open canary survives the
+    /// crash) instead of starting fresh.
     pub fn from_parts(
         advisor: Advisor,
         cluster: Cluster,
         monitor: WorkloadMonitor,
         forecaster: FrequencyForecaster,
+        guardrail: Guardrail,
         cfg: ServiceConfig,
     ) -> Self {
         Self {
@@ -154,6 +162,7 @@ impl PartitioningService {
             cluster,
             monitor,
             forecaster,
+            guardrail,
             cfg,
         }
     }
@@ -208,6 +217,8 @@ impl PartitioningService {
         };
 
         let Some(mix) = mix_used.clone() else {
+            // No traffic, no decision: the guardrail window does not close,
+            // so an open canary simply waits for the next busy window.
             events.push(ServiceEvent::NoTraffic);
             self.monitor.reset_window();
             return WindowReport {
@@ -215,31 +226,33 @@ impl PartitioningService {
                 deployed: self.cluster.deployed().clone(),
                 mix_used: None,
                 health: self.cluster.health(),
+                guardrail: self.guardrail.accounting(),
             };
         };
 
-        // Ask the advisor and weigh benefit against repartitioning cost.
-        let suggestion = self.advisor.suggest(&mix);
-        let current = self.cluster.deployed().clone();
-        let current_cost = self.advisor.cost_of(&current, &mix);
-        let suggested_cost = self.advisor.cost_of(&suggestion.partitioning, &mix);
-        let benefit_per_run = (current_cost - suggested_cost).max(0.0);
-        let repartition_cost = self
-            .cluster
-            .repartition_cost(&current, &suggestion.partitioning);
-        let payoff = benefit_per_run * self.cfg.runs_per_window * self.cfg.amortization_windows;
-        if payoff > repartition_cost && benefit_per_run > 0.0 {
-            self.cluster.deploy(&suggestion.partitioning);
-            events.push(ServiceEvent::Repartitioned {
-                benefit_per_run,
-                repartition_cost,
-            });
+        // Ask the advisor — unless a canary is already in flight, in which
+        // case the guardrail finishes judging it before a new candidate is
+        // considered — and route the deploy decision through the guardrail
+        // (economics → hysteresis → budget → baseline → canary).
+        let candidate = if self.guardrail.canary_open() {
+            None
         } else {
-            events.push(ServiceEvent::KeptCurrent {
-                benefit_per_run,
-                repartition_cost,
-            });
-        }
+            let suggestion = self.advisor.suggest(&mix);
+            let current_cost = self.advisor.cost_of(self.cluster.deployed(), &mix);
+            let suggested_cost = self.advisor.cost_of(&suggestion.partitioning, &mix);
+            Some(CandidateDeploy {
+                partitioning: suggestion.partitioning,
+                benefit_per_run: current_cost - suggested_cost,
+            })
+        };
+        let guard_events = self.guardrail.end_window(
+            &mut self.cluster,
+            &self.advisor.env.workload,
+            &mix,
+            candidate,
+            true,
+        );
+        events.extend(guard_events.into_iter().map(ServiceEvent::Guardrail));
 
         self.monitor.reset_window();
         WindowReport {
@@ -247,6 +260,7 @@ impl PartitioningService {
             deployed: self.cluster.deployed().clone(),
             mix_used,
             health: self.cluster.health(),
+            guardrail: self.guardrail.accounting(),
         }
     }
 }
@@ -259,7 +273,7 @@ mod tests {
     use lpa_rl::DqnConfig;
     use lpa_workload::MixSampler;
 
-    fn service(reserved: usize) -> PartitioningService {
+    fn service_with(reserved: usize, service_cfg: ServiceConfig) -> PartitioningService {
         let schema = lpa_schema::ssb::schema(0.005).expect("schema builds");
         let workload = lpa_workload::ssb::workload(&schema)
             .expect("workload builds")
@@ -282,7 +296,11 @@ mod tests {
             schema,
             ClusterConfig::new(EngineProfile::system_x(), HardwareProfile::standard()),
         );
-        PartitioningService::new(advisor, cluster, ServiceConfig::default())
+        PartitioningService::new(advisor, cluster, service_cfg)
+    }
+
+    fn service(reserved: usize) -> PartitioningService {
+        service_with(reserved, ServiceConfig::default())
     }
 
     const Q1_SQL: &str = "SELECT sum(lo_revenue) FROM lineorder l, date d \
@@ -322,22 +340,80 @@ mod tests {
             assert!(matches!(s.observe_sql(Q1_SQL), Observation::Known(_)));
         }
         let r = s.end_window();
-        assert!(matches!(
-            r.events[0],
-            ServiceEvent::Repartitioned { .. } | ServiceEvent::KeptCurrent { .. }
-        ));
+        assert!(
+            matches!(
+                r.events[0],
+                ServiceEvent::Guardrail(
+                    GuardrailEvent::CanaryStarted { .. } | GuardrailEvent::KeptCurrent { .. }
+                )
+            ),
+            "events: {:?}",
+            r.events
+        );
         assert!(r.mix_used.is_some());
-        // A second identical window keeps the (now suitable) layout.
-        for _ in 0..10 {
-            s.observe_sql(Q1_SQL);
+        assert_eq!(r.guardrail.windows, 1);
+        // Identical windows drive any open canary to a verdict; the ledger
+        // must account for every staged candidate.
+        for _ in 0..6 {
+            for _ in 0..10 {
+                s.observe_sql(Q1_SQL);
+            }
+            s.end_window();
         }
-        let r2 = s.end_window();
-        if let ServiceEvent::KeptCurrent {
-            benefit_per_run, ..
-        } = r2.events[0]
-        {
-            assert!(benefit_per_run >= 0.0);
+        let acct = s.guardrail().accounting();
+        assert_eq!(
+            acct.canaries_started,
+            acct.commits + acct.rollbacks(),
+            "every canary reaches a verdict under steady traffic: {acct:?}"
+        );
+    }
+
+    #[test]
+    fn observed_regression_rolls_back_at_service_level() {
+        // A hostile threshold makes *any* observed runtime count as a
+        // regression, so the first staged candidate must roll back and the
+        // pre-canary layout must survive.
+        let mut s = service_with(
+            0,
+            ServiceConfig {
+                guardrail: GuardrailConfig {
+                    canary_windows: 1,
+                    regression_threshold: -1.0,
+                    // Any positive predicted benefit passes the economic
+                    // gate — the rollback must come from observation.
+                    runs_per_window: 1e6,
+                    ..GuardrailConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let before = s.cluster().deployed().clone();
+        let mut rolled_back = false;
+        for _ in 0..8 {
+            for _ in 0..10 {
+                s.observe_sql(Q1_SQL);
+            }
+            let r = s.end_window();
+            if r.events.iter().any(|e| {
+                matches!(
+                    e,
+                    ServiceEvent::Guardrail(GuardrailEvent::RolledBack { .. })
+                )
+            }) {
+                rolled_back = true;
+                break;
+            }
         }
+        assert!(rolled_back, "hostile threshold must force a rollback");
+        assert_eq!(
+            s.cluster().deployed().physical_key(),
+            before.physical_key(),
+            "rollback restores the pre-canary layout"
+        );
+        let acct = s.guardrail().accounting();
+        assert_eq!(acct.rollbacks_regression, 1);
+        assert_eq!(acct.commits, 0);
+        assert!(acct.rollback_seconds > 0.0, "migration cost was charged");
     }
 
     #[test]
@@ -367,16 +443,28 @@ mod tests {
 
     #[test]
     fn repartition_gate_respects_amortization() {
-        let mut s = service(0);
         // Make repartitioning astronomically unattractive.
-        s.cfg.amortization_windows = 1e-9;
-        s.cfg.runs_per_window = 1e-9;
+        let mut s = service_with(
+            0,
+            ServiceConfig {
+                guardrail: GuardrailConfig {
+                    runs_per_window: 1e-9,
+                    amortization_windows: 1e-9,
+                    ..GuardrailConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
         let deployed_before = s.cluster().deployed().clone();
         for _ in 0..5 {
             s.observe_sql(Q1_SQL);
         }
         let r = s.end_window();
-        assert!(matches!(r.events[0], ServiceEvent::KeptCurrent { .. }));
+        assert!(matches!(
+            r.events[0],
+            ServiceEvent::Guardrail(GuardrailEvent::KeptCurrent { .. })
+        ));
+        assert_eq!(r.guardrail.kept_current, 1);
         assert_eq!(
             r.deployed.physical_key(),
             deployed_before.physical_key(),

@@ -16,6 +16,7 @@
 //! back to per-tenant directory scans; an all-corrupt tenant lineage
 //! degrades to a fresh tenant (plus a restore error), never a panic.
 
+use crate::journal::{DeploymentJournal, JOURNAL_FILE};
 use crate::manifest::{load_manifest, save_manifest, FleetManifest, ManifestEntry};
 use crate::session::{capture_advisor, restore_offline, OfflineTemplate};
 use crate::snapshot::{Checkpoint, TenantSnapshot};
@@ -45,6 +46,7 @@ pub fn capture_tenant(
         status: fleet.tenant_status(tenant)?,
         errors_since_rejoin: fleet.tenant_errors_since_rejoin(tenant)?,
         counters: fleet.tenant_counters(tenant)?,
+        guardrail: fleet.tenant_guardrail(tenant)?.resume_state(),
     })
 }
 
@@ -71,6 +73,7 @@ pub fn restore_tenant(fleet: &mut Fleet, snap: TenantSnapshot) -> Result<(), Sto
             snap.status,
             snap.errors_since_rejoin,
             snap.counters,
+            snap.guardrail,
         )
         .map_err(to_store)
 }
@@ -92,6 +95,9 @@ pub struct CheckpointedFleet {
     /// Last sequence durably written per tenant (kept in the manifest even
     /// when a newer write fails).
     last_good: Vec<Option<u64>>,
+    /// Deployment audit log at `<root>/journal.lpa`; `None` when the file
+    /// could not be opened (counted as a write failure, never fatal).
+    journal: Option<DeploymentJournal>,
     write_failures: u64,
     manifest_fallbacks: u64,
 }
@@ -105,13 +111,22 @@ impl CheckpointedFleet {
     ) -> Result<Self, StoreError> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let mut write_failures = 0;
+        let journal = match DeploymentJournal::open(root.join(JOURNAL_FILE)) {
+            Ok(j) => Some(j),
+            Err(_) => {
+                write_failures += 1;
+                None
+            }
+        };
         Ok(Self {
             fleet: Fleet::new(cfg),
             root,
             every: every.max(1),
             stores: Vec::new(),
             last_good: Vec::new(),
-            write_failures: 0,
+            journal,
+            write_failures,
             manifest_fallbacks: 0,
         })
     }
@@ -141,9 +156,22 @@ impl CheckpointedFleet {
         &mut self.fleet
     }
 
-    /// Run one round; checkpoint the whole fleet when the cadence lands.
+    /// The on-disk deployment journal, if it opened cleanly.
+    pub fn journal(&self) -> Option<&DeploymentJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Run one round, drain the round's guardrail events into the on-disk
+    /// deployment journal, and checkpoint the whole fleet when the cadence
+    /// lands.
     pub fn run_round(&mut self) {
         self.fleet.run_round();
+        let events = self.fleet.drain_journal();
+        if let Some(journal) = &mut self.journal {
+            if journal.append(&events).is_err() {
+                self.write_failures += 1;
+            }
+        }
         if self.fleet.round().is_multiple_of(self.every) {
             self.checkpoint_now();
         }
@@ -180,6 +208,7 @@ impl CheckpointedFleet {
         let manifest = FleetManifest {
             round,
             rejected_admissions: self.fleet.report().rejected_admissions,
+            stage_rounds: self.fleet.stage_rounds().to_vec(),
             entries: self
                 .last_good
                 .iter()
@@ -262,6 +291,7 @@ impl CheckpointedFleet {
         me.fleet.restore_scheduler(0, resume_round);
         if let Some(m) = &manifest {
             me.fleet.restore_rejected_admissions(m.rejected_admissions);
+            me.fleet.restore_stage_rounds(m.stage_rounds.clone());
         }
         for (tenant, entry) in loaded.into_iter().enumerate() {
             let expected = manifest.as_ref().and_then(|m| m.sequence_of(tenant as u64));

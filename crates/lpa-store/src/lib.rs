@@ -34,6 +34,7 @@
 
 pub mod codec;
 pub mod fleet;
+pub mod journal;
 pub mod manifest;
 pub mod service;
 pub mod session;
@@ -41,6 +42,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use fleet::{capture_tenant, restore_tenant, CheckpointedFleet};
+pub use journal::{DeploymentJournal, JOURNAL_FILE, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use manifest::{
     load_manifest, save_manifest, FleetManifest, ManifestEntry, MANIFEST_FILE, MANIFEST_MAGIC,
     MANIFEST_VERSION,

@@ -21,8 +21,9 @@ use std::path::Path;
 
 /// First bytes of a manifest file (distinct from checkpoint `MAGIC`).
 pub const MANIFEST_MAGIC: [u8; 8] = *b"LPAMANI\x01";
-/// Manifest format version; bumped on any layout change.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Manifest format version; bumped on any layout change. Version 2 added
+/// the fleet-wide deployment-budget history (`stage_rounds`).
+pub const MANIFEST_VERSION: u32 = 2;
 /// File name of the manifest inside a fleet root directory.
 pub const MANIFEST_FILE: &str = "manifest.lpa";
 
@@ -45,6 +46,10 @@ pub struct FleetManifest {
     pub round: u64,
     /// Admission-control counter carried across restarts.
     pub rejected_admissions: u64,
+    /// Rounds at which any tenant staged a canary — the fleet-wide
+    /// deployment-budget history. Must survive a restart or a resumed
+    /// fleet would forget recent deploys and overshoot the aggregate cap.
+    pub stage_rounds: Vec<u64>,
     pub entries: Vec<ManifestEntry>,
 }
 
@@ -53,6 +58,7 @@ impl FleetManifest {
         let mut payload = ByteWriter::new();
         payload.put_u64(self.round);
         payload.put_u64(self.rejected_admissions);
+        payload.put_u64s(&self.stage_rounds);
         payload.put_usize(self.entries.len());
         for e in &self.entries {
             payload.put_u64(e.tenant);
@@ -110,6 +116,7 @@ impl FleetManifest {
         }
         let round = r.take_u64()?;
         let rejected_admissions = r.take_u64()?;
+        let stage_rounds = r.take_u64s()?;
         let n = r.take_len(16)?;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
@@ -122,6 +129,7 @@ impl FleetManifest {
         Ok(Self {
             round,
             rejected_admissions,
+            stage_rounds,
             entries,
         })
     }
@@ -162,6 +170,7 @@ mod tests {
         FleetManifest {
             round: 6,
             rejected_admissions: 3,
+            stage_rounds: vec![2, 5, 6],
             entries: (0..5)
                 .map(|t| ManifestEntry {
                     tenant: t,

@@ -5,7 +5,7 @@ use crate::session::{restore_offline, OfflineTemplate};
 use crate::snapshot::{Checkpoint, ServiceSnapshot, SessionSnapshot};
 use crate::store::CheckpointStore;
 use crate::StoreError;
-use lpa_cluster::Cluster;
+use lpa_cluster::{Cluster, Guardrail};
 use lpa_costmodel::NetworkCostModel;
 use lpa_rl::EnvCounters;
 use lpa_schema::Schema;
@@ -30,7 +30,7 @@ pub fn capture_service(
     windows: u64,
     service: &PartitioningService,
 ) -> Result<ServiceSnapshot, StoreError> {
-    let (advisor, cluster, monitor, forecaster, cfg) = service.parts();
+    let (advisor, cluster, monitor, forecaster, guardrail, cfg) = service.parts();
     let session = SessionSnapshot::capture(0, advisor.agent(), &advisor.env);
     let mut workload_json = Vec::new();
     save_workload(&advisor.env.workload, &mut workload_json)
@@ -56,6 +56,7 @@ pub fn capture_service(
         forecast_trend: forecaster.trend().to_vec(),
         forecast_windows: forecaster.windows_seen(),
         cfg: *cfg,
+        guardrail: guardrail.resume_state(),
     })
 }
 
@@ -99,8 +100,9 @@ pub fn restore_service(
         snap.forecast_windows,
     )
     .map_err(StoreError::Corrupt)?;
+    let guardrail = Guardrail::restore(snap.cfg.guardrail, snap.guardrail);
     Ok(PartitioningService::from_parts(
-        advisor, cluster, monitor, forecaster, snap.cfg,
+        advisor, cluster, monitor, forecaster, guardrail, snap.cfg,
     ))
 }
 

@@ -23,7 +23,10 @@ use lpa_advisor::{
     AdvisorEnv, CachedRuntime, CostAccounting, DeltaCostEngine, EnvState, OnlineOptimizations,
     RecostMode, RetryPolicy, RewardBackend,
 };
-use lpa_cluster::{ClusterResumeState, FaultAccounting, FaultPlan};
+use lpa_cluster::{
+    CanaryState, ClusterResumeState, FaultAccounting, FaultPlan, GuardrailAccounting,
+    GuardrailConfig, GuardrailResumeState, WindowObservation,
+};
 use lpa_nn::{Adam, Dense, Matrix, Mlp};
 use lpa_partition::{Action, InternedKey, KeyInterner, Partitioning, TableState};
 use lpa_rl::{DqnAgent, DqnConfig, EnvCounters, QLoss, ReplayBuffer, Transition};
@@ -200,6 +203,144 @@ fn take_opt_partitioning(
     } else {
         Ok(None)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deployment guardrail.
+
+fn put_window_observation(w: &mut ByteWriter, o: &WindowObservation) {
+    w.put_f64(o.weighted_seconds);
+    w.put_u64(o.clean);
+    w.put_u64(o.degraded);
+    w.put_u64(o.failed);
+}
+
+fn take_window_observation(r: &mut ByteReader) -> Result<WindowObservation, StoreError> {
+    Ok(WindowObservation {
+        weighted_seconds: r.take_f64()?,
+        clean: r.take_u64()?,
+        degraded: r.take_u64()?,
+        failed: r.take_u64()?,
+    })
+}
+
+fn put_guardrail_accounting(w: &mut ByteWriter, a: &GuardrailAccounting) {
+    w.put_u64(a.windows);
+    w.put_u64(a.canaries_started);
+    w.put_u64(a.commits);
+    w.put_u64(a.rollbacks_regression);
+    w.put_u64(a.rollbacks_degraded);
+    w.put_u64(a.extensions);
+    w.put_u64(a.kept_current);
+    w.put_u64(a.rejected_cooldown);
+    w.put_u64(a.rejected_budget);
+    w.put_u64(a.rejected_fleet_budget);
+    w.put_u64(a.deferred_degraded_baseline);
+    w.put_f64(a.deploy_seconds);
+    w.put_f64(a.rollback_seconds);
+}
+
+fn take_guardrail_accounting(r: &mut ByteReader) -> Result<GuardrailAccounting, StoreError> {
+    Ok(GuardrailAccounting {
+        windows: r.take_u64()?,
+        canaries_started: r.take_u64()?,
+        commits: r.take_u64()?,
+        rollbacks_regression: r.take_u64()?,
+        rollbacks_degraded: r.take_u64()?,
+        extensions: r.take_u64()?,
+        kept_current: r.take_u64()?,
+        rejected_cooldown: r.take_u64()?,
+        rejected_budget: r.take_u64()?,
+        rejected_fleet_budget: r.take_u64()?,
+        deferred_degraded_baseline: r.take_u64()?,
+        deploy_seconds: r.take_f64()?,
+        rollback_seconds: r.take_f64()?,
+    })
+}
+
+pub fn put_guardrail_config(w: &mut ByteWriter, c: &GuardrailConfig) {
+    w.put_u32(c.canary_windows);
+    w.put_f64(c.regression_threshold);
+    w.put_f64(c.max_degraded_fraction);
+    w.put_u32(c.max_extensions);
+    w.put_u64(c.cooldown_windows);
+    w.put_u64(c.budget_window);
+    w.put_u32(c.budget_deploys);
+    w.put_f64(c.runs_per_window);
+    w.put_f64(c.amortization_windows);
+}
+
+pub fn take_guardrail_config(r: &mut ByteReader) -> Result<GuardrailConfig, StoreError> {
+    Ok(GuardrailConfig {
+        canary_windows: r.take_u32()?,
+        regression_threshold: r.take_f64()?,
+        max_degraded_fraction: r.take_f64()?,
+        max_extensions: r.take_u32()?,
+        cooldown_windows: r.take_u64()?,
+        budget_window: r.take_u64()?,
+        budget_deploys: r.take_u32()?,
+        runs_per_window: r.take_f64()?,
+        amortization_windows: r.take_f64()?,
+    })
+}
+
+/// An open canary window carries *two* full partitionings (the staged
+/// candidate and the layout to roll back to) plus the frequency mix pinned
+/// at stage time — all of it must survive a kill for the verdict to be
+/// bit-identical on resume.
+pub fn put_guardrail_state(w: &mut ByteWriter, s: &GuardrailResumeState) {
+    w.put_u64(s.window);
+    w.put_u64(s.cooldown_until);
+    w.put_u64s(&s.recent_stages);
+    match &s.canary {
+        None => w.put_bool(false),
+        Some(c) => {
+            w.put_bool(true);
+            put_partitioning(w, &c.previous);
+            put_partitioning(w, &c.candidate);
+            w.put_f64s(c.pinned_mix.as_slice());
+            put_window_observation(w, &c.baseline);
+            w.put_f64(c.benefit_per_run);
+            w.put_f64(c.repartition_cost);
+            w.put_u64(c.opened_window);
+            w.put_u32(c.clean_windows);
+            w.put_f64(c.observed_sum);
+            w.put_u32(c.inconclusive_windows);
+        }
+    }
+    put_guardrail_accounting(w, &s.accounting);
+}
+
+pub fn take_guardrail_state(
+    r: &mut ByteReader,
+    schema: &Schema,
+) -> Result<GuardrailResumeState, StoreError> {
+    let window = r.take_u64()?;
+    let cooldown_until = r.take_u64()?;
+    let recent_stages = r.take_u64s()?;
+    let canary = if r.take_bool()? {
+        Some(CanaryState {
+            previous: take_partitioning(r, schema)?,
+            candidate: take_partitioning(r, schema)?,
+            pinned_mix: FrequencyVector::from_raw(r.take_f64s()?),
+            baseline: take_window_observation(r)?,
+            benefit_per_run: r.take_f64()?,
+            repartition_cost: r.take_f64()?,
+            opened_window: r.take_u64()?,
+            clean_windows: r.take_u32()?,
+            observed_sum: r.take_f64()?,
+            inconclusive_windows: r.take_u32()?,
+        })
+    } else {
+        None
+    };
+    Ok(GuardrailResumeState {
+        window,
+        cooldown_until,
+        recent_stages,
+        canary,
+        accounting: take_guardrail_accounting(r)?,
+    })
 }
 
 pub fn put_action(w: &mut ByteWriter, a: &Action) {
@@ -996,6 +1137,9 @@ pub struct ServiceSnapshot {
     pub forecast_trend: Vec<f64>,
     pub forecast_windows: u64,
     pub cfg: ServiceConfig,
+    /// Deployment-guardrail state: open canary (if any), cooldown,
+    /// repartitioning budget history, accounting ledger.
+    pub guardrail: GuardrailResumeState,
 }
 
 impl ServiceSnapshot {
@@ -1016,11 +1160,11 @@ impl ServiceSnapshot {
         w.put_f64s(&self.forecast_level);
         w.put_f64s(&self.forecast_trend);
         w.put_u64(self.forecast_windows);
-        w.put_f64(self.cfg.runs_per_window);
-        w.put_f64(self.cfg.amortization_windows);
+        put_guardrail_config(w, &self.cfg.guardrail);
         w.put_f64(self.cfg.forecast_horizon);
         w.put_usize(self.cfg.incremental_threshold);
         w.put_usize(self.cfg.incremental_episodes);
+        put_guardrail_state(w, &self.guardrail);
     }
 
     pub fn decode(r: &mut ByteReader, schema: &Schema) -> Result<Self, StoreError> {
@@ -1051,12 +1195,12 @@ impl ServiceSnapshot {
             forecast_trend: r.take_f64s()?,
             forecast_windows: r.take_u64()?,
             cfg: ServiceConfig {
-                runs_per_window: r.take_f64()?,
-                amortization_windows: r.take_f64()?,
+                guardrail: take_guardrail_config(r)?,
                 forecast_horizon: r.take_f64()?,
                 incremental_threshold: r.take_usize()?,
                 incremental_episodes: r.take_usize()?,
             },
+            guardrail: take_guardrail_state(r, schema)?,
         })
     }
 }
@@ -1123,6 +1267,10 @@ pub struct TenantSnapshot {
     pub status: TenantStatus,
     pub errors_since_rejoin: u64,
     pub counters: TenantCounters,
+    /// Per-tenant deployment-guardrail state (open canary, cooldown,
+    /// budget history, accounting) — a kill mid-canary must resume with
+    /// the rollback target and pinned mix intact.
+    pub guardrail: GuardrailResumeState,
 }
 
 fn put_tenant_status(w: &mut ByteWriter, s: &TenantStatus) {
@@ -1182,6 +1330,7 @@ impl TenantSnapshot {
         put_tenant_status(w, &self.status);
         w.put_u64(self.errors_since_rejoin);
         put_tenant_counters(w, &self.counters);
+        put_guardrail_state(w, &self.guardrail);
     }
 
     pub fn decode(r: &mut ByteReader, schema: &Schema) -> Result<Self, StoreError> {
@@ -1193,6 +1342,7 @@ impl TenantSnapshot {
             status: take_tenant_status(r)?,
             errors_since_rejoin: r.take_u64()?,
             counters: take_tenant_counters(r)?,
+            guardrail: take_guardrail_state(r, schema)?,
         })
     }
 }

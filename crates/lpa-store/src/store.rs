@@ -38,8 +38,9 @@ use std::path::{Path, PathBuf};
 
 /// First bytes of every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"LPACKPT\x01";
-/// Current format version; bumped on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version; bumped on any layout change. Version 2 added
+/// the deployment-guardrail state to service and tenant snapshots.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Serialize a checkpoint into the framed, CRC-guarded file format.
 pub fn encode_checkpoint(ck: &Checkpoint) -> Vec<u8> {

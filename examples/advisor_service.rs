@@ -9,6 +9,7 @@
 
 #![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
 
+use lpa::cluster::GuardrailEvent;
 use lpa::prelude::*;
 use lpa::service::ServiceEvent;
 
@@ -96,18 +97,38 @@ fn main() {
 fn report(r: lpa::service::WindowReport) {
     for e in &r.events {
         match e {
-            ServiceEvent::Repartitioned {
-                benefit_per_run,
-                repartition_cost,
-            } => println!(
-                "  → repartitioned (benefit {benefit_per_run:.4}s/run vs one-off cost {repartition_cost:.3}s)"
-            ),
-            ServiceEvent::KeptCurrent {
-                benefit_per_run,
-                repartition_cost,
-            } => println!(
-                "  → kept layout (benefit {benefit_per_run:.4}s/run would not amortize {repartition_cost:.3}s)"
-            ),
+            ServiceEvent::Guardrail(g) => match g {
+                GuardrailEvent::CanaryStarted {
+                    benefit_per_run,
+                    repartition_cost,
+                    ..
+                } => println!(
+                    "  → staged a canary (predicted benefit {benefit_per_run:.4}s/run vs one-off cost {repartition_cost:.3}s)"
+                ),
+                GuardrailEvent::Committed { mean_observed, baseline_seconds, .. } => println!(
+                    "  → committed the new layout (observed {mean_observed:.3}s/window vs baseline {baseline_seconds:.3}s)"
+                ),
+                GuardrailEvent::RolledBack { reason, .. } => {
+                    println!("  → rolled back the canary ({reason:?})")
+                }
+                GuardrailEvent::KeptCurrent {
+                    benefit_per_run,
+                    repartition_cost,
+                    ..
+                } => println!(
+                    "  → kept layout (benefit {benefit_per_run:.4}s/run would not amortize {repartition_cost:.3}s)"
+                ),
+                GuardrailEvent::StageRejected { reason, .. } => {
+                    println!("  → deferred the repartitioning ({reason:?})")
+                }
+                GuardrailEvent::CanaryObserved { observed, .. } => println!(
+                    "  → canary window observed ({:.3}s weighted)",
+                    observed.weighted_seconds
+                ),
+                GuardrailEvent::CanaryExtended { inconclusive, .. } => {
+                    println!("  → canary extended (degraded evidence ×{inconclusive})")
+                }
+            },
             ServiceEvent::NoTraffic => println!("  → no traffic"),
             ServiceEvent::IncrementallyTrained { added, skipped } => println!(
                 "  → incrementally trained for {added} new queries ({skipped} deferred)"

@@ -15,7 +15,7 @@
 
 #![allow(clippy::unwrap_used)] // test-scale code; libraries are gated by lpa-lint L001
 
-use lpa::cluster::FaultPlan;
+use lpa::cluster::{FaultPlan, GuardrailConfig};
 use lpa::partition::Partitioning;
 use lpa::prelude::*;
 use lpa::service::{TenantCounters, TenantErrorKind};
@@ -62,6 +62,12 @@ fn keystone_cfg() -> FleetConfig {
         hidden: vec![16, 8],
         batch_size: 8,
         tmax: 3,
+        // This keystone exercises fault containment and crash recovery,
+        // not canary staging: the inert guardrail reproduces the legacy
+        // deploy-on-predicted-improvement path. tests/guardrail.rs is the
+        // keystone for the guarded path.
+        guardrail: GuardrailConfig::inert(),
+        fleet_budget_deploys: u64::MAX,
     }
 }
 
@@ -455,4 +461,81 @@ fn corrupt_manifest_falls_back_to_per_tenant_scans() {
     resumed.run_rounds(1);
     assert!(load_manifest(&dir).unwrap().is_some());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level health aggregation: the quarantine-aware roll-up vs the
+// legacy any-fault tenant count.
+
+/// A mixed fleet — one tenant under a fault storm, one healthy, one
+/// driven straight into quarantine — rolls up exactly as documented:
+/// quarantined tenants are excluded from the active split and contribute
+/// zero degraded measurements, while `degraded_tenants()` keeps its
+/// legacy include-everything semantics.
+#[test]
+fn health_rollup_splits_active_tenants_and_excludes_quarantined() {
+    let mut fleet = Fleet::new(FleetConfig {
+        seed: fleet_seed(),
+        max_tenants: 3,
+        quarantine: QuarantinePolicy {
+            max_errors: 0,
+            cooldown_rounds: 100, // quarantined for the whole test
+        },
+        ..FleetConfig::default()
+    });
+    fleet
+        .admit(TenantSpec {
+            episodes: 2,
+            fault_plan: FaultPlan::storm(0x57024),
+            ..TenantSpec::new("stormy", Benchmark::Micro, 0.01, 11)
+        })
+        .unwrap();
+    fleet
+        .admit(TenantSpec {
+            episodes: 2,
+            ..TenantSpec::new("healthy", Benchmark::Micro, 0.01, 12)
+        })
+        .unwrap();
+    fleet
+        .admit(TenantSpec {
+            episodes: 2,
+            step_error_rate: 1.0,
+            ..TenantSpec::new("doomed", Benchmark::Micro, 0.01, 13)
+        })
+        .unwrap();
+    fleet.run_rounds(6);
+
+    let report = fleet.report();
+    assert_eq!(report.per_tenant[2].counters.quarantines, 1);
+    let rollup = report.health_rollup();
+    assert_eq!(rollup.quarantined, 1, "the doomed tenant is excluded");
+    assert_eq!(
+        rollup.active_healthy + rollup.active_degraded,
+        2,
+        "active split covers exactly the scheduled tenants"
+    );
+    assert_eq!(
+        rollup.active_healthy, 1,
+        "the calm tenant reports fault-free: {rollup:?}"
+    );
+    assert_eq!(
+        rollup.active_degraded, 1,
+        "the storm tenant reports fault activity: {rollup:?}"
+    );
+    assert!(
+        rollup.degraded_measurements > 0,
+        "a storm without degraded measurements measured nothing"
+    );
+    // Quarantine contributes nothing: the roll-up is unchanged by the
+    // doomed tenant's (stale, error-ridden) cluster state.
+    let without_doomed: u64 = report
+        .per_tenant
+        .iter()
+        .take(2)
+        .map(|t| t.health.degraded_measurements())
+        .sum();
+    assert_eq!(rollup.degraded_measurements, without_doomed);
+    // Legacy view for contrast: `degraded_tenants()` ignores scheduling
+    // status, so it may also count the quarantined tenant.
+    assert!(report.degraded_tenants() >= rollup.active_degraded);
 }
